@@ -1,0 +1,78 @@
+//! Model-layer benchmarks: building power-throughput models, extracting
+//! Pareto frontiers, and solving fleet allocations under a budget — the
+//! operations a power-adaptive control plane runs on every budget event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use powadapt_device::{PowerStateId, KIB};
+use powadapt_io::Workload;
+use powadapt_model::{
+    best_under_power_budget, pareto_frontier, ConfigPoint, FleetModel, PowerThroughputModel,
+};
+use powadapt_sim::SimRng;
+
+fn synthetic_points(device: &str, n: usize, seed: u64) -> Vec<ConfigPoint> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let power = rng.uniform_range(4.0, 16.0);
+            // Correlated throughput with noise: realistic model clouds.
+            let thr = (power - 3.0) * 2.5e8 * rng.uniform_range(0.6, 1.4);
+            ConfigPoint::new(
+                device,
+                Workload::RandWrite,
+                PowerStateId((i % 3) as u8),
+                (4 * KIB) << (i % 6),
+                1 << (i % 8),
+                power,
+                thr,
+            )
+        })
+        .collect()
+}
+
+fn bench_model(c: &mut Criterion) {
+    let points = synthetic_points("D", 216, 1);
+    c.bench_function("model/build_216_points", |b| {
+        b.iter(|| {
+            black_box(
+                PowerThroughputModel::from_points("D", points.clone()).expect("valid"),
+            )
+        });
+    });
+
+    c.bench_function("model/pareto_216_points", |b| {
+        b.iter(|| black_box(pareto_frontier(&points)));
+    });
+
+    let model = PowerThroughputModel::from_points("D", points.clone()).expect("valid");
+    c.bench_function("model/solve_budget", |b| {
+        b.iter(|| black_box(best_under_power_budget(&model, 9.5)));
+    });
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    // A 16-device heterogeneous fleet, 216 configurations each.
+    let models: Vec<PowerThroughputModel> = (0..16)
+        .map(|i| {
+            let name = format!("D{i}");
+            let pts = synthetic_points(&name, 216, i as u64 + 10);
+            PowerThroughputModel::from_points(name, pts).expect("valid")
+        })
+        .collect();
+    let fleet = FleetModel::new(models);
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(20);
+    g.bench_function("allocate_16dev_0.1w", |b| {
+        b.iter(|| black_box(fleet.allocate(140.0, 0.1)));
+    });
+    g.bench_function("allocate_16dev_0.02w", |b| {
+        b.iter(|| black_box(fleet.allocate(140.0, 0.02)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Microbenchmarks of the discrete-event kernel: the hot paths every
+//! device simulation runs millions of times per simulated second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime, StepSignal, Summary};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.u64_range(0, 1_000_000)).collect();
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_nanos(t), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("event_queue/interleaved_1k", |b| {
+        let mut rng = SimRng::seed_from(2);
+        let deltas: Vec<u64> = (0..1_000).map(|_| rng.u64_range(1, 5_000)).collect();
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                let mut now = 0u64;
+                for &d in &deltas {
+                    q.schedule(SimTime::from_nanos(now + d), d);
+                    q.schedule(SimTime::from_nanos(now + 2 * d), d);
+                    if let Some((t, _)) = q.pop() {
+                        now = t.as_nanos();
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rolling_mean(c: &mut Criterion) {
+    c.bench_function("rolling_mean/push_query_10k", |b| {
+        let mut rng = SimRng::seed_from(3);
+        let steps: Vec<(u64, f64)> = (0..10_000)
+            .map(|i| (i * 700 + rng.u64_range(0, 500), rng.uniform_range(0.0, 20.0)))
+            .collect();
+        b.iter(|| {
+            let mut rm = RollingMean::new(SimDuration::from_millis(25), 5.0);
+            for &(t, v) in &steps {
+                rm.push(SimTime::from_micros(t), v);
+                black_box(rm.mean_at(SimTime::from_micros(t)));
+            }
+        });
+    });
+}
+
+fn bench_signal_and_stats(c: &mut Criterion) {
+    c.bench_function("step_signal/integrate_1k_steps", |b| {
+        let mut sig = StepSignal::new(1.0);
+        for i in 1..1_000u64 {
+            sig.step(SimTime::from_micros(i * 37), (i % 13) as f64);
+        }
+        let end = SimTime::from_micros(37_000);
+        b.iter(|| black_box(sig.integrate(SimTime::ZERO, end)));
+    });
+
+    c.bench_function("summary/build_and_percentiles_10k", |b| {
+        let mut rng = SimRng::seed_from(4);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.normal(8.0, 1.5)).collect();
+        b.iter(|| {
+            let s = Summary::from_samples(&samples).expect("finite samples");
+            black_box((s.mean(), s.median(), s.percentile(99.0)))
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/normal_100k", |b| {
+        b.iter_batched(
+            || SimRng::seed_from(5),
+            |mut rng| {
+                let mut acc = 0.0;
+                for _ in 0..100_000 {
+                    acc += rng.normal(0.0, 1.0);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rolling_mean,
+    bench_signal_and_stats,
+    bench_rng
+);
+criterion_main!(benches);

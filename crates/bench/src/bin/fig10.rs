@@ -1,0 +1,5 @@
+//! Regenerates fig10 of the paper. Scale via POWADAPT_SCALE=quick|full|paper.
+
+fn main() {
+    powadapt_bench::figures::fig10::run(powadapt_bench::bench_scale(), 42);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (standby transitions) of the paper.
+
+fn main() {
+    powadapt_bench::figures::fig7::run(42);
+}

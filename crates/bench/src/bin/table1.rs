@@ -1,0 +1,5 @@
+//! Regenerates table1 of the paper. Scale via POWADAPT_SCALE=quick|full|paper.
+
+fn main() {
+    powadapt_bench::figures::table1::run(powadapt_bench::bench_scale(), 42);
+}

@@ -1,0 +1,15 @@
+//! One module per table/figure of the paper's evaluation; each exposes the
+//! measurement functions plus a `run` that prints the paper's rows/series.
+
+pub mod fig10;
+#[cfg(test)]
+mod tests;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

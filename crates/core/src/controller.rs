@@ -1,0 +1,436 @@
+//! The adaptive control loop: given per-device power-throughput models and
+//! a power budget, pick and apply a fleet configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use powadapt_device::{DeviceError, StandbyState, StorageDevice};
+use powadapt_model::{ConfigPoint, FleetModel, PowerThroughputModel};
+
+/// Action applied to one device by the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceAction {
+    /// Operate in the given configuration (power state + advisory IO shape).
+    Operate(ConfigPoint),
+    /// Put the device into low-power standby.
+    Standby {
+        /// Expected standby power, in watts.
+        power_w: f64,
+    },
+}
+
+/// The plan the controller applied in response to a budget.
+#[derive(Debug, Clone)]
+pub struct AppliedPlan {
+    /// `(device label, action)` per device, in controller order.
+    pub actions: Vec<(String, DeviceAction)>,
+    /// Expected total power, in watts.
+    pub expected_power_w: f64,
+    /// Expected total throughput, in bytes/second.
+    pub expected_throughput_bps: f64,
+}
+
+impl fmt::Display for AppliedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan: {:.1} W expected, {:.0} MiB/s expected",
+            self.expected_power_w,
+            self.expected_throughput_bps / (1024.0 * 1024.0)
+        )?;
+        for (label, action) in &self.actions {
+            match action {
+                DeviceAction::Operate(p) => writeln!(f, "  {label}: operate [{p}]")?,
+                DeviceAction::Standby { power_w } => {
+                    writeln!(f, "  {label}: standby ({power_w:.2} W)")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the adaptive controller.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// Devices and models do not line up one-to-one by label.
+    MismatchedModels,
+    /// No fleet configuration fits the budget, even with standby.
+    Infeasible {
+        /// The budget that could not be met, in watts.
+        budget_w: f64,
+        /// The lowest achievable fleet power, in watts.
+        floor_w: f64,
+    },
+    /// A device rejected a control operation.
+    Device(DeviceError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::MismatchedModels => {
+                write!(f, "devices and models do not match one-to-one")
+            }
+            ControlError::Infeasible { budget_w, floor_w } => write!(
+                f,
+                "budget {budget_w:.1} W below the achievable floor {floor_w:.1} W"
+            ),
+            ControlError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for ControlError {
+    fn from(e: DeviceError) -> Self {
+        ControlError::Device(e)
+    }
+}
+
+/// Sentinel coordinates marking a synthetic "standby" configuration point.
+fn is_standby_point(p: &ConfigPoint) -> bool {
+    p.chunk() == 0 && p.depth() == 0
+}
+
+/// Plans the throughput-maximizing per-device actions under `budget_w`.
+///
+/// `standby_w[i]` is device `i`'s standby power (from
+/// [`StorageDevice::standby_power_w`]), or `None` when it cannot sleep.
+/// Returns `None` when no assignment fits the budget.
+///
+/// # Panics
+///
+/// Panics if `models` and `standby_w` differ in length or `models` is
+/// empty.
+pub fn plan_budget(
+    models: &[PowerThroughputModel],
+    standby_w: &[Option<f64>],
+    budget_w: f64,
+) -> Option<Vec<DeviceAction>> {
+    assert_eq!(models.len(), standby_w.len(), "one standby entry per model");
+    let augmented: Vec<PowerThroughputModel> = models
+        .iter()
+        .zip(standby_w)
+        .map(|(m, sb)| {
+            let mut points = m.points().to_vec();
+            if let Some(sw) = sb {
+                points.push(ConfigPoint::new(
+                    m.device(),
+                    points[0].workload(),
+                    points[0].power_state(),
+                    0,
+                    0,
+                    *sw,
+                    0.0,
+                ));
+            }
+            PowerThroughputModel::from_points(m.device(), points)
+                .expect("augmenting a valid model keeps it valid")
+        })
+        .collect();
+    let allocation = FleetModel::new(augmented).allocate(budget_w, 0.05)?;
+    Some(
+        allocation
+            .choices
+            .into_iter()
+            .map(|p| {
+                if is_standby_point(&p) {
+                    DeviceAction::Standby {
+                        power_w: p.power_w(),
+                    }
+                } else {
+                    DeviceAction::Operate(p)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The adaptive controller: owns a fleet of devices plus the
+/// power-throughput model measured for each, and translates power budgets
+/// into device actions.
+///
+/// # Examples
+///
+/// ```no_run
+/// use powadapt_core::AdaptiveController;
+/// # use powadapt_device::{catalog, StorageDevice};
+/// # use powadapt_model::PowerThroughputModel;
+/// # fn models() -> Vec<PowerThroughputModel> { unimplemented!() }
+/// let devices: Vec<Box<dyn StorageDevice>> = vec![
+///     Box::new(catalog::ssd2_d7_p5510(1)),
+///     Box::new(catalog::hdd_exos_7e2000(2)),
+/// ];
+/// let mut ctl = AdaptiveController::new(devices, models()).unwrap();
+/// let plan = ctl.apply_budget(18.0).unwrap();
+/// println!("{plan}");
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveController {
+    devices: Vec<Box<dyn StorageDevice>>,
+    models: Vec<PowerThroughputModel>,
+}
+
+impl AdaptiveController {
+    /// Creates a controller. `models[i]` must describe `devices[i]` (same
+    /// label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::MismatchedModels`] on a length or label
+    /// mismatch.
+    pub fn new(
+        devices: Vec<Box<dyn StorageDevice>>,
+        models: Vec<PowerThroughputModel>,
+    ) -> Result<Self, ControlError> {
+        if devices.len() != models.len()
+            || devices
+                .iter()
+                .zip(&models)
+                .any(|(d, m)| d.spec().label() != m.device())
+        {
+            return Err(ControlError::MismatchedModels);
+        }
+        Ok(AdaptiveController { devices, models })
+    }
+
+    /// The managed devices.
+    pub fn devices(&self) -> &[Box<dyn StorageDevice>] {
+        &self.devices
+    }
+
+    /// Mutable access to one device (e.g. to run IO against it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device_mut(&mut self, i: usize) -> &mut dyn StorageDevice {
+        self.devices[i].as_mut()
+    }
+
+    /// Consumes the controller, returning the devices.
+    pub fn into_devices(self) -> Vec<Box<dyn StorageDevice>> {
+        self.devices
+    }
+
+    /// Sum of the devices' instantaneous power draws.
+    pub fn measured_power_w(&self) -> f64 {
+        self.devices.iter().map(|d| d.power_w()).sum()
+    }
+
+    /// Lowest achievable fleet power: each device at its cheapest option
+    /// (standby where supported, otherwise its minimum-power
+    /// configuration).
+    pub fn floor_w(&self) -> f64 {
+        self.devices
+            .iter()
+            .zip(&self.models)
+            .map(|(d, m)| match d.standby_power_w() {
+                Some(s) => s.min(m.min_power_w()),
+                None => m.min_power_w(),
+            })
+            .sum()
+    }
+
+    /// Picks the throughput-maximizing fleet configuration under
+    /// `budget_w` (allowing standby for devices that support it) and
+    /// applies it: power states are set, and devices chosen for standby are
+    /// requested to sleep.
+    ///
+    /// The returned plan carries the advisory IO shape per operating device;
+    /// the workload layer is responsible for issuing IO in that shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Infeasible`] when the budget is below the floor, or
+    /// [`ControlError::Device`] if a device rejects an action.
+    pub fn apply_budget(&mut self, budget_w: f64) -> Result<AppliedPlan, ControlError> {
+        let standby_w: Vec<Option<f64>> =
+            self.devices.iter().map(|d| d.standby_power_w()).collect();
+        let planned =
+            plan_budget(&self.models, &standby_w, budget_w).ok_or(ControlError::Infeasible {
+                budget_w,
+                floor_w: self.floor_w(),
+            })?;
+
+        let mut actions = Vec::with_capacity(self.devices.len());
+        let mut expected_power_w = 0.0;
+        let mut expected_throughput_bps = 0.0;
+        for (device, action) in self.devices.iter_mut().zip(planned) {
+            match &action {
+                DeviceAction::Standby { power_w } => {
+                    expected_power_w += power_w;
+                    match device.standby_state() {
+                        StandbyState::Standby | StandbyState::EnteringStandby => {}
+                        _ => device.request_standby()?,
+                    }
+                }
+                DeviceAction::Operate(point) => {
+                    expected_power_w += point.power_w();
+                    expected_throughput_bps += point.throughput_bps();
+                    if device.standby_state() != StandbyState::Active {
+                        device.request_wake()?;
+                    }
+                    device.set_power_state(point.power_state())?;
+                }
+            }
+            actions.push((device.spec().label().to_string(), action));
+        }
+
+        Ok(AppliedPlan {
+            actions,
+            expected_power_w,
+            expected_throughput_bps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{catalog, PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn mk(device: &str, ps: u8, power: f64, thr: f64) -> ConfigPoint {
+        ConfigPoint::new(
+            device,
+            Workload::RandWrite,
+            PowerStateId(ps),
+            256 * KIB,
+            64,
+            power,
+            thr,
+        )
+    }
+
+    fn ssd2_model() -> PowerThroughputModel {
+        PowerThroughputModel::from_points(
+            "SSD2",
+            vec![
+                mk("SSD2", 0, 15.0, 3.3e9),
+                mk("SSD2", 1, 11.7, 2.3e9),
+                mk("SSD2", 2, 9.7, 1.6e9),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn hdd_model() -> PowerThroughputModel {
+        PowerThroughputModel::from_points(
+            "HDD",
+            vec![mk("HDD", 0, 4.5, 130e6)],
+        )
+        .unwrap()
+    }
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(
+            vec![
+                Box::new(catalog::ssd2_d7_p5510(1)),
+                Box::new(catalog::hdd_exos_7e2000(2)),
+            ],
+            vec![ssd2_model(), hdd_model()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mismatched_models_rejected() {
+        let err = AdaptiveController::new(
+            vec![Box::new(catalog::ssd2_d7_p5510(1))],
+            vec![hdd_model()],
+        );
+        assert!(matches!(err, Err(ControlError::MismatchedModels)));
+    }
+
+    #[test]
+    fn generous_budget_runs_everything_at_peak() {
+        let mut ctl = controller();
+        let plan = ctl.apply_budget(30.0).unwrap();
+        assert_eq!(plan.actions.len(), 2);
+        assert!(matches!(plan.actions[0].1, DeviceAction::Operate(ref p) if p.power_state() == PowerStateId(0)));
+        assert!(plan.expected_throughput_bps > 3.0e9);
+    }
+
+    #[test]
+    fn tight_budget_downshifts_power_state() {
+        let mut ctl = controller();
+        // 15 W: HDD can't sleep below 1.1 + SSD2 at 9.7 = 14.2, or HDD
+        // standby (1.1) + SSD2 at 12-ish. Either way the SSD leaves ps0.
+        let plan = ctl.apply_budget(15.0).unwrap();
+        assert!(plan.expected_power_w <= 15.0);
+        let ssd_action = &plan.actions[0].1;
+        match ssd_action {
+            DeviceAction::Operate(p) => assert_ne!(p.power_state(), PowerStateId(0)),
+            DeviceAction::Standby { .. } => {}
+        }
+    }
+
+    #[test]
+    fn very_tight_budget_uses_standby() {
+        let mut ctl = controller();
+        // 11 W: best is SSD2 at ps2 (9.7) + HDD standby (1.1).
+        let plan = ctl.apply_budget(11.0).unwrap();
+        assert!(plan.expected_power_w <= 11.0);
+        let hdd_action = &plan.actions[1].1;
+        assert!(
+            matches!(hdd_action, DeviceAction::Standby { .. }),
+            "expected HDD standby, got {hdd_action:?}"
+        );
+        // The HDD device was actually asked to sleep.
+        assert_ne!(ctl.devices()[1].standby_state(), StandbyState::Active);
+    }
+
+    #[test]
+    fn infeasible_budget_reports_floor() {
+        let mut ctl = controller();
+        let err = ctl.apply_budget(3.0);
+        match err {
+            Err(ControlError::Infeasible { floor_w, .. }) => {
+                // Floor: SSD2 min 9.7 (no standby) + HDD standby 1.1.
+                assert!((floor_w - 10.8).abs() < 0.2, "floor {floor_w}");
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_recovery_wakes_devices() {
+        let mut ctl = controller();
+        ctl.apply_budget(11.0).unwrap();
+        assert_ne!(ctl.devices()[1].standby_state(), StandbyState::Active);
+        let plan = ctl.apply_budget(30.0).unwrap();
+        assert!(matches!(plan.actions[1].1, DeviceAction::Operate(_)));
+        // Drive the HDD through its pending transitions: it finishes the
+        // spin-down it had started, then honors the wake and spins back up.
+        let hdd = ctl.device_mut(1);
+        while let Some(t) = hdd.next_event() {
+            hdd.advance_to(t);
+        }
+        assert_eq!(ctl.devices()[1].standby_state(), StandbyState::Active);
+    }
+
+    #[test]
+    fn measured_power_sums_devices() {
+        let ctl = controller();
+        // Both devices idle: 5.0 + 3.76.
+        assert!((ctl.measured_power_w() - 8.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn plan_display_lists_devices() {
+        let mut ctl = controller();
+        let s = ctl.apply_budget(30.0).unwrap().to_string();
+        assert!(s.contains("SSD2") && s.contains("HDD"));
+    }
+}

@@ -1,0 +1,10 @@
+//! The §4 policy toolbox: capping+shaping, redirection, asymmetric IO, and
+//! tiered standby masking.
+
+pub mod asymmetric;
+pub mod caching;
+pub mod mechanism;
+pub mod redirection;
+pub mod routing;
+pub mod shaping;
+pub mod tiering;

@@ -1,0 +1,284 @@
+//! Power-aware IO redirection (§4): consolidate IO onto a subset of active
+//! devices and put the rest in standby, maximizing standby residency
+//! without QoS impact (cf. SRCMap).
+
+use std::fmt;
+
+use powadapt_sim::SimDuration;
+
+/// Per-device characteristics the redirection policy plans with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedirectionConfig {
+    /// Throughput one active device can serve, in bytes/second.
+    pub per_device_capacity_bps: f64,
+    /// Power of an active device at the planned load, in watts.
+    pub active_power_w: f64,
+    /// Power of a device in standby, in watts.
+    pub standby_power_w: f64,
+    /// Wake latency of a standby device.
+    pub wake_latency: SimDuration,
+    /// Utilization above which another device is woken (e.g. `0.85`).
+    pub grow_threshold: f64,
+    /// Utilization below which (at one fewer device) a device is slept.
+    /// Must be comfortably below `grow_threshold` to avoid flapping.
+    pub shrink_threshold: f64,
+}
+
+impl RedirectionConfig {
+    /// Validates invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.per_device_capacity_bps <= 0.0 || self.per_device_capacity_bps.is_nan() {
+            return Err("device capacity must be positive".into());
+        }
+        if self.active_power_w < self.standby_power_w {
+            return Err("active power below standby power".into());
+        }
+        if !(0.0 < self.grow_threshold && self.grow_threshold <= 1.0) {
+            return Err("grow threshold must be in (0, 1]".into());
+        }
+        if !(0.0 < self.shrink_threshold && self.shrink_threshold < self.grow_threshold) {
+            return Err("shrink threshold must be in (0, grow)".into());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one policy step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedirectionDecision {
+    /// Active devices after the step.
+    pub active: usize,
+    /// Devices woken this step.
+    pub woken: usize,
+    /// Devices put to standby this step.
+    pub slept: usize,
+    /// Estimated total power after the step, in watts.
+    pub power_w: f64,
+    /// Utilization of the active set after the step.
+    pub utilization: f64,
+}
+
+impl fmt::Display for RedirectionDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} active (+{} woken, -{} slept), {:.0}% utilized, {:.1} W",
+            self.active,
+            self.woken,
+            self.slept,
+            100.0 * self.utilization,
+            self.power_w
+        )
+    }
+}
+
+/// Consolidates demand onto the smallest safe set of active devices.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_core::{RedirectionConfig, RedirectionPolicy};
+/// use powadapt_sim::SimDuration;
+///
+/// let cfg = RedirectionConfig {
+///     per_device_capacity_bps: 1e9,
+///     active_power_w: 12.0,
+///     standby_power_w: 1.0,
+///     wake_latency: SimDuration::from_millis(1),
+///     grow_threshold: 0.85,
+///     shrink_threshold: 0.7,
+/// };
+/// let mut policy = RedirectionPolicy::new(8, cfg).unwrap();
+/// let d = policy.step(2.0e9); // 2 GB/s of demand
+/// assert_eq!(d.active, 3);    // ceil(2/0.85) at 1 GB/s per device
+/// ```
+#[derive(Debug, Clone)]
+pub struct RedirectionPolicy {
+    cfg: RedirectionConfig,
+    total: usize,
+    active: usize,
+}
+
+impl RedirectionPolicy {
+    /// Creates a policy over `total` devices; all start active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration problem, if any; also errs when `total`
+    /// is zero.
+    pub fn new(total: usize, cfg: RedirectionConfig) -> Result<Self, String> {
+        if total == 0 {
+            return Err("need at least one device".into());
+        }
+        cfg.validate()?;
+        Ok(RedirectionPolicy {
+            cfg,
+            total,
+            active: total,
+        })
+    }
+
+    /// Number of currently active devices.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Total devices under management.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The smallest active set that keeps utilization at or below the grow
+    /// threshold for the given demand.
+    fn target_for(&self, demand_bps: f64) -> usize {
+        let cap = self.cfg.per_device_capacity_bps * self.cfg.grow_threshold;
+        let need = (demand_bps / cap).ceil() as usize;
+        need.clamp(1, self.total)
+    }
+
+    /// Feeds the current demand; wakes or sleeps devices with hysteresis
+    /// and returns the decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand_bps` is negative or not finite.
+    pub fn step(&mut self, demand_bps: f64) -> RedirectionDecision {
+        assert!(
+            demand_bps.is_finite() && demand_bps >= 0.0,
+            "bad demand {demand_bps}"
+        );
+        let mut woken = 0;
+        let mut slept = 0;
+        let target = self.target_for(demand_bps);
+        if target > self.active {
+            woken = target - self.active;
+            self.active = target;
+        } else {
+            // Shrink gradually: retire one device at a time while the
+            // shrunken set would still sit at or below the shrink threshold.
+            // The gap between the two thresholds is the hysteresis band.
+            while self.active > target {
+                let shrunk_util = demand_bps
+                    / ((self.active - 1) as f64 * self.cfg.per_device_capacity_bps);
+                if shrunk_util <= self.cfg.shrink_threshold {
+                    self.active -= 1;
+                    slept += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let utilization =
+            demand_bps / (self.active as f64 * self.cfg.per_device_capacity_bps);
+        RedirectionDecision {
+            active: self.active,
+            woken,
+            slept,
+            power_w: self.power_w(),
+            utilization,
+        }
+    }
+
+    /// Estimated total power at the current active count.
+    pub fn power_w(&self) -> f64 {
+        self.active as f64 * self.cfg.active_power_w
+            + (self.total - self.active) as f64 * self.cfg.standby_power_w
+    }
+
+    /// Power saved versus keeping every device active.
+    pub fn savings_w(&self) -> f64 {
+        (self.total - self.active) as f64
+            * (self.cfg.active_power_w - self.cfg.standby_power_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RedirectionConfig {
+        RedirectionConfig {
+            per_device_capacity_bps: 1e9,
+            active_power_w: 10.0,
+            standby_power_w: 1.0,
+            wake_latency: SimDuration::from_millis(1),
+            grow_threshold: 0.8,
+            shrink_threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn consolidates_low_demand() {
+        let mut p = RedirectionPolicy::new(8, cfg()).unwrap();
+        let d = p.step(1.0e9);
+        // ceil(1e9 / 0.8e9) = 2 devices.
+        assert_eq!(d.active, 2);
+        assert_eq!(d.slept, 6);
+        assert_eq!(d.power_w, 2.0 * 10.0 + 6.0 * 1.0);
+        assert_eq!(p.savings_w(), 6.0 * 9.0);
+    }
+
+    #[test]
+    fn grows_under_load() {
+        let mut p = RedirectionPolicy::new(8, cfg()).unwrap();
+        p.step(1.0e9);
+        let d = p.step(5.0e9);
+        assert_eq!(d.active, 7, "ceil(5/0.8)");
+        assert!(d.woken == 5);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut p = RedirectionPolicy::new(8, cfg()).unwrap();
+        p.step(0.9e9); // consolidate to 2
+        assert_eq!(p.active(), 2);
+        p.step(4.0e9); // grow to 5
+        assert_eq!(p.active(), 5);
+        // Demand dips: the grow-based target would be 5 still; a small dip
+        // to 3.8 GB/s must not trigger a shrink (util at 5 is 0.76 > 0.5).
+        let d = p.step(3.8e9);
+        assert_eq!(d.active, 5);
+        assert_eq!(d.slept, 0);
+        // Deep drop: shrink.
+        let d = p.step(0.9e9);
+        assert!(d.active <= 2);
+        assert!(d.slept > 0);
+    }
+
+    #[test]
+    fn never_below_one_device() {
+        let mut p = RedirectionPolicy::new(4, cfg()).unwrap();
+        let d = p.step(0.0);
+        assert_eq!(d.active, 1);
+    }
+
+    #[test]
+    fn never_above_total() {
+        let mut p = RedirectionPolicy::new(2, cfg()).unwrap();
+        let d = p.step(100.0e9);
+        assert_eq!(d.active, 2);
+        assert!(d.utilization > 1.0, "overload is reported, not hidden");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RedirectionPolicy::new(0, cfg()).is_err());
+        let mut bad = cfg();
+        bad.shrink_threshold = 0.9;
+        assert!(RedirectionPolicy::new(2, bad).is_err());
+        let mut bad = cfg();
+        bad.active_power_w = 0.5;
+        assert!(RedirectionPolicy::new(2, bad).is_err());
+    }
+
+    #[test]
+    fn decision_display() {
+        let mut p = RedirectionPolicy::new(4, cfg()).unwrap();
+        let s = p.step(1e9).to_string();
+        assert!(s.contains("active") && s.contains('W'));
+    }
+}

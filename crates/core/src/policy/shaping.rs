@@ -1,0 +1,114 @@
+//! Power capping + IO shaping under an SLO (§4, "Power-capping and IO
+//! shaping").
+
+use powadapt_model::{best_under_power_budget, ConfigPoint, PowerThroughputModel};
+
+use crate::slo::Slo;
+
+/// Chooses the best configuration for one device: maximize throughput
+/// subject to the power budget *and* the SLO.
+///
+/// Returns `None` if no configuration satisfies both — the caller should
+/// fall back to IO redirection or renegotiate the SLO.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_core::{choose_config, Slo};
+/// use powadapt_device::{PowerStateId, KIB};
+/// use powadapt_io::Workload;
+/// use powadapt_model::{ConfigPoint, PowerThroughputModel};
+///
+/// let mk = |p, t| ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, p, t);
+/// let model = PowerThroughputModel::from_points("D", vec![mk(6.0, 3e8), mk(10.0, 1e9)]).unwrap();
+/// let slo = Slo::new().min_throughput_bps(2e8);
+/// let chosen = choose_config(&model, 7.0, &slo).unwrap();
+/// assert_eq!(chosen.power_w(), 6.0);
+/// ```
+pub fn choose_config(
+    model: &PowerThroughputModel,
+    budget_w: f64,
+    slo: &Slo,
+) -> Option<ConfigPoint> {
+    let admitted: Vec<ConfigPoint> = model
+        .points()
+        .iter()
+        .filter(|p| slo.admits(p))
+        .cloned()
+        .collect();
+    let filtered = PowerThroughputModel::from_points(model.device(), admitted)?;
+    best_under_power_budget(&filtered, budget_w)
+}
+
+/// How much best-effort load must be shed to satisfy a reduced budget
+/// while keeping the SLO: the throughput difference between the current
+/// configuration and the one chosen under the budget.
+///
+/// Returns `None` when no SLO-respecting configuration fits the budget.
+pub fn required_curtailment_bps(
+    model: &PowerThroughputModel,
+    current: &ConfigPoint,
+    budget_w: f64,
+    slo: &Slo,
+) -> Option<f64> {
+    let to = choose_config(model, budget_w, slo)?;
+    Some((current.throughput_bps() - to.throughput_bps()).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(power: f64, thr: f64, p99: f64) -> ConfigPoint {
+        ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
+            .with_latencies(p99 / 5.0, p99)
+    }
+
+    fn model() -> PowerThroughputModel {
+        PowerThroughputModel::from_points(
+            "D",
+            vec![
+                pt(10.0, 1000.0, 500.0),
+                pt(8.0, 800.0, 800.0),
+                pt(6.0, 400.0, 3000.0), // high tail latency
+                pt(5.0, 200.0, 900.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn budget_only() {
+        let c = choose_config(&model(), 8.5, &Slo::new()).unwrap();
+        assert_eq!(c.power_w(), 8.0);
+    }
+
+    #[test]
+    fn slo_excludes_high_tail_configs() {
+        // Budget admits the 6 W config, but its p99 violates the SLO, so the
+        // 5 W config wins despite lower throughput.
+        let slo = Slo::new().max_p99_latency_us(1000.0);
+        let c = choose_config(&model(), 7.0, &slo).unwrap();
+        assert_eq!(c.power_w(), 5.0);
+    }
+
+    #[test]
+    fn infeasible_combination_returns_none() {
+        let slo = Slo::new().min_throughput_bps(900.0);
+        assert!(choose_config(&model(), 8.0, &slo).is_none());
+    }
+
+    #[test]
+    fn curtailment_is_throughput_delta() {
+        let m = model();
+        let current = m.peak_throughput_point().clone();
+        let shed = required_curtailment_bps(&m, &current, 8.5, &Slo::new()).unwrap();
+        assert_eq!(shed, 200.0);
+        // Already below budget: nothing to shed.
+        let shed =
+            required_curtailment_bps(&m, &pt(5.0, 100.0, 0.0), 8.5, &Slo::new()).unwrap();
+        assert_eq!(shed, 0.0);
+    }
+}

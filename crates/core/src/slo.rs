@@ -1,0 +1,167 @@
+//! Service-level objectives used to constrain power-adaptive actions.
+
+use std::fmt;
+
+use powadapt_model::ConfigPoint;
+
+/// A service-level objective a configuration must respect.
+///
+/// The paper's §4 argues operators should feed SLOs and power budgets into
+/// the power-throughput model; this type is that input.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_core::Slo;
+///
+/// let slo = Slo::new()
+///     .min_throughput_bps(1.0e9)
+///     .max_p99_latency_us(2_000.0);
+/// assert!(slo.min_throughput().is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Slo {
+    min_throughput_bps: Option<f64>,
+    max_avg_latency_us: Option<f64>,
+    max_p99_latency_us: Option<f64>,
+}
+
+impl Slo {
+    /// An unconstrained SLO.
+    pub fn new() -> Self {
+        Slo::default()
+    }
+
+    /// Requires at least this throughput, in bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is negative or not finite.
+    pub fn min_throughput_bps(mut self, bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "bad throughput floor {bps}");
+        self.min_throughput_bps = Some(bps);
+        self
+    }
+
+    /// Caps average latency, in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is not positive.
+    pub fn max_avg_latency_us(mut self, us: f64) -> Self {
+        assert!(us > 0.0, "bad latency ceiling {us}");
+        self.max_avg_latency_us = Some(us);
+        self
+    }
+
+    /// Caps p99 latency, in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is not positive.
+    pub fn max_p99_latency_us(mut self, us: f64) -> Self {
+        assert!(us > 0.0, "bad latency ceiling {us}");
+        self.max_p99_latency_us = Some(us);
+        self
+    }
+
+    /// The throughput floor, if set.
+    pub fn min_throughput(&self) -> Option<f64> {
+        self.min_throughput_bps
+    }
+
+    /// The average-latency ceiling, if set.
+    pub fn max_avg_latency(&self) -> Option<f64> {
+        self.max_avg_latency_us
+    }
+
+    /// The p99-latency ceiling, if set.
+    pub fn max_p99_latency(&self) -> Option<f64> {
+        self.max_p99_latency_us
+    }
+
+    /// Whether a measured configuration point satisfies this SLO.
+    ///
+    /// Latency constraints are only applied when the point carries latency
+    /// data (non-zero).
+    pub fn admits(&self, point: &ConfigPoint) -> bool {
+        if let Some(floor) = self.min_throughput_bps {
+            if point.throughput_bps() < floor {
+                return false;
+            }
+        }
+        if let Some(cap) = self.max_avg_latency_us {
+            if point.avg_latency_us() > 0.0 && point.avg_latency_us() > cap {
+                return false;
+            }
+        }
+        if let Some(cap) = self.max_p99_latency_us {
+            if point.p99_latency_us() > 0.0 && point.p99_latency_us() > cap {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Slo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(t) = self.min_throughput_bps {
+            parts.push(format!("thr>={:.0}MiB/s", t / (1024.0 * 1024.0)));
+        }
+        if let Some(l) = self.max_avg_latency_us {
+            parts.push(format!("avg<={l:.0}us"));
+        }
+        if let Some(l) = self.max_p99_latency_us {
+            parts.push(format!("p99<={l:.0}us"));
+        }
+        if parts.is_empty() {
+            write!(f, "slo(unconstrained)")
+        } else {
+            write!(f, "slo({})", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(thr: f64, avg: f64, p99: f64) -> ConfigPoint {
+        ConfigPoint::new("D", Workload::RandRead, PowerStateId(0), 4 * KIB, 1, 5.0, thr)
+            .with_latencies(avg, p99)
+    }
+
+    #[test]
+    fn unconstrained_admits_everything() {
+        assert!(Slo::new().admits(&pt(1.0, 1e6, 1e7)));
+    }
+
+    #[test]
+    fn throughput_floor() {
+        let slo = Slo::new().min_throughput_bps(100.0);
+        assert!(slo.admits(&pt(100.0, 0.0, 0.0)));
+        assert!(!slo.admits(&pt(99.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn latency_ceilings() {
+        let slo = Slo::new().max_avg_latency_us(100.0).max_p99_latency_us(500.0);
+        assert!(slo.admits(&pt(1.0, 90.0, 400.0)));
+        assert!(!slo.admits(&pt(1.0, 110.0, 400.0)));
+        assert!(!slo.admits(&pt(1.0, 90.0, 600.0)));
+        // Points without latency data pass latency checks.
+        assert!(slo.admits(&pt(1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn display_lists_constraints() {
+        let slo = Slo::new().min_throughput_bps(1e9).max_p99_latency_us(2000.0);
+        let s = slo.to_string();
+        assert!(s.contains("thr>=") && s.contains("p99<="));
+        assert_eq!(Slo::new().to_string(), "slo(unconstrained)");
+    }
+}

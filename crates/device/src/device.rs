@@ -1,0 +1,124 @@
+//! The [`StorageDevice`] trait implemented by every simulated device.
+
+use std::fmt;
+
+use powadapt_sim::SimTime;
+
+use crate::error::DeviceError;
+use crate::io::{IoCompletion, IoRequest};
+use crate::power::{PowerStateDesc, PowerStateId, StandbyState};
+use crate::spec::DeviceSpec;
+
+/// A simulated storage device driven by an external event loop.
+///
+/// Devices are *pull-based*: the caller asks for the device's next internal
+/// event time ([`StorageDevice::next_event`]) and advances it
+/// ([`StorageDevice::advance_to`]), collecting completions. Power draw is
+/// observable at the device's current time via [`StorageDevice::power_w`].
+///
+/// The trait is object-safe; experiment runners hold `Box<dyn
+/// StorageDevice>`.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_device::{catalog, IoId, IoKind, IoRequest, StorageDevice, KIB};
+/// use powadapt_sim::SimTime;
+///
+/// let mut dev = catalog::ssd2_d7_p5510(7);
+/// dev.submit(IoRequest::new(IoId(0), IoKind::Read, 0, 4 * KIB))?;
+/// let mut done = Vec::new();
+/// while done.is_empty() {
+///     let t = dev.next_event().expect("read completes eventually");
+///     done.extend(dev.advance_to(t));
+/// }
+/// assert_eq!(done[0].id, IoId(0));
+/// # Ok::<(), powadapt_device::DeviceError>(())
+/// ```
+pub trait StorageDevice: fmt::Debug {
+    /// Static description of the device.
+    fn spec(&self) -> &DeviceSpec;
+
+    /// The device's current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Submits an IO request at the device's current time.
+    ///
+    /// Submitting to a device in standby triggers an automatic wake; the
+    /// request then incurs the wake latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`], [`DeviceError::ZeroLength`], or
+    /// [`DeviceError::DuplicateRequest`] for invalid requests.
+    fn submit(&mut self, req: IoRequest) -> Result<(), DeviceError>;
+
+    /// Time of the device's next internal event, if any work is pending.
+    fn next_event(&mut self) -> Option<SimTime>;
+
+    /// Advances the device to time `t`, processing all internal events up to
+    /// and including `t`, and returns the completions that occurred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than [`StorageDevice::now`].
+    fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion>;
+
+    /// Instantaneous power draw in watts at the device's current time.
+    fn power_w(&self) -> f64;
+
+    /// Selects an NVMe-style power state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownPowerState`] if the device does not
+    /// implement the state.
+    fn set_power_state(&mut self, ps: PowerStateId) -> Result<(), DeviceError>;
+
+    /// Currently selected power state.
+    fn power_state(&self) -> PowerStateId;
+
+    /// Power states implemented by the device (always non-empty; `ps0`
+    /// first).
+    fn power_states(&self) -> &[PowerStateDesc];
+
+    /// Requests a transition into low-power standby.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::StandbyUnsupported`] if the device has no
+    /// standby mode, or [`DeviceError::StandbyTransitionInProgress`] if a
+    /// transition is already underway.
+    fn request_standby(&mut self) -> Result<(), DeviceError>;
+
+    /// Requests a wake from standby.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::StandbyUnsupported`] if the device has no
+    /// standby mode.
+    fn request_wake(&mut self) -> Result<(), DeviceError>;
+
+    /// Current standby status.
+    fn standby_state(&self) -> StandbyState;
+
+    /// Steady-state standby power in watts, or `None` if the device has no
+    /// standby mode. Planners use this to weigh sleeping a device against
+    /// reshaping its IO.
+    fn standby_power_w(&self) -> Option<f64>;
+
+    /// Number of submitted-but-not-completed requests.
+    fn inflight(&self) -> usize;
+}
+
+/// Runs a device until it has no pending work, returning all completions.
+///
+/// Convenience for tests and simple examples; experiment runners interleave
+/// metering and submission instead.
+pub fn drain(device: &mut dyn StorageDevice) -> Vec<IoCompletion> {
+    let mut out = Vec::new();
+    while let Some(t) = device.next_event() {
+        out.extend(device.advance_to(t));
+    }
+    out
+}

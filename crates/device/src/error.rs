@@ -1,0 +1,81 @@
+//! Error types for device operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::power::PowerStateId;
+use crate::spec::Protocol;
+
+/// Errors returned by [`StorageDevice`](crate::StorageDevice) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The requested power state does not exist on this device.
+    UnknownPowerState(PowerStateId),
+    /// The device does not support a low-power standby mode.
+    StandbyUnsupported,
+    /// The operation conflicts with an in-progress standby transition.
+    StandbyTransitionInProgress,
+    /// An IO request fell outside the device capacity.
+    OutOfRange {
+        /// First byte past the requested range.
+        end: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// An IO request had zero length.
+    ZeroLength,
+    /// A request id was reused while still in flight.
+    DuplicateRequest(u64),
+    /// An admin facade was attached to a device speaking a different
+    /// protocol (e.g. NVMe admin commands against a SATA drive).
+    ProtocolMismatch {
+        /// Protocol the facade speaks.
+        expected: Protocol,
+        /// Protocol the device implements.
+        actual: Protocol,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnknownPowerState(ps) => {
+                write!(f, "power state {ps} is not supported by this device")
+            }
+            DeviceError::StandbyUnsupported => {
+                write!(f, "device does not support a standby mode")
+            }
+            DeviceError::StandbyTransitionInProgress => {
+                write!(f, "a standby transition is already in progress")
+            }
+            DeviceError::OutOfRange { end, capacity } => {
+                write!(f, "request end {end} exceeds device capacity {capacity}")
+            }
+            DeviceError::ZeroLength => write!(f, "request length must be non-zero"),
+            DeviceError::DuplicateRequest(id) => {
+                write!(f, "request id {id} is already in flight")
+            }
+            DeviceError::ProtocolMismatch { expected, actual } => {
+                write!(f, "expected a {expected} device, found {actual}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+        assert!(!DeviceError::ZeroLength.to_string().is_empty());
+        assert!(!DeviceError::OutOfRange { end: 10, capacity: 5 }
+            .to_string()
+            .is_empty());
+    }
+}

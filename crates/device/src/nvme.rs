@@ -1,0 +1,179 @@
+//! NVMe admin-command facade: the host-side interface the paper uses to
+//! control SSD power ("The host selects a power state through the NVMe
+//! power control interface", §2).
+//!
+//! Mirrors the `nvme-cli` workflow: `identify-ctrl` lists the power-state
+//! descriptors; Get/Set Features with feature id `0x02` (Power Management)
+//! reads and selects the state.
+
+use crate::device::StorageDevice;
+use crate::error::DeviceError;
+use crate::power::PowerStateId;
+use crate::spec::Protocol;
+
+/// NVMe Power Management feature id (Set/Get Features).
+pub const FEATURE_POWER_MANAGEMENT: u8 = 0x02;
+
+/// One power-state descriptor as reported by Identify Controller.
+///
+/// Power is reported in centiwatts with the `MXPS` convention fixed to
+/// 0.01 W units, as typical enterprise drives do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvmePowerStateDescriptor {
+    /// The state this descriptor describes.
+    pub ps: PowerStateId,
+    /// Maximum power in centiwatts (`0` when the state is unconstrained —
+    /// the spec reserves 0 for "not reported").
+    pub max_power_cw: u32,
+    /// Entry latency in microseconds.
+    pub entry_latency_us: u32,
+    /// Exit latency in microseconds.
+    pub exit_latency_us: u32,
+    /// True for non-operational states (none of the modeled drives
+    /// implement one; kept for structural fidelity).
+    pub non_operational: bool,
+}
+
+/// A subset of the Identify Controller data structure: the fields the
+/// paper's methodology reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentifyController {
+    /// Model number (`MN`).
+    pub model_number: String,
+    /// Number of power states supported (`NPSS` is zero-based in the spec;
+    /// this is the count).
+    pub power_state_count: u8,
+    /// Power-state descriptors, `ps0` first.
+    pub power_states: Vec<NvmePowerStateDescriptor>,
+}
+
+/// Admin-command facade over an NVMe device.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_device::{catalog, NvmeAdmin};
+///
+/// let mut dev = catalog::ssd2_d7_p5510(1);
+/// let mut admin = NvmeAdmin::new(&mut dev)?;
+/// let id = admin.identify_controller();
+/// assert_eq!(id.power_state_count, 3);
+/// // Select ps2 (cap 10 W), as the paper does before a capped run.
+/// admin.set_feature_power_management(2)?;
+/// assert_eq!(admin.get_feature_power_management(), 2);
+/// # Ok::<(), powadapt_device::DeviceError>(())
+/// ```
+#[derive(Debug)]
+pub struct NvmeAdmin<'a> {
+    device: &'a mut dyn StorageDevice,
+}
+
+impl<'a> NvmeAdmin<'a> {
+    /// Attaches to a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ProtocolMismatch`] for non-NVMe devices.
+    pub fn new(device: &'a mut dyn StorageDevice) -> Result<Self, DeviceError> {
+        if device.spec().protocol() != Protocol::Nvme {
+            return Err(DeviceError::ProtocolMismatch {
+                expected: Protocol::Nvme,
+                actual: device.spec().protocol(),
+            });
+        }
+        Ok(NvmeAdmin { device })
+    }
+
+    /// Identify Controller: model and power-state descriptors.
+    pub fn identify_controller(&self) -> IdentifyController {
+        let spec = self.device.spec();
+        let descriptors: Vec<NvmePowerStateDescriptor> = self
+            .device
+            .power_states()
+            .iter()
+            .map(|d| NvmePowerStateDescriptor {
+                ps: d.id,
+                max_power_cw: if d.cap_w.is_finite() {
+                    (d.cap_w * 100.0).round() as u32
+                } else {
+                    0
+                },
+                // The modeled NVMe drives transition in microseconds; the
+                // figures here follow typical datasheet values.
+                entry_latency_us: 5,
+                exit_latency_us: 5,
+                non_operational: false,
+            })
+            .collect();
+        IdentifyController {
+            model_number: spec.model().to_string(),
+            power_state_count: descriptors.len() as u8,
+            power_states: descriptors,
+        }
+    }
+
+    /// Get Features (Power Management): the current power state in the low
+    /// five bits, as the spec encodes it.
+    pub fn get_feature_power_management(&self) -> u32 {
+        u32::from(self.device.power_state().0) & 0x1f
+    }
+
+    /// Set Features (Power Management): selects the power state in the low
+    /// five bits of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownPowerState`] for unimplemented states.
+    pub fn set_feature_power_management(&mut self, value: u32) -> Result<(), DeviceError> {
+        let ps = PowerStateId((value & 0x1f) as u8);
+        self.device.set_power_state(ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn identify_reports_the_paper_power_states() {
+        let mut dev = catalog::ssd2_d7_p5510(1);
+        let admin = NvmeAdmin::new(&mut dev).expect("NVMe device");
+        let id = admin.identify_controller();
+        assert_eq!(id.model_number, "Intel D7-P5510");
+        assert_eq!(id.power_state_count, 3);
+        let caps: Vec<u32> = id.power_states.iter().map(|d| d.max_power_cw).collect();
+        assert_eq!(caps, vec![2500, 1200, 1000]);
+        assert_eq!(id.power_states[1].ps, PowerStateId(1));
+    }
+
+    #[test]
+    fn unconstrained_states_report_zero_centiwatts() {
+        let mut dev = catalog::ssd1_pm9a3(1);
+        let admin = NvmeAdmin::new(&mut dev).expect("NVMe device");
+        let id = admin.identify_controller();
+        // SSD1's ps0 has a finite 25 W envelope in our model.
+        assert_eq!(id.power_states[0].max_power_cw, 2500);
+    }
+
+    #[test]
+    fn feature_roundtrip_changes_device_state() {
+        let mut dev = catalog::ssd2_d7_p5510(1);
+        let mut admin = NvmeAdmin::new(&mut dev).expect("NVMe device");
+        assert_eq!(admin.get_feature_power_management(), 0);
+        admin.set_feature_power_management(1).expect("ps1 exists");
+        assert_eq!(admin.get_feature_power_management(), 1);
+        assert!(admin.set_feature_power_management(9).is_err());
+        // High bits outside the PS field are ignored per the spec encoding.
+        admin.set_feature_power_management(0x40 | 2).expect("ps2");
+        assert_eq!(admin.get_feature_power_management(), 2);
+    }
+
+    #[test]
+    fn sata_devices_are_rejected() {
+        let mut dev = catalog::ssd3_d3_p4510(1);
+        let err = NvmeAdmin::new(&mut dev).unwrap_err();
+        assert!(matches!(err, DeviceError::ProtocolMismatch { .. }));
+        assert!(err.to_string().contains("NVMe"));
+    }
+}

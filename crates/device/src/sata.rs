@@ -1,0 +1,160 @@
+//! SATA Aggressive Link Power Management (ALPM) facade — the mechanism the
+//! paper uses to put the 860 EVO into SLUMBER (§3.2.2, Figure 7).
+
+use crate::device::StorageDevice;
+use crate::error::DeviceError;
+use crate::power::StandbyState;
+use crate::spec::Protocol;
+
+/// SATA link power states (AHCI/ALPM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkPowerState {
+    /// Full-power link.
+    Active,
+    /// Intermediate low-power link state (~µs exit). The modeled devices
+    /// implement only SLUMBER, like the paper's measurements.
+    Partial,
+    /// Deepest link state — the paper's 0.17 W EVO measurement.
+    Slumber,
+}
+
+impl std::fmt::Display for LinkPowerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LinkPowerState::Active => "ACTIVE",
+            LinkPowerState::Partial => "PARTIAL",
+            LinkPowerState::Slumber => "SLUMBER",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// ALPM control over a SATA device.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_device::{catalog, AhciLink, LinkPowerState};
+///
+/// let mut evo = catalog::evo_860(1);
+/// let mut link = AhciLink::new(&mut evo)?;
+/// link.set_link_pm(LinkPowerState::Slumber)?;
+/// # Ok::<(), powadapt_device::DeviceError>(())
+/// ```
+#[derive(Debug)]
+pub struct AhciLink<'a> {
+    device: &'a mut dyn StorageDevice,
+}
+
+impl<'a> AhciLink<'a> {
+    /// Attaches to a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ProtocolMismatch`] for non-SATA devices.
+    pub fn new(device: &'a mut dyn StorageDevice) -> Result<Self, DeviceError> {
+        if device.spec().protocol() != Protocol::Sata {
+            return Err(DeviceError::ProtocolMismatch {
+                expected: Protocol::Sata,
+                actual: device.spec().protocol(),
+            });
+        }
+        Ok(AhciLink { device })
+    }
+
+    /// Requests a link power state.
+    ///
+    /// `Slumber` maps to the device's standby mode; `Active` wakes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::StandbyUnsupported`] if the device does not
+    /// implement the requested low-power state (`Partial` is unimplemented
+    /// on the modeled drives, like most data-center SATA SSDs the paper
+    /// surveyed).
+    pub fn set_link_pm(&mut self, state: LinkPowerState) -> Result<(), DeviceError> {
+        match state {
+            LinkPowerState::Active => self.device.request_wake(),
+            LinkPowerState::Partial => Err(DeviceError::StandbyUnsupported),
+            LinkPowerState::Slumber => self.device.request_standby(),
+        }
+    }
+
+    /// The current link power state, derived from the device's standby
+    /// status (transitions report the state being entered).
+    pub fn link_state(&self) -> LinkPowerState {
+        match self.device.standby_state() {
+            StandbyState::Active | StandbyState::ExitingStandby => LinkPowerState::Active,
+            StandbyState::Standby | StandbyState::EnteringStandby => LinkPowerState::Slumber,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::device::drain;
+
+    #[test]
+    fn slumber_round_trip_on_the_evo() {
+        let mut dev = catalog::evo_860(2);
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        assert_eq!(link.link_state(), LinkPowerState::Active);
+        link.set_link_pm(LinkPowerState::Slumber).expect("EVO supports SLUMBER");
+        assert_eq!(link.link_state(), LinkPowerState::Slumber);
+        drain(&mut dev);
+        assert!((dev.power_w() - 0.17).abs() < 1e-9);
+
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        link.set_link_pm(LinkPowerState::Active).expect("wake accepted");
+        drain(&mut dev);
+        assert!((dev.power_w() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_is_unsupported_like_real_dc_drives() {
+        let mut dev = catalog::evo_860(2);
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        assert_eq!(
+            link.set_link_pm(LinkPowerState::Partial),
+            Err(DeviceError::StandbyUnsupported)
+        );
+    }
+
+    #[test]
+    fn enterprise_sata_ssd_rejects_slumber() {
+        // SSD3 has no standby mode ("standby is rarely supported in data
+        // center SSDs", §3.2.2).
+        let mut dev = catalog::ssd3_d3_p4510(2);
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        assert_eq!(
+            link.set_link_pm(LinkPowerState::Slumber),
+            Err(DeviceError::StandbyUnsupported)
+        );
+    }
+
+    #[test]
+    fn nvme_devices_are_rejected() {
+        let mut dev = catalog::ssd1_pm9a3(2);
+        assert!(matches!(
+            AhciLink::new(&mut dev),
+            Err(DeviceError::ProtocolMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hdd_spindown_via_the_link_facade() {
+        let mut dev = catalog::hdd_exos_7e2000(2);
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        link.set_link_pm(LinkPowerState::Slumber).expect("HDD spins down");
+        drain(&mut dev);
+        assert!((dev.power_w() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LinkPowerState::Slumber.to_string(), "SLUMBER");
+        assert_eq!(LinkPowerState::Partial.to_string(), "PARTIAL");
+    }
+}

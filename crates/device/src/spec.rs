@@ -1,0 +1,146 @@
+//! Static device descriptions (Table 1 of the paper).
+
+use std::fmt;
+
+/// Host interface protocol of a storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// NVMe over PCIe.
+    Nvme,
+    /// Serial ATA.
+    Sata,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Nvme => write!(f, "NVMe"),
+            Protocol::Sata => write!(f, "SATA"),
+        }
+    }
+}
+
+/// Broad device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Flash solid-state drive.
+    Ssd,
+    /// Spinning hard disk drive.
+    Hdd,
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::Ssd => write!(f, "SSD"),
+            DeviceClass::Hdd => write!(f, "HDD"),
+        }
+    }
+}
+
+/// Static description of a device: the fields of Table 1 plus capacity.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_device::{DeviceClass, DeviceSpec, Protocol};
+///
+/// let spec = DeviceSpec::new("SSD1", "Samsung PM9A3", Protocol::Nvme, DeviceClass::Ssd, 1 << 40);
+/// assert_eq!(spec.label(), "SSD1");
+/// assert_eq!(spec.protocol(), Protocol::Nvme);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSpec {
+    label: String,
+    model: String,
+    protocol: Protocol,
+    class: DeviceClass,
+    capacity: u64,
+}
+
+impl DeviceSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(
+        label: impl Into<String>,
+        model: impl Into<String>,
+        protocol: Protocol,
+        class: DeviceClass,
+        capacity: u64,
+    ) -> Self {
+        assert!(capacity > 0, "device capacity must be non-zero");
+        DeviceSpec {
+            label: label.into(),
+            model: model.into(),
+            protocol,
+            class,
+            capacity,
+        }
+    }
+
+    /// Short label used in the paper's tables and figures (e.g. "SSD2").
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Marketing model name (e.g. "Intel D7-P5510").
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Host interface protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Broad device class.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} {})",
+            self.label, self.model, self.protocol, self.class
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors() {
+        let s = DeviceSpec::new("HDD", "Seagate Exos 7E2000", Protocol::Sata, DeviceClass::Hdd, 2 << 40);
+        assert_eq!(s.label(), "HDD");
+        assert_eq!(s.model(), "Seagate Exos 7E2000");
+        assert_eq!(s.protocol(), Protocol::Sata);
+        assert_eq!(s.class(), DeviceClass::Hdd);
+        assert_eq!(s.capacity(), 2 << 40);
+        assert!(s.to_string().contains("Exos"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = DeviceSpec::new("X", "Y", Protocol::Nvme, DeviceClass::Ssd, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Protocol::Nvme.to_string(), "NVMe");
+        assert_eq!(DeviceClass::Hdd.to_string(), "HDD");
+    }
+}

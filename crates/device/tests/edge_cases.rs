@@ -1,0 +1,180 @@
+//! Edge-case tests of device behaviour under control-plane churn: state
+//! switches mid-workload, standby requests racing IO, and backpressure
+//! ordering.
+
+use powadapt_device::{
+    catalog, drain, IoId, IoKind, IoRequest, PowerStateId, StandbyState, StorageDevice, GIB,
+    KIB, MIB,
+};
+use powadapt_sim::{SimDuration, SimTime};
+
+fn submit(dev: &mut dyn StorageDevice, id: u64, kind: IoKind, offset: u64, len: u64) {
+    dev.submit(IoRequest::new(IoId(id), kind, offset, len))
+        .expect("valid request");
+}
+
+#[test]
+fn power_state_switch_mid_workload_takes_effect() {
+    let mut dev = catalog::ssd2_d7_p5510(3);
+    // Saturate with writes at ps0, then downshift to ps2 mid-flight.
+    for i in 0..64u64 {
+        submit(&mut dev, i, IoKind::Write, i * 8 * MIB, 8 * MIB);
+    }
+    // Run 5 ms at full power.
+    let mut t = SimTime::ZERO;
+    let mut peak_before: f64 = 0.0;
+    while t < SimTime::from_millis(5) {
+        t += SimDuration::from_micros(200);
+        dev.advance_to(t);
+        peak_before = peak_before.max(dev.power_w());
+    }
+    dev.set_power_state(PowerStateId(2)).expect("ps2 exists");
+    // Give the governor one control window, then observe.
+    let settle = t + SimDuration::from_millis(60);
+    while t < settle {
+        t += SimDuration::from_micros(200);
+        dev.advance_to(t);
+    }
+    let mut sum = 0.0;
+    let mut n = 0;
+    let window_end = t + SimDuration::from_millis(40);
+    while t < window_end {
+        t += SimDuration::from_micros(200);
+        dev.advance_to(t);
+        sum += dev.power_w();
+        n += 1;
+    }
+    let avg_after = sum / n as f64;
+    assert!(peak_before > 13.0, "uncapped writes run hot: {peak_before}");
+    assert!(
+        avg_after <= 10.0 * 1.1,
+        "after the switch the 10 W cap must bind: {avg_after:.2}"
+    );
+    drain(&mut dev);
+}
+
+#[test]
+fn upshift_restores_full_throughput() {
+    let total_time = |switch_up: bool| {
+        let mut dev = catalog::ssd2_d7_p5510(3);
+        dev.set_power_state(PowerStateId(2)).expect("ps2 exists");
+        for i in 0..48u64 {
+            submit(&mut dev, i, IoKind::Write, i * 8 * MIB, 8 * MIB);
+        }
+        if switch_up {
+            // Upshift almost immediately.
+            dev.advance_to(SimTime::from_millis(2));
+            dev.set_power_state(PowerStateId(0)).expect("ps0 exists");
+        }
+        drain(&mut dev);
+        dev.now()
+    };
+    let capped = total_time(false);
+    let upshifted = total_time(true);
+    assert!(
+        upshifted.as_secs_f64() < capped.as_secs_f64() * 0.85,
+        "upshift should finish clearly faster: {upshifted} vs {capped}"
+    );
+}
+
+#[test]
+fn standby_request_during_heavy_io_defers_until_drain() {
+    let mut dev = catalog::evo_860(4);
+    for i in 0..16u64 {
+        submit(&mut dev, i, IoKind::Write, i * 4 * MIB, 4 * MIB);
+    }
+    dev.request_standby().expect("request accepted");
+    // Still active while work is in flight.
+    assert_eq!(dev.standby_state(), StandbyState::Active);
+    let done = drain(&mut dev);
+    assert_eq!(done.len(), 16);
+    assert_eq!(dev.standby_state(), StandbyState::Standby);
+    // All buffered data was flushed before sleeping.
+    assert!((dev.power_w() - 0.17).abs() < 1e-9);
+}
+
+#[test]
+fn io_submitted_during_spin_down_is_served_after_the_full_cycle() {
+    let mut hdd = catalog::hdd_exos_7e2000(4);
+    hdd.request_standby().expect("idle disk accepts standby");
+    // Mid-spin-down, IO arrives.
+    hdd.advance_to(SimTime::from_millis(500));
+    assert_eq!(hdd.standby_state(), StandbyState::EnteringStandby);
+    submit(&mut hdd, 0, IoKind::Read, GIB, 4 * KIB);
+    let done = drain(&mut hdd);
+    assert_eq!(done.len(), 1);
+    // Latency = remaining spin-down (1 s) + spin-up (6 s) + seek.
+    assert!(
+        done[0].latency() >= SimDuration::from_secs(6),
+        "got {}",
+        done[0].latency()
+    );
+    assert_eq!(hdd.standby_state(), StandbyState::Active);
+}
+
+#[test]
+fn write_backpressure_preserves_fifo_acknowledgement() {
+    // Writes far exceeding the buffer must ack in submission order.
+    let mut dev = catalog::ssd3_d3_p4510(4);
+    for i in 0..24u64 {
+        submit(&mut dev, i, IoKind::Write, i * 16 * MIB, 16 * MIB);
+    }
+    let done = drain(&mut dev);
+    assert_eq!(done.len(), 24);
+    let mut order: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+    let sorted = {
+        let mut v = order.clone();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(order, sorted, "acks must be FIFO under backpressure");
+    order.dedup();
+    assert_eq!(order.len(), 24);
+}
+
+#[test]
+fn hdd_starvation_guard_bounds_read_wait_under_hot_cache_drain() {
+    // A stream of writes creating drain work, plus one far-away read: the
+    // age guard must serve the read within max_op_age-ish time even though
+    // shortest-seek-first would starve it.
+    let mut hdd = catalog::hdd_exos_7e2000(4);
+    // Cluster of writes at low LBAs.
+    for i in 0..64u64 {
+        submit(&mut hdd, i, IoKind::Write, i * MIB, MIB);
+    }
+    // One read at the far end of the disk.
+    submit(&mut hdd, 999, IoKind::Read, 2000 * GIB - MIB, 4 * KIB);
+    let done = drain(&mut hdd);
+    let read = done.iter().find(|c| c.id == IoId(999)).expect("served");
+    assert!(
+        read.latency() <= SimDuration::from_millis(400),
+        "far read waited {} despite the starvation guard",
+        read.latency()
+    );
+}
+
+#[test]
+fn zero_gap_sequential_writes_detect_as_sequential_waf() {
+    // Indirect check: a long sequential write stream sustains higher
+    // throughput than the same bytes written randomly (lower WAF -> less
+    // NAND work), on a drain-limited device.
+    let run = |random: bool| {
+        let mut dev = catalog::ssd2_d7_p5510(4);
+        for i in 0..128u64 {
+            let offset = if random {
+                (i * 7_919_777) % (8 * GIB)
+            } else {
+                i * 256 * KIB
+            };
+            submit(&mut dev, i, IoKind::Write, offset / (256 * KIB) * (256 * KIB), 256 * KIB);
+        }
+        drain(&mut dev);
+        dev.now().as_secs_f64()
+    };
+    let seq = run(false);
+    let rand = run(true);
+    assert!(
+        rand >= seq,
+        "random writes should take at least as long: seq {seq}s rand {rand}s"
+    );
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of device-simulator invariants under arbitrary
+//! workloads.
+
+use proptest::prelude::*;
+
+use powadapt_device::{
+    catalog, drain, IoId, IoKind, IoRequest, PowerStateId, StorageDevice, GIB, KIB,
+};
+use powadapt_sim::{SimDuration, SimTime};
+
+/// An arbitrary but valid request stream element.
+#[derive(Debug, Clone)]
+struct Op {
+    write: bool,
+    block: u64,   // offset block index
+    len_kib: u64, // 4..=2048
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (any::<bool>(), 0u64..10_000, prop::sample::select(vec![4u64, 16, 64, 256, 1024, 2048]))
+        .prop_map(|(write, block, len_kib)| Op {
+            write,
+            block,
+            len_kib,
+        })
+}
+
+fn submit_ops(dev: &mut dyn StorageDevice, ops: &[Op]) -> usize {
+    let mut submitted = 0;
+    for (i, op) in ops.iter().enumerate() {
+        let kind = if op.write { IoKind::Write } else { IoKind::Read };
+        let offset = (op.block * 2048 * KIB) % (4 * GIB);
+        let req = IoRequest::new(IoId(i as u64), kind, offset, op.len_kib * KIB);
+        dev.submit(req).expect("request within bounds");
+        submitted += 1;
+    }
+    submitted
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every submitted request completes exactly once, with its own id,
+    /// kind, and length, and non-negative latency.
+    #[test]
+    fn ssd_completes_everything_exactly_once(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut dev = catalog::ssd2_d7_p5510(9);
+        let n = submit_ops(&mut dev, &ops);
+        let done = drain(&mut dev);
+        prop_assert_eq!(done.len(), n);
+        let mut seen: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+        for c in &done {
+            let op = &ops[c.id.0 as usize];
+            prop_assert_eq!(c.kind == IoKind::Write, op.write);
+            prop_assert_eq!(c.len, op.len_kib * KIB);
+            prop_assert!(c.completed >= c.submitted);
+        }
+        prop_assert_eq!(dev.inflight(), 0);
+    }
+
+    /// The same, for the HDD.
+    #[test]
+    fn hdd_completes_everything_exactly_once(ops in prop::collection::vec(op_strategy(), 1..25)) {
+        let mut dev = catalog::hdd_exos_7e2000(9);
+        let n = submit_ops(&mut dev, &ops);
+        let done = drain(&mut dev);
+        prop_assert_eq!(done.len(), n);
+        prop_assert_eq!(dev.inflight(), 0);
+        let mut seen: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// Instantaneous SSD power stays within physical bounds at every event:
+    /// never below a deep-sleep floor, never above the component-sum max.
+    #[test]
+    fn ssd_power_stays_within_component_bounds(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut dev = catalog::ssd2_d7_p5510(9);
+        let cfg = dev.config().clone();
+        let upper = cfg.idle_w
+            + cfg.ctrl_active_w
+            + 2.0 * cfg.noise_sd_w
+            + cfg.dies as f64 * cfg.die_prog_w.max(cfg.die_read_w)
+            + cfg.iface_active_w;
+        submit_ops(&mut dev, &ops);
+        while let Some(t) = dev.next_event() {
+            dev.advance_to(t);
+            let p = dev.power_w();
+            prop_assert!(p >= 0.0, "negative power {}", p);
+            prop_assert!(p <= upper + 1e-9, "power {} above bound {}", p, upper);
+        }
+    }
+
+    /// Under a power cap, the trailing-window average respects the cap for
+    /// any write-heavy workload (sampled at 1 ms).
+    #[test]
+    fn cap_is_respected_for_any_write_workload(
+        blocks in prop::collection::vec(0u64..2_000, 8..40),
+        len_sel in prop::sample::select(vec![64u64, 256, 1024, 2048]),
+    ) {
+        let mut dev = catalog::ssd2_d7_p5510(11);
+        dev.set_power_state(PowerStateId(2)).expect("ps2 exists");
+        for (i, &b) in blocks.iter().enumerate() {
+            let req = IoRequest::new(
+                IoId(i as u64),
+                IoKind::Write,
+                (b * 2048 * KIB) % (4 * GIB),
+                len_sel * KIB,
+            );
+            dev.submit(req).expect("valid");
+        }
+        // Sample power every 1 ms while draining; compute the overall mean
+        // of the busy region.
+        let mut samples = Vec::new();
+        let mut t = SimTime::ZERO;
+        while dev.next_event().is_some() {
+            t += SimDuration::from_millis(1);
+            dev.advance_to(t);
+            samples.push(dev.power_w());
+        }
+        if samples.len() > 25 {
+            let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+            prop_assert!(
+                mean <= 10.0 * 1.1,
+                "mean power {} breaks the 10 W cap", mean
+            );
+        }
+    }
+
+    /// Standby round-trips from any quiesced state, and power ends at the
+    /// documented floor.
+    #[test]
+    fn standby_roundtrip_from_any_state(ops in prop::collection::vec(op_strategy(), 0..20)) {
+        let mut dev = catalog::evo_860(13);
+        submit_ops(&mut dev, &ops);
+        drain(&mut dev);
+        dev.request_standby().expect("idle device accepts standby");
+        drain(&mut dev);
+        prop_assert!((dev.power_w() - 0.17).abs() < 1e-9);
+        dev.request_wake().expect("wake accepted");
+        drain(&mut dev);
+        prop_assert!((dev.power_w() - 0.35).abs() < 1e-9);
+        prop_assert_eq!(dev.inflight(), 0);
+    }
+
+    /// Larger requests never complete with smaller latency than the
+    /// interface can physically transfer them (causality floor).
+    #[test]
+    fn latency_respects_transfer_floor(len_kib in prop::sample::select(vec![4u64, 64, 1024, 2048])) {
+        let mut dev = catalog::ssd3_d3_p4510(7);
+        let bw = dev.config().interface_bw;
+        dev.submit(IoRequest::new(IoId(0), IoKind::Read, 0, len_kib * KIB)).expect("valid");
+        let done = drain(&mut dev);
+        let floor = (len_kib * KIB) as f64 / bw;
+        prop_assert!(
+            done[0].latency().as_secs_f64() >= floor,
+            "latency {} below transfer floor {}",
+            done[0].latency(), floor
+        );
+    }
+}

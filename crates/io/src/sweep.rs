@@ -1,0 +1,221 @@
+//! Parameter sweeps over chunk sizes, queue depths, workloads, and power
+//! states — the cross-product behind the paper's figures.
+
+use powadapt_device::{PowerStateId, StorageDevice, KIB};
+use powadapt_sim::SimDuration;
+
+use crate::job::{JobSpec, Workload};
+use crate::runner::{run_experiment, ExperimentError, ExperimentResult};
+
+/// The paper's six chunk sizes, 4 KiB – 2 MiB.
+pub const PAPER_CHUNKS: [u64; 6] = [
+    4 * KIB,
+    16 * KIB,
+    64 * KIB,
+    256 * KIB,
+    1024 * KIB,
+    2048 * KIB,
+];
+
+/// The paper's six IO depths, 1 – 128.
+pub const PAPER_DEPTHS: [usize; 6] = [1, 2, 4, 16, 64, 128];
+
+/// One point of a sweep: the swept coordinates plus the experiment result.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Workload mode.
+    pub workload: Workload,
+    /// Chunk size in bytes.
+    pub chunk: u64,
+    /// Queue depth.
+    pub depth: usize,
+    /// Device power state.
+    pub power_state: PowerStateId,
+    /// The measured result.
+    pub result: ExperimentResult,
+}
+
+/// Runs one job on a freshly built device in the given power state.
+///
+/// Using a fresh device per point mirrors the paper's per-experiment reset
+/// and keeps points independent.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError`] from the runner or power-state selection.
+pub fn run_fresh<F>(
+    factory: F,
+    power_state: PowerStateId,
+    job: &JobSpec,
+) -> Result<ExperimentResult, ExperimentError>
+where
+    F: FnOnce() -> Box<dyn StorageDevice>,
+{
+    let mut device = factory();
+    device.set_power_state(power_state)?;
+    run_experiment(device.as_mut(), job)
+}
+
+/// Sweep durations trimmed for interactive use; the bench harness overrides
+/// these with the paper's full 60 s / 4 GiB rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepScale {
+    /// Runtime limit per point.
+    pub runtime: SimDuration,
+    /// Size limit per point in bytes.
+    pub size_limit: u64,
+    /// Warm-up excluded from statistics.
+    pub ramp: SimDuration,
+}
+
+impl SweepScale {
+    /// The paper's methodology: 60 s or 4 GiB, whichever first.
+    pub fn paper() -> Self {
+        SweepScale {
+            runtime: SimDuration::from_secs(60),
+            size_limit: 4 * powadapt_device::GIB,
+            ramp: SimDuration::from_millis(200),
+        }
+    }
+
+    /// A fast scale for tests and smoke runs (shape-preserving: long enough
+    /// to reach steady state on the simulated devices, and sized so the
+    /// runtime — not the transfer cap — ends the experiment; otherwise fast
+    /// cells measure mostly their queue-drain tail).
+    pub fn quick() -> Self {
+        SweepScale {
+            runtime: SimDuration::from_millis(1000),
+            size_limit: 4 * powadapt_device::GIB,
+            ramp: SimDuration::from_millis(150),
+        }
+    }
+
+    fn apply(&self, job: JobSpec) -> JobSpec {
+        job.runtime(self.runtime)
+            .size_limit(self.size_limit)
+            .ramp(self.ramp)
+    }
+}
+
+/// Runs the full cross-product of `workloads × chunks × depths ×
+/// power_states` on fresh devices from `factory`.
+///
+/// # Errors
+///
+/// Stops at and returns the first experiment failure.
+pub fn full_sweep<F>(
+    factory: F,
+    workloads: &[Workload],
+    chunks: &[u64],
+    depths: &[usize],
+    power_states: &[PowerStateId],
+    scale: SweepScale,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ExperimentError>
+where
+    F: Fn() -> Box<dyn StorageDevice>,
+{
+    let mut out = Vec::new();
+    for &workload in workloads {
+        for &chunk in chunks {
+            for &depth in depths {
+                for &ps in power_states {
+                    let job = scale.apply(
+                        JobSpec::new(workload)
+                            .block_size(chunk)
+                            .io_depth(depth)
+                            .seed(seed ^ (chunk << 8) ^ depth as u64),
+                    );
+                    let result = run_fresh(&factory, ps, &job)?;
+                    out.push(SweepPoint {
+                        workload,
+                        chunk,
+                        depth,
+                        power_state: ps,
+                        result,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::catalog;
+
+    fn ssd2_factory() -> Box<dyn StorageDevice> {
+        Box::new(catalog::ssd2_d7_p5510(17))
+    }
+
+    #[test]
+    fn paper_constants_match_methodology() {
+        assert_eq!(PAPER_CHUNKS.len(), 6);
+        assert_eq!(PAPER_CHUNKS[0], 4 * KIB);
+        assert_eq!(*PAPER_CHUNKS.last().unwrap(), 2048 * KIB);
+        assert_eq!(PAPER_DEPTHS.len(), 6);
+        assert_eq!(PAPER_DEPTHS[0], 1);
+        assert_eq!(*PAPER_DEPTHS.last().unwrap(), 128);
+        let p = SweepScale::paper();
+        assert_eq!(p.runtime.as_secs_f64(), 60.0);
+        assert_eq!(p.size_limit, 4 * powadapt_device::GIB);
+    }
+
+    #[test]
+    fn run_fresh_applies_power_state() {
+        let job = SweepScale::quick().apply(
+            JobSpec::new(Workload::RandRead).block_size(4 * KIB).io_depth(4),
+        );
+        let r = run_fresh(ssd2_factory, PowerStateId(2), &job).unwrap();
+        assert_eq!(r.power_state, PowerStateId(2));
+    }
+
+    #[test]
+    fn small_sweep_produces_all_points() {
+        let points = full_sweep(
+            ssd2_factory,
+            &[Workload::RandRead],
+            &[4 * KIB, 64 * KIB],
+            &[1, 8],
+            &[PowerStateId(0)],
+            SweepScale {
+                runtime: SimDuration::from_millis(30),
+                size_limit: 8 * powadapt_device::MIB,
+                ramp: SimDuration::ZERO,
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.result.io.ios() > 0, "{:?} produced no IO", (p.chunk, p.depth));
+        }
+        // Deeper queues should not be slower.
+        let thr = |c: u64, d: usize| {
+            points
+                .iter()
+                .find(|p| p.chunk == c && p.depth == d)
+                .unwrap()
+                .result
+                .io
+                .throughput_mibs()
+        };
+        assert!(thr(4 * KIB, 8) > thr(4 * KIB, 1));
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_power_state() {
+        let err = full_sweep(
+            ssd2_factory,
+            &[Workload::RandRead],
+            &[4 * KIB],
+            &[1],
+            &[PowerStateId(7)],
+            SweepScale::quick(),
+            1,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! The assembled measurement rig: chain + periodic sampler.
+
+use powadapt_sim::{SimDuration, SimRng, SimTime};
+
+use crate::chain::MeasurementChain;
+use crate::trace::PowerTrace;
+
+/// Default sampling period: the paper's ADC samples at 1 kHz.
+pub const DEFAULT_PERIOD: SimDuration = SimDuration::from_millis(1);
+
+/// A power measurement rig attached to one device's supply rail.
+///
+/// The experiment runner drives the rig: it asks when the next sample is due
+/// ([`PowerRig::next_sample`]), advances the device to that instant, and
+/// hands the device's true instantaneous power to [`PowerRig::sample`].
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_meter::PowerRig;
+/// use powadapt_sim::{SimRng, SimTime};
+///
+/// let mut rng = SimRng::seed_from(5);
+/// let mut rig = PowerRig::paper_rig(12.0, &mut rng);
+/// let t0 = rig.next_sample();
+/// rig.sample(t0, 7.5);
+/// assert_eq!(rig.trace().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PowerRig {
+    chain: MeasurementChain,
+    rng: SimRng,
+    period: SimDuration,
+    next_at: SimTime,
+    trace: PowerTrace,
+}
+
+impl PowerRig {
+    /// Builds a rig with an explicit chain and sampling period, starting at
+    /// time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(chain: MeasurementChain, period: SimDuration, rng: SimRng) -> Self {
+        PowerRig {
+            chain,
+            rng,
+            period,
+            next_at: SimTime::ZERO,
+            trace: PowerTrace::new(SimTime::ZERO, period),
+        }
+    }
+
+    /// The paper's rig at 1 kHz for a rail at `bus_voltage_v`.
+    pub fn paper_rig(bus_voltage_v: f64, rng: &mut SimRng) -> Self {
+        let chain = MeasurementChain::paper_rig(bus_voltage_v, rng);
+        PowerRig::new(chain, DEFAULT_PERIOD, rng.fork())
+    }
+
+    /// When the next sample is due.
+    pub fn next_sample(&self) -> SimTime {
+        self.next_at
+    }
+
+    /// Records a sample of the device's true power at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not the due sample time — the runner must advance
+    /// the device exactly to the sampling instant.
+    pub fn sample(&mut self, t: SimTime, true_power_w: f64) {
+        assert_eq!(t, self.next_at, "sample at {t}, expected {}", self.next_at);
+        let measured = self.chain.measure(true_power_w, &mut self.rng);
+        self.trace.push(measured);
+        self.next_at = t + self.period;
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Consumes the rig and returns the trace.
+    pub fn into_trace(self) -> PowerTrace {
+        self.trace
+    }
+
+    /// Calibrates the underlying chain against a known load (see
+    /// [`MeasurementChain::calibrate`]).
+    pub fn calibrate(&mut self, known_power_w: f64, n: usize) {
+        let mut rng = self.rng.fork();
+        self.chain.calibrate(known_power_w, n, &mut rng);
+    }
+
+    /// Restarts the trace at time `t` (e.g. after a warm-up phase),
+    /// discarding prior samples.
+    pub fn restart_at(&mut self, t: SimTime) {
+        self.next_at = t;
+        self.trace = PowerTrace::new(t, self.period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_advance_on_the_grid() {
+        let mut rng = SimRng::seed_from(9);
+        let mut rig = PowerRig::paper_rig(12.0, &mut rng);
+        for i in 0..5u64 {
+            let t = rig.next_sample();
+            assert_eq!(t.as_millis(), i);
+            rig.sample(t, 5.0);
+        }
+        assert_eq!(rig.trace().len(), 5);
+        let mean = rig.trace().mean();
+        assert!((mean - 5.0).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample at")]
+    fn off_grid_sample_panics() {
+        let mut rng = SimRng::seed_from(9);
+        let mut rig = PowerRig::paper_rig(12.0, &mut rng);
+        rig.sample(SimTime::from_micros(1), 5.0);
+    }
+
+    #[test]
+    fn restart_discards_history() {
+        let mut rng = SimRng::seed_from(9);
+        let mut rig = PowerRig::paper_rig(12.0, &mut rng);
+        let t = rig.next_sample();
+        rig.sample(t, 5.0);
+        rig.restart_at(SimTime::from_secs(1));
+        assert!(rig.trace().is_empty());
+        assert_eq!(rig.next_sample(), SimTime::from_secs(1));
+        assert_eq!(rig.trace().start(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn into_trace_returns_samples() {
+        let mut rng = SimRng::seed_from(9);
+        let mut rig = PowerRig::paper_rig(12.0, &mut rng);
+        let t = rig.next_sample();
+        rig.sample(t, 3.0);
+        let trace = rig.into_trace();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = SimRng::seed_from(77);
+            let mut rig = PowerRig::paper_rig(12.0, &mut rng);
+            for _ in 0..100 {
+                let t = rig.next_sample();
+                rig.sample(t, 8.0);
+            }
+            rig.trace().mean()
+        };
+        assert_eq!(run(), run());
+    }
+}

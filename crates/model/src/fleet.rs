@@ -1,0 +1,269 @@
+//! Combining per-device models into a fleet-level allocation — the paper's
+//! "power-throughput models of multiple devices can be combined to derive
+//! the performance Pareto frontier of device configurations under a power
+//! budget" (§3.3).
+
+use std::fmt;
+
+use crate::model::PowerThroughputModel;
+use crate::pareto::pareto_frontier;
+use crate::point::ConfigPoint;
+
+/// A set of per-device power-throughput models considered together.
+#[derive(Debug, Clone)]
+pub struct FleetModel {
+    models: Vec<PowerThroughputModel>,
+}
+
+/// One fleet configuration: a chosen point per device.
+#[derive(Debug, Clone)]
+pub struct FleetAllocation {
+    /// Chosen configuration for each device, in model order.
+    pub choices: Vec<ConfigPoint>,
+    /// Sum of per-device powers, in watts.
+    pub total_power_w: f64,
+    /// Sum of per-device throughputs, in bytes/second.
+    pub total_throughput_bps: f64,
+}
+
+impl fmt::Display for FleetAllocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {:.2} W total, {:.0} MiB/s total",
+            self.total_power_w,
+            self.total_throughput_bps / (1024.0 * 1024.0)
+        )?;
+        for c in &self.choices {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FleetModel {
+    /// Creates a fleet from per-device models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new(models: Vec<PowerThroughputModel>) -> Self {
+        assert!(!models.is_empty(), "fleet needs at least one device model");
+        FleetModel { models }
+    }
+
+    /// The per-device models.
+    pub fn models(&self) -> &[PowerThroughputModel] {
+        &self.models
+    }
+
+    /// Sum of per-device minimum powers — the lowest budget any allocation
+    /// can satisfy.
+    pub fn min_power_w(&self) -> f64 {
+        self.models.iter().map(PowerThroughputModel::min_power_w).sum()
+    }
+
+    /// Sum of per-device maximum powers.
+    pub fn max_power_w(&self) -> f64 {
+        self.models.iter().map(PowerThroughputModel::max_power_w).sum()
+    }
+
+    /// Finds the throughput-maximizing assignment of one configuration per
+    /// device subject to a total power budget (multiple-choice knapsack,
+    /// solved by dynamic programming over `resolution_w` power bins).
+    ///
+    /// Returns `None` if even the minimum-power configurations exceed the
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_w` or `resolution_w` is not positive.
+    pub fn allocate(&self, budget_w: f64, resolution_w: f64) -> Option<FleetAllocation> {
+        assert!(budget_w > 0.0, "budget must be positive");
+        assert!(resolution_w > 0.0, "resolution must be positive");
+        if self.min_power_w() > budget_w {
+            return None;
+        }
+
+        let bins = (budget_w / resolution_w).floor() as usize + 1;
+        // Per-device candidate lists: the Pareto frontier suffices.
+        let options: Vec<Vec<ConfigPoint>> = self
+            .models
+            .iter()
+            .map(|m| pareto_frontier(m.points()))
+            .collect();
+        // Conservative (rounded-up) bin cost per option.
+        let cost = |p: &ConfigPoint| -> usize { (p.power_w() / resolution_w).ceil() as usize };
+
+        // dp[b] = best total throughput using at most b bins; choice[j][b] =
+        // option index picked for device j at budget b.
+        let mut dp = vec![Some(0.0f64); bins];
+        let mut choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(options.len());
+        for opts in &options {
+            let mut next = vec![None::<f64>; bins];
+            let mut choice_row = vec![None::<usize>; bins];
+            for b in 0..bins {
+                for (i, p) in opts.iter().enumerate() {
+                    let c = cost(p);
+                    if c > b {
+                        continue;
+                    }
+                    if let Some(prev) = dp[b - c] {
+                        let total = prev + p.throughput_bps();
+                        if next[b].is_none_or(|cur| total > cur) {
+                            next[b] = Some(total);
+                            choice_row[b] = Some(i);
+                        }
+                    }
+                }
+                // Allow carrying a smaller-budget solution forward.
+                if b > 0 {
+                    if let (Some(prev_b), Some(_)) = (next[b - 1], next[b]) {
+                        if prev_b > next[b].expect("checked") {
+                            next[b] = next[b - 1];
+                            choice_row[b] = choice_row[b - 1];
+                        }
+                    } else if next[b].is_none() {
+                        next[b] = next[b - 1];
+                        choice_row[b] = choice_row[b - 1];
+                    }
+                }
+            }
+            dp = next;
+            choices.push(choice_row);
+        }
+
+        // Walk back from the full budget.
+        let mut b = bins - 1;
+        dp[b]?;
+        let mut picked: Vec<ConfigPoint> = Vec::with_capacity(options.len());
+        for (j, opts) in options.iter().enumerate().rev() {
+            // Find the effective bin this row's choice was recorded at.
+            let mut bb = b;
+            while choices[j][bb].is_none() && bb > 0 {
+                bb -= 1;
+            }
+            let i = choices[j][bb]?;
+            let p = opts[i].clone();
+            b = bb - cost(&p).min(bb);
+            picked.push(p);
+        }
+        picked.reverse();
+        let total_power_w = picked.iter().map(ConfigPoint::power_w).sum();
+        let total_throughput_bps = picked.iter().map(ConfigPoint::throughput_bps).sum();
+        Some(FleetAllocation {
+            choices: picked,
+            total_power_w,
+            total_throughput_bps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(device: &str, power: f64, thr: f64) -> ConfigPoint {
+        ConfigPoint::new(
+            device,
+            Workload::RandWrite,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            power,
+            thr,
+        )
+    }
+
+    fn two_device_fleet() -> FleetModel {
+        let a = PowerThroughputModel::from_points(
+            "A",
+            vec![pt("A", 2.0, 100.0), pt("A", 5.0, 500.0), pt("A", 10.0, 800.0)],
+        )
+        .unwrap();
+        let b = PowerThroughputModel::from_points(
+            "B",
+            vec![pt("B", 1.0, 50.0), pt("B", 4.0, 400.0), pt("B", 8.0, 600.0)],
+        )
+        .unwrap();
+        FleetModel::new(vec![a, b])
+    }
+
+    #[test]
+    fn fleet_bounds() {
+        let f = two_device_fleet();
+        assert_eq!(f.min_power_w(), 3.0);
+        assert_eq!(f.max_power_w(), 18.0);
+        assert_eq!(f.models().len(), 2);
+    }
+
+    #[test]
+    fn generous_budget_picks_peaks() {
+        let f = two_device_fleet();
+        let alloc = f.allocate(20.0, 0.1).unwrap();
+        assert_eq!(alloc.total_throughput_bps, 1400.0);
+        assert!((alloc.total_power_w - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_allocates_optimally() {
+        let f = two_device_fleet();
+        // Budget 9.5: optimal is A@5 (500) + B@4 (400) = 900 at 9 W.
+        let alloc = f.allocate(9.5, 0.05).unwrap();
+        assert_eq!(alloc.total_throughput_bps, 900.0);
+        assert!(alloc.total_power_w <= 9.5);
+    }
+
+    #[test]
+    fn asymmetric_budget_prefers_better_device() {
+        let f = two_device_fleet();
+        // Budget 7: A@5 (500) + B@1 (50) = 550 beats A@2 (100) + B@4 (400) = 500.
+        let alloc = f.allocate(7.0, 0.05).unwrap();
+        assert_eq!(alloc.total_throughput_bps, 550.0);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let f = two_device_fleet();
+        assert!(f.allocate(2.5, 0.1).is_none());
+    }
+
+    #[test]
+    fn every_device_gets_exactly_one_choice() {
+        let f = two_device_fleet();
+        let alloc = f.allocate(12.0, 0.1).unwrap();
+        assert_eq!(alloc.choices.len(), 2);
+        assert_eq!(alloc.choices[0].device(), "A");
+        assert_eq!(alloc.choices[1].device(), "B");
+    }
+
+    #[test]
+    fn allocation_power_never_exceeds_budget() {
+        let f = two_device_fleet();
+        for budget in [3.0, 4.0, 6.0, 9.0, 11.0, 15.0, 18.0] {
+            if let Some(a) = f.allocate(budget, 0.05) {
+                assert!(
+                    a.total_power_w <= budget + 1e-9,
+                    "budget {budget}: allocated {}",
+                    a.total_power_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_lists_choices() {
+        let f = two_device_fleet();
+        let alloc = f.allocate(20.0, 0.1).unwrap();
+        let s = alloc.to_string();
+        assert!(s.contains("fleet") && s.contains('A') && s.contains('B'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleet_panics() {
+        let _ = FleetModel::new(vec![]);
+    }
+}

@@ -1,0 +1,281 @@
+//! The latency analogue of the power-throughput model (§4: "For latency, a
+//! similar model can be drawn from the measurement results").
+//!
+//! Where [`PowerThroughputModel`](crate::PowerThroughputModel) answers
+//! "what throughput can I buy with this power?", a [`LatencyModel`] answers
+//! the QoS-side questions: what does a power cap do to my tail latency, and
+//! what is the least power that still meets a latency SLO at a throughput
+//! floor?
+
+use std::fmt;
+
+use powadapt_device::PowerStateId;
+
+use crate::point::ConfigPoint;
+
+/// A per-device latency model over measured configuration points.
+///
+/// Only points carrying latency data (non-zero `avg`/`p99`) participate.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_model::{ConfigPoint, LatencyModel};
+/// use powadapt_device::{PowerStateId, KIB};
+/// use powadapt_io::Workload;
+///
+/// let mk = |ps: u8, power, p99| ConfigPoint::new(
+///     "D", Workload::RandWrite, PowerStateId(ps), 256 * KIB, 1, power, 1e9)
+///     .with_latencies(p99 / 5.0, p99);
+/// let model = LatencyModel::from_points(vec![mk(0, 10.0, 500.0), mk(2, 7.0, 3000.0)])
+///     .unwrap();
+/// // Capping to 7 W sextuples the tail.
+/// let blowup = model.p99_ratio_vs(PowerStateId(0), PowerStateId(2)).unwrap();
+/// assert!((blowup - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    points: Vec<ConfigPoint>,
+}
+
+impl LatencyModel {
+    /// Builds the model, keeping only points with latency data.
+    ///
+    /// Returns `None` if no point carries latencies.
+    pub fn from_points(points: Vec<ConfigPoint>) -> Option<Self> {
+        let points: Vec<ConfigPoint> = points
+            .into_iter()
+            .filter(|p| p.avg_latency_us() > 0.0 && p.p99_latency_us() > 0.0)
+            .collect();
+        if points.is_empty() {
+            return None;
+        }
+        Some(LatencyModel { points })
+    }
+
+    /// The latency-bearing points.
+    pub fn points(&self) -> &[ConfigPoint] {
+        &self.points
+    }
+
+    /// The lowest-power configuration meeting both a p99 ceiling and a
+    /// throughput floor, or `None` if the SLO is unreachable.
+    pub fn min_power_within(
+        &self,
+        p99_us_max: f64,
+        throughput_floor_bps: f64,
+    ) -> Option<&ConfigPoint> {
+        self.points
+            .iter()
+            .filter(|p| {
+                p.p99_latency_us() <= p99_us_max
+                    && p.throughput_bps() >= throughput_floor_bps
+            })
+            .min_by(|a, b| a.power_w().partial_cmp(&b.power_w()).expect("finite"))
+    }
+
+    /// The best achievable p99 at or under a power budget, with a
+    /// throughput floor, or `None` if nothing fits.
+    pub fn best_p99_under(
+        &self,
+        budget_w: f64,
+        throughput_floor_bps: f64,
+    ) -> Option<&ConfigPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.power_w() <= budget_w && p.throughput_bps() >= throughput_floor_bps)
+            .min_by(|a, b| {
+                a.p99_latency_us()
+                    .partial_cmp(&b.p99_latency_us())
+                    .expect("finite")
+            })
+    }
+
+    /// The geometric-mean p99 blowup of moving from power state `from` to
+    /// `to` across matched IO shapes (chunk, depth) — the Figure 5 summary
+    /// statistic. `None` if the states share no shapes.
+    pub fn p99_ratio_vs(&self, from: PowerStateId, to: PowerStateId) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for base in self.points.iter().filter(|p| p.power_state() == from) {
+            if let Some(capped) = self.points.iter().find(|p| {
+                p.power_state() == to
+                    && p.chunk() == base.chunk()
+                    && p.depth() == base.depth()
+            }) {
+                log_sum += (capped.p99_latency_us() / base.p99_latency_us()).ln();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some((log_sum / n as f64).exp())
+        }
+    }
+
+    /// The worst (maximum) p99 blowup from `from` to `to` across matched
+    /// shapes — the paper's "up to 6.19×" number. `None` if no shapes match.
+    pub fn max_p99_ratio_vs(&self, from: PowerStateId, to: PowerStateId) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for base in self.points.iter().filter(|p| p.power_state() == from) {
+            if let Some(capped) = self.points.iter().find(|p| {
+                p.power_state() == to
+                    && p.chunk() == base.chunk()
+                    && p.depth() == base.depth()
+            }) {
+                let r = capped.p99_latency_us() / base.p99_latency_us();
+                max = Some(max.map_or(r, |m: f64| m.max(r)));
+            }
+        }
+        max
+    }
+
+    /// The Pareto frontier over (power ↓, p99 ↓): configurations where no
+    /// other point has both lower power and lower tail latency. Sorted by
+    /// ascending power.
+    pub fn power_latency_frontier(&self) -> Vec<ConfigPoint> {
+        let mut sorted: Vec<&ConfigPoint> = self.points.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.power_w()
+                .partial_cmp(&b.power_w())
+                .expect("finite")
+                .then(
+                    a.p99_latency_us()
+                        .partial_cmp(&b.p99_latency_us())
+                        .expect("finite"),
+                )
+        });
+        let mut frontier: Vec<ConfigPoint> = Vec::new();
+        let mut best_p99 = f64::INFINITY;
+        for p in sorted {
+            if p.p99_latency_us() < best_p99 {
+                best_p99 = p.p99_latency_us();
+                frontier.push(p.clone());
+            }
+        }
+        frontier
+    }
+}
+
+impl fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let min = self
+            .points
+            .iter()
+            .map(|p| p.p99_latency_us())
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.p99_latency_us())
+            .fold(0.0, f64::max);
+        write!(
+            f,
+            "latency model: {} points, p99 {:.0}-{:.0} us",
+            self.points.len(),
+            min,
+            max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::KIB;
+    use powadapt_io::Workload;
+
+    fn pt(ps: u8, chunk_kib: u64, power: f64, thr: f64, p99: f64) -> ConfigPoint {
+        ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(ps),
+            chunk_kib * KIB,
+            1,
+            power,
+            thr,
+        )
+        .with_latencies(p99 / 4.0, p99)
+    }
+
+    fn model() -> LatencyModel {
+        LatencyModel::from_points(vec![
+            pt(0, 4, 6.0, 0.1e9, 50.0),
+            pt(0, 256, 10.0, 1.5e9, 120.0),
+            pt(0, 2048, 14.0, 3.0e9, 650.0),
+            pt(2, 4, 5.5, 0.1e9, 50.0),
+            pt(2, 256, 9.5, 0.9e9, 760.0),
+            pt(2, 2048, 9.8, 1.5e9, 1950.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn filters_points_without_latency_data() {
+        let no_lat = ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            5.0,
+            1e9,
+        );
+        assert!(LatencyModel::from_points(vec![no_lat]).is_none());
+        assert_eq!(model().points().len(), 6);
+    }
+
+    #[test]
+    fn slo_solver_finds_the_cheapest_compliant_point() {
+        let m = model();
+        // p99 <= 200 us at >= 1 GB/s: only the ps0/256K point qualifies.
+        let p = m.min_power_within(200.0, 1.0e9).expect("feasible");
+        assert_eq!(p.power_w(), 10.0);
+        // Loosening the latency lets the capped 2 MiB point win on power...
+        let p = m.min_power_within(2000.0, 1.0e9).expect("feasible");
+        assert_eq!(p.power_w(), 9.8);
+        // ...and an impossible combination is rejected.
+        assert!(m.min_power_within(100.0, 2.5e9).is_none());
+    }
+
+    #[test]
+    fn budget_solver_minimizes_tail() {
+        let m = model();
+        let p = m.best_p99_under(9.9, 0.5e9).expect("feasible");
+        assert_eq!(p.p99_latency_us(), 760.0);
+        assert!(m.best_p99_under(5.0, 0.5e9).is_none());
+    }
+
+    #[test]
+    fn p99_ratios_reproduce_the_fig5_summary() {
+        let m = model();
+        // Worst blowup: 256 KiB, 760/120 = 6.33x (the paper's 6.19x shape).
+        let worst = m.max_p99_ratio_vs(PowerStateId(0), PowerStateId(2)).unwrap();
+        assert!((worst - 760.0 / 120.0).abs() < 1e-9);
+        // Geometric mean across shapes is smaller than the worst case.
+        let geo = m.p99_ratio_vs(PowerStateId(0), PowerStateId(2)).unwrap();
+        assert!(geo > 1.0 && geo < worst);
+        // No matched shapes -> None.
+        assert!(m.p99_ratio_vs(PowerStateId(0), PowerStateId(7)).is_none());
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_both_objectives() {
+        let m = model();
+        let f = m.power_latency_frontier();
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(w[0].power_w() < w[1].power_w());
+            assert!(w[0].p99_latency_us() > w[1].p99_latency_us());
+        }
+        // The cheapest point is always on the frontier.
+        assert_eq!(f[0].power_w(), 5.5);
+    }
+
+    #[test]
+    fn display_summarizes_range() {
+        let s = model().to_string();
+        assert!(s.contains("p99") && s.contains("us"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The per-device power-throughput model (§3.3, Figure 10).
+
+use std::fmt;
+
+use powadapt_io::SweepPoint;
+
+use crate::point::ConfigPoint;
+
+/// A power-throughput model for one device under one workload class: the
+/// set of (power, throughput) points reachable by varying power state and
+/// IO shape.
+///
+/// Normalization follows the paper: each point is divided by the device's
+/// maximum average power and maximum throughput *within this model*
+/// (Figure 10 normalizes per device, per workload).
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_model::{ConfigPoint, PowerThroughputModel};
+/// use powadapt_device::{PowerStateId, KIB};
+/// use powadapt_io::Workload;
+///
+/// let points = vec![
+///     ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, 5.0, 1e8),
+///     ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 64, 10.0, 1e9),
+/// ];
+/// let model = PowerThroughputModel::from_points("D", points).unwrap();
+/// assert_eq!(model.max_power_w(), 10.0);
+/// // Dynamic range: (10 - 5) / 10.
+/// assert!((model.power_dynamic_range() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerThroughputModel {
+    device: String,
+    points: Vec<ConfigPoint>,
+    max_power_w: f64,
+    min_power_w: f64,
+    max_throughput_bps: f64,
+}
+
+impl PowerThroughputModel {
+    /// Builds a model from points belonging to one device.
+    ///
+    /// Returns `None` if `points` is empty, contains a different device
+    /// label, or has a non-positive maximum power or throughput.
+    pub fn from_points(
+        device: impl Into<String>,
+        points: Vec<ConfigPoint>,
+    ) -> Option<Self> {
+        let device = device.into();
+        if points.is_empty() || points.iter().any(|p| p.device() != device) {
+            return None;
+        }
+        let max_power_w = points.iter().map(ConfigPoint::power_w).fold(0.0, f64::max);
+        let min_power_w = points
+            .iter()
+            .map(ConfigPoint::power_w)
+            .fold(f64::INFINITY, f64::min);
+        let max_throughput_bps = points
+            .iter()
+            .map(ConfigPoint::throughput_bps)
+            .fold(0.0, f64::max);
+        if max_power_w <= 0.0 || max_throughput_bps <= 0.0 {
+            return None;
+        }
+        Some(PowerThroughputModel {
+            device,
+            points,
+            max_power_w,
+            min_power_w,
+            max_throughput_bps,
+        })
+    }
+
+    /// Builds one model per device from a sweep, grouping points by device
+    /// label. Devices whose points cannot form a model are skipped.
+    pub fn from_sweep(sweep: &[SweepPoint]) -> Vec<PowerThroughputModel> {
+        let mut by_device: Vec<(String, Vec<ConfigPoint>)> = Vec::new();
+        for sp in sweep {
+            let cp = ConfigPoint::from(sp);
+            match by_device.iter_mut().find(|(d, _)| d == cp.device()) {
+                Some((_, v)) => v.push(cp),
+                None => by_device.push((cp.device().to_string(), vec![cp])),
+            }
+        }
+        by_device
+            .into_iter()
+            .filter_map(|(d, pts)| PowerThroughputModel::from_points(d, pts))
+            .collect()
+    }
+
+    /// The device label.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// All points in the model.
+    pub fn points(&self) -> &[ConfigPoint] {
+        &self.points
+    }
+
+    /// Maximum average power across the model, in watts.
+    pub fn max_power_w(&self) -> f64 {
+        self.max_power_w
+    }
+
+    /// Minimum average power across the model, in watts.
+    pub fn min_power_w(&self) -> f64 {
+        self.min_power_w
+    }
+
+    /// Maximum throughput across the model, in bytes/second.
+    pub fn max_throughput_bps(&self) -> f64 {
+        self.max_throughput_bps
+    }
+
+    /// `(max − min) / max` power — the paper's headline dynamic-range
+    /// metric (59.4 % for SSD2).
+    pub fn power_dynamic_range(&self) -> f64 {
+        (self.max_power_w - self.min_power_w) / self.max_power_w
+    }
+
+    /// Normalized coordinates `(throughput/max, power/max)` for each point —
+    /// the axes of Figure 10.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.throughput_bps() / self.max_throughput_bps,
+                    p.power_w() / self.max_power_w,
+                )
+            })
+            .collect()
+    }
+
+    /// The point with the highest throughput (ties broken by lower power).
+    pub fn peak_throughput_point(&self) -> &ConfigPoint {
+        self.points
+            .iter()
+            .reduce(|a, b| {
+                if (b.throughput_bps(), -b.power_w()) > (a.throughput_bps(), -a.power_w()) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .expect("model is non-empty by construction")
+    }
+
+    /// The lowest normalized throughput across points — the "throughput can
+    /// drop to 4 % of maximum" coordinate for the HDD in §3.3.
+    pub fn min_normalized_throughput(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.throughput_bps() / self.max_throughput_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for PowerThroughputModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} points, power {:.2}-{:.2} W (range {:.1}%), max {:.0} MiB/s",
+            self.device,
+            self.points.len(),
+            self.min_power_w,
+            self.max_power_w,
+            100.0 * self.power_dynamic_range(),
+            self.max_throughput_bps / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(device: &str, power: f64, thr: f64) -> ConfigPoint {
+        ConfigPoint::new(device, Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
+    }
+
+    #[test]
+    fn model_statistics() {
+        let m = PowerThroughputModel::from_points(
+            "X",
+            vec![pt("X", 4.0, 1e8), pt("X", 8.0, 5e8), pt("X", 10.0, 1e9)],
+        )
+        .unwrap();
+        assert_eq!(m.max_power_w(), 10.0);
+        assert_eq!(m.min_power_w(), 4.0);
+        assert_eq!(m.max_throughput_bps(), 1e9);
+        assert!((m.power_dynamic_range() - 0.6).abs() < 1e-12);
+        assert!((m.min_normalized_throughput() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_square() {
+        let m = PowerThroughputModel::from_points(
+            "X",
+            vec![pt("X", 5.0, 2e8), pt("X", 10.0, 1e9)],
+        )
+        .unwrap();
+        for (t, p) in m.normalized() {
+            assert!((0.0..=1.0).contains(&t));
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(m.normalized().iter().any(|&(t, p)| t == 1.0 && p == 1.0));
+    }
+
+    #[test]
+    fn peak_point_prefers_high_throughput_then_low_power() {
+        let m = PowerThroughputModel::from_points(
+            "X",
+            vec![pt("X", 9.0, 1e9), pt("X", 8.0, 1e9), pt("X", 10.0, 5e8)],
+        )
+        .unwrap();
+        let peak = m.peak_throughput_point();
+        assert_eq!(peak.throughput_bps(), 1e9);
+        assert_eq!(peak.power_w(), 8.0);
+    }
+
+    #[test]
+    fn rejects_empty_or_mixed_devices() {
+        assert!(PowerThroughputModel::from_points("X", vec![]).is_none());
+        assert!(
+            PowerThroughputModel::from_points("X", vec![pt("Y", 1.0, 1.0)]).is_none()
+        );
+    }
+
+    #[test]
+    fn display_mentions_range() {
+        let m =
+            PowerThroughputModel::from_points("X", vec![pt("X", 5.0, 1e9), pt("X", 10.0, 2e9)])
+                .unwrap();
+        assert!(m.to_string().contains('%'));
+    }
+}

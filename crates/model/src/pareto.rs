@@ -1,0 +1,115 @@
+//! Pareto frontier extraction over (power ↓, throughput ↑).
+
+use crate::point::ConfigPoint;
+
+/// Returns the Pareto-optimal subset of `points`: configurations for which
+/// no other point offers at least the throughput at no more power.
+///
+/// The result is sorted by ascending power (and therefore ascending
+/// throughput). Duplicate coordinates are collapsed to one representative.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_model::{pareto_frontier, ConfigPoint};
+/// use powadapt_device::{PowerStateId, KIB};
+/// use powadapt_io::Workload;
+///
+/// let mk = |p, t| ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, p, t);
+/// let frontier = pareto_frontier(&[mk(5.0, 100.0), mk(6.0, 90.0), mk(8.0, 200.0)]);
+/// // (6.0, 90.0) is dominated by (5.0, 100.0).
+/// assert_eq!(frontier.len(), 2);
+/// ```
+pub fn pareto_frontier(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
+    let mut sorted: Vec<&ConfigPoint> = points.iter().collect();
+    // Ascending power; for equal power, descending throughput so the best
+    // representative comes first.
+    sorted.sort_by(|a, b| {
+        a.power_w()
+            .partial_cmp(&b.power_w())
+            .expect("finite power")
+            .then(
+                b.throughput_bps()
+                    .partial_cmp(&a.throughput_bps())
+                    .expect("finite throughput"),
+            )
+    });
+    let mut frontier: Vec<ConfigPoint> = Vec::new();
+    let mut best_throughput = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.throughput_bps() > best_throughput {
+            best_throughput = p.throughput_bps();
+            frontier.push(p.clone());
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(power: f64, thr: f64) -> ConfigPoint {
+        ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
+    }
+
+    #[test]
+    fn removes_dominated_points() {
+        let f = pareto_frontier(&[
+            pt(5.0, 100.0),
+            pt(6.0, 90.0),  // dominated
+            pt(7.0, 150.0),
+            pt(7.5, 140.0), // dominated
+            pt(10.0, 300.0),
+        ]);
+        let coords: Vec<(f64, f64)> =
+            f.iter().map(|p| (p.power_w(), p.throughput_bps())).collect();
+        assert_eq!(coords, vec![(5.0, 100.0), (7.0, 150.0), (10.0, 300.0)]);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let pts: Vec<ConfigPoint> = (0..50)
+            .map(|i| pt((i * 7 % 13) as f64 + 1.0, ((i * 11) % 17) as f64 * 10.0))
+            .collect();
+        let f = pareto_frontier(&pts);
+        for w in f.windows(2) {
+            assert!(w[0].power_w() < w[1].power_w());
+            assert!(w[0].throughput_bps() < w[1].throughput_bps());
+        }
+    }
+
+    #[test]
+    fn equal_power_keeps_best_throughput() {
+        let f = pareto_frontier(&[pt(5.0, 100.0), pt(5.0, 120.0)]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].throughput_bps(), 120.0);
+    }
+
+    #[test]
+    fn no_point_on_frontier_is_dominated() {
+        let pts: Vec<ConfigPoint> = (0..100)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin().abs() * 10.0 + 1.0;
+                let y = (i as f64 * 0.73).cos().abs() * 1000.0;
+                pt(x, y)
+            })
+            .collect();
+        let f = pareto_frontier(&pts);
+        for a in &f {
+            assert!(!pts.iter().any(|b| b.dominates(a)), "{a} is dominated");
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_frontier(&[pt(5.0, 1.0)]).len(), 1);
+    }
+}

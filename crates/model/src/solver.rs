@@ -1,0 +1,206 @@
+//! Configuration selection under power and performance constraints — the
+//! §3.3 use case: "for a power reduction of X %, the model suggests
+//! configuration C with a throughput reduction of Y %".
+
+use std::fmt;
+
+use crate::model::PowerThroughputModel;
+use crate::pareto::pareto_frontier;
+use crate::point::ConfigPoint;
+
+/// A curtailment plan: the configuration change a power-adaptive storage
+/// system makes in response to a power-reduction event, and the best-effort
+/// load it must shed (§3.3's 1.3 GiB/s example).
+#[derive(Debug, Clone)]
+pub struct CurtailmentPlan {
+    /// The configuration the device operates in before the event.
+    pub from: ConfigPoint,
+    /// The chosen configuration under the reduced budget.
+    pub to: ConfigPoint,
+    /// Power budget the plan satisfies, in watts.
+    pub budget_w: f64,
+}
+
+impl CurtailmentPlan {
+    /// Fraction of power saved relative to the starting configuration.
+    pub fn power_reduction(&self) -> f64 {
+        1.0 - self.to.power_w() / self.from.power_w()
+    }
+
+    /// Fraction of throughput lost relative to the starting configuration.
+    pub fn throughput_reduction(&self) -> f64 {
+        1.0 - self.to.throughput_bps() / self.from.throughput_bps()
+    }
+
+    /// Best-effort load to shed, in bytes/second: the throughput delta the
+    /// storage system can no longer serve.
+    pub fn curtailed_bps(&self) -> f64 {
+        (self.from.throughput_bps() - self.to.throughput_bps()).max(0.0)
+    }
+}
+
+impl fmt::Display for CurtailmentPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "-{:.0}% power (to {:.2} W) via [{}]: -{:.0}% throughput, shed {:.2} GiB/s",
+            100.0 * self.power_reduction(),
+            self.to.power_w(),
+            self.to,
+            100.0 * self.throughput_reduction(),
+            self.curtailed_bps() / (1024.0 * 1024.0 * 1024.0)
+        )
+    }
+}
+
+/// The highest-throughput configuration whose power does not exceed
+/// `budget_w`, or `None` if no configuration fits.
+pub fn best_under_power_budget(
+    model: &PowerThroughputModel,
+    budget_w: f64,
+) -> Option<ConfigPoint> {
+    pareto_frontier(model.points())
+        .into_iter().rfind(|p| p.power_w() <= budget_w)
+}
+
+/// The lowest-power configuration whose throughput is at least
+/// `floor_bps`, or `None` if the floor is unreachable.
+pub fn cheapest_above_throughput(
+    model: &PowerThroughputModel,
+    floor_bps: f64,
+) -> Option<ConfigPoint> {
+    pareto_frontier(model.points())
+        .into_iter()
+        .find(|p| p.throughput_bps() >= floor_bps)
+}
+
+/// Plans a response to a fractional power-reduction event: starting from
+/// the device's peak-throughput configuration, finds the best configuration
+/// under `(1 − reduction) ×` the starting power.
+///
+/// Returns `None` if no configuration fits the reduced budget (the device
+/// would need standby or IO redirection instead).
+///
+/// # Panics
+///
+/// Panics if `reduction` is not within `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_model::{plan_power_reduction, ConfigPoint, PowerThroughputModel};
+/// use powadapt_device::{PowerStateId, KIB};
+/// use powadapt_io::Workload;
+///
+/// let mk = |d: usize, p, t| ConfigPoint::new(
+///     "SSD1", Workload::RandWrite, PowerStateId(0), 256 * KIB, d, p, t);
+/// let model = PowerThroughputModel::from_points(
+///     "SSD1",
+///     vec![mk(64, 8.19, 3.3e9), mk(1, 6.55, 2.0e9)],
+/// ).unwrap();
+/// let plan = plan_power_reduction(&model, 0.20).unwrap();
+/// assert_eq!(plan.to.depth(), 1);
+/// assert!(plan.throughput_reduction() > 0.3);
+/// ```
+pub fn plan_power_reduction(
+    model: &PowerThroughputModel,
+    reduction: f64,
+) -> Option<CurtailmentPlan> {
+    assert!(
+        (0.0..1.0).contains(&reduction),
+        "reduction {reduction} must be in [0, 1)"
+    );
+    let from = model.peak_throughput_point().clone();
+    let budget_w = from.power_w() * (1.0 - reduction);
+    let to = best_under_power_budget(model, budget_w)?;
+    Some(CurtailmentPlan { from, to, budget_w })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(depth: usize, power: f64, thr: f64) -> ConfigPoint {
+        ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(0),
+            256 * KIB,
+            depth,
+            power,
+            thr,
+        )
+    }
+
+    fn model() -> PowerThroughputModel {
+        PowerThroughputModel::from_points(
+            "D",
+            vec![
+                pt(64, 10.0, 1000.0),
+                pt(16, 8.0, 800.0),
+                pt(4, 7.0, 500.0),
+                pt(1, 6.0, 300.0),
+                pt(2, 9.5, 100.0), // dominated
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn budget_selection_maximizes_throughput() {
+        let m = model();
+        assert_eq!(best_under_power_budget(&m, 10.0).unwrap().throughput_bps(), 1000.0);
+        assert_eq!(best_under_power_budget(&m, 8.5).unwrap().throughput_bps(), 800.0);
+        assert_eq!(best_under_power_budget(&m, 6.5).unwrap().throughput_bps(), 300.0);
+        assert!(best_under_power_budget(&m, 5.0).is_none());
+    }
+
+    #[test]
+    fn floor_selection_minimizes_power() {
+        let m = model();
+        assert_eq!(cheapest_above_throughput(&m, 300.0).unwrap().power_w(), 6.0);
+        assert_eq!(cheapest_above_throughput(&m, 600.0).unwrap().power_w(), 8.0);
+        assert!(cheapest_above_throughput(&m, 2000.0).is_none());
+    }
+
+    #[test]
+    fn reduction_plan_walks_the_frontier() {
+        let m = model();
+        // -20% from 10 W -> budget 8 W -> depth-16 point.
+        let plan = plan_power_reduction(&m, 0.20).unwrap();
+        assert_eq!(plan.to.depth(), 16);
+        assert!((plan.power_reduction() - 0.2).abs() < 1e-12);
+        assert!((plan.throughput_reduction() - 0.2).abs() < 1e-12);
+        assert!((plan.curtailed_bps() - 200.0).abs() < 1e-9);
+        assert!((plan.budget_w - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_reduction_returns_none() {
+        let m = model();
+        assert!(plan_power_reduction(&m, 0.5).is_none(), "below min power");
+    }
+
+    #[test]
+    fn zero_reduction_keeps_peak() {
+        let m = model();
+        let plan = plan_power_reduction(&m, 0.0).unwrap();
+        assert_eq!(plan.to.throughput_bps(), 1000.0);
+        assert_eq!(plan.curtailed_bps(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn out_of_range_reduction_panics() {
+        let _ = plan_power_reduction(&model(), 1.0);
+    }
+
+    #[test]
+    fn plan_display_mentions_power_and_shed() {
+        let plan = plan_power_reduction(&model(), 0.2).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("power") && s.contains("GiB/s"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Discrete-event simulation kernel for the `powadapt` suite.
+//!
+//! This crate provides the substrate every other `powadapt` crate builds on:
+//!
+//! - [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time,
+//! - [`EventQueue`] — a deterministic time-ordered event queue,
+//! - [`SimRng`] — seeded randomness with the distributions the device and
+//!   measurement models need,
+//! - [`StepSignal`] — piecewise-constant signals (instantaneous device power
+//!   draw) with window integration and trailing averages,
+//! - [`Summary`] — summary statistics used for power traces and latency
+//!   samples.
+//!
+//! # Examples
+//!
+//! Simulating a square-wave power draw and averaging it:
+//!
+//! ```
+//! use powadapt_sim::{EventQueue, SimDuration, SimTime, StepSignal};
+//!
+//! let mut power = StepSignal::new(1.0);
+//! let mut events = EventQueue::new();
+//! events.schedule(SimTime::from_millis(10), 5.0);
+//! events.schedule(SimTime::from_millis(20), 1.0);
+//! while let Some((t, watts)) = events.pop() {
+//!     power.step(t, watts);
+//! }
+//! let avg = power.mean(SimTime::ZERO, SimTime::from_millis(30));
+//! assert!((avg - (1.0 + 5.0 + 1.0) / 3.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod queue;
+mod rng;
+mod rolling;
+mod signal;
+mod stats;
+mod time;
+mod zipf;
+
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use rolling::RollingMean;
+pub use signal::StepSignal;
+pub use stats::{percentile_of_sorted, relative_error, Summary};
+pub use time::{SimDuration, SimTime};
+pub use zipf::Zipf;

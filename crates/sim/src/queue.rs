@@ -1,0 +1,235 @@
+//! A generic discrete-event queue.
+//!
+//! Events carry a payload of type `E` and fire in timestamp order. Ties are
+//! broken by insertion order so simulations are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+///
+/// Ids are unique within one [`EventQueue`] and are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, for ties,
+        // first-inserted) entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "later");
+/// q.schedule(SimTime::from_millis(1), "sooner");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t.as_millis(), ev), (1, "sooner"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    /// Seqs scheduled but not yet fired or cancelled.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns an id usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    /// Cancellation is lazy: the entry is skipped when it reaches the front.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.live.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the next live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| {
+            self.live.remove(&e.seq);
+            (e.at, e.payload)
+        })
+    }
+
+    /// Removes and returns the next live event only if it fires at or before
+    /// `t`.
+    pub fn pop_at_or_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        match self.next_time() {
+            Some(at) if at <= t => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live.clear();
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(e) = self.heap.peek() {
+            if self.cancelled.remove(&e.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 3u32);
+        q.schedule(SimTime::from_millis(1), 1u32);
+        q.schedule(SimTime::from_millis(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..10u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        let b = q.schedule(SimTime::from_millis(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(!q.cancel(b), "cancel after fire reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let id = q.schedule(SimTime::ZERO, ());
+        q.pop();
+        // An id from a different (imaginary) queue position.
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn next_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(5), "b");
+        q.cancel(a);
+        assert_eq!(q.next_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn pop_at_or_before() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(4), "x");
+        assert!(q.pop_at_or_before(SimTime::from_millis(3)).is_none());
+        assert!(q.pop_at_or_before(SimTime::from_millis(4)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

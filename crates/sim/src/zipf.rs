@@ -1,0 +1,184 @@
+//! Zipfian sampling for skewed workloads (Gray et al., "Quickly generating
+//! billion-record synthetic databases").
+
+use crate::rng::SimRng;
+
+/// A Zipfian distribution over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k+1)^theta`.
+///
+/// Construction is O(n) (it computes the generalized harmonic number);
+/// sampling is O(1). Typical storage-workload skews use `theta ≈ 0.99`.
+///
+/// # Examples
+///
+/// ```
+/// use powadapt_sim::{SimRng, Zipf};
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = SimRng::seed_from(7);
+/// let mut hits0 = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 0 {
+///         hits0 += 1;
+///     }
+/// }
+/// // Rank 0 is by far the hottest.
+/// assert!(hits0 > 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_2: f64,
+}
+
+impl Zipf {
+    /// Creates a distribution over `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 5]`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(
+            theta > 0.0 && theta <= 5.0 && theta.is_finite(),
+            "theta {theta} out of supported range (0, 5]"
+        );
+        // The closed form is singular at theta = 1; nudge off the pole.
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            1.0 + 1e-9
+        } else {
+            theta
+        };
+        let zeta = |count: u64| -> f64 {
+            (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        };
+        let zeta_n = zeta(n);
+        let zeta_2 = zeta(2.min(n));
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta_2,
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `0..n` (0 is the hottest).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u = rng.uniform();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.zeta_2 {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(n: u64, theta: f64, draws: usize) -> Vec<usize> {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = SimRng::seed_from(42);
+        let mut counts = vec![0usize; n as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn ranks_are_ordered_by_popularity() {
+        let counts = frequencies(50, 0.99, 100_000);
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+        assert!(counts[5] > counts[25]);
+    }
+
+    #[test]
+    fn frequencies_track_the_power_law() {
+        let counts = frequencies(100, 1.0, 400_000);
+        // P(0)/P(9) should be roughly 10^theta = 10.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn low_theta_flattens_the_distribution() {
+        let skewed = frequencies(100, 1.2, 100_000);
+        let flat = frequencies(100, 0.1, 100_000);
+        let top_share = |c: &[usize]| {
+            c[..5].iter().sum::<usize>() as f64 / c.iter().sum::<usize>() as f64
+        };
+        assert!(top_share(&skewed) > 2.0 * top_share(&flat));
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = Zipf::new(7, 0.9);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn degenerate_domain() {
+        let zipf = Zipf::new(1, 0.99);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(zipf.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn theta_one_is_handled() {
+        let zipf = Zipf::new(1000, 1.0);
+        assert!(zipf.theta() > 1.0, "nudged off the pole");
+        let mut rng = SimRng::seed_from(3);
+        let _ = zipf.sample(&mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let zipf = Zipf::new(500, 0.99);
+        let a: Vec<u64> = {
+            let mut rng = SimRng::seed_from(9);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SimRng::seed_from(9);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 0.99);
+    }
+}

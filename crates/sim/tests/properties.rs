@@ -1,0 +1,131 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use powadapt_sim::{EventQueue, SimDuration, SimTime, StepSignal, Summary};
+
+proptest! {
+    /// Events always pop in non-decreasing time order regardless of the
+    /// insertion order.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Events scheduled at identical times preserve insertion order (FIFO).
+    #[test]
+    fn event_queue_fifo_at_same_time(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_millis(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Cancelling a subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation_is_exact(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            let cancel = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Integrating a step signal over adjacent windows is additive.
+    #[test]
+    fn signal_integration_is_additive(
+        steps in prop::collection::vec((1u64..1_000_000, 0.0f64..100.0), 0..50),
+        split in 0u64..2_000_000,
+    ) {
+        let mut sorted = steps.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        sorted.dedup_by_key(|&mut (t, _)| t);
+        let mut s = StepSignal::new(1.0);
+        for &(t, v) in &sorted {
+            s.step(SimTime::from_nanos(t), v);
+        }
+        let end = SimTime::from_nanos(2_000_000);
+        let mid = SimTime::from_nanos(split.min(2_000_000));
+        let whole = s.integrate(SimTime::ZERO, end);
+        let parts = s.integrate(SimTime::ZERO, mid) + s.integrate(mid, end);
+        prop_assert!((whole - parts).abs() < 1e-9 * whole.abs().max(1.0));
+    }
+
+    /// The trailing mean always lies within [min, max] of the step values
+    /// seen so far.
+    #[test]
+    fn trailing_mean_is_bounded(
+        steps in prop::collection::vec((1u64..1_000_000, 0.5f64..50.0), 1..40),
+    ) {
+        let mut sorted = steps.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        sorted.dedup_by_key(|&mut (t, _)| t);
+        let initial = 10.0;
+        let mut s = StepSignal::new(initial);
+        let mut lo = initial;
+        let mut hi = initial;
+        for &(t, v) in &sorted {
+            s.step(SimTime::from_nanos(t), v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let now = SimTime::from_nanos(1_500_000);
+        let m = s.trailing_mean(now, SimDuration::from_millis(2));
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "mean {} outside [{}, {}]", m, lo, hi);
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_samples(&samples).unwrap();
+        let mut last = s.min();
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v + 1e-9 >= last, "percentile({}) = {} < {}", p, v, last);
+            last = v;
+        }
+        prop_assert!(s.percentile(100.0) <= s.max() + 1e-9);
+    }
+
+    /// Violin bins always partition the full sample set.
+    #[test]
+    fn violin_bins_partition(
+        samples in prop::collection::vec(0.0f64..100.0, 1..300),
+        bins in 1usize..32,
+    ) {
+        let s = Summary::from_samples(&samples).unwrap();
+        let (centers, counts) = s.violin_bins(bins);
+        prop_assert_eq!(centers.len(), bins);
+        prop_assert_eq!(counts.iter().sum::<usize>(), samples.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: run one fio-style job against a simulated enterprise SSD,
+//! meter its power with the paper's rig, then cap the device and watch the
+//! write throughput fall while reads would not.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use powadapt::device::{catalog, PowerStateId, KIB, MIB};
+use powadapt::io::{run_experiment, ExperimentError, JobSpec, Workload};
+use powadapt::sim::SimDuration;
+
+fn main() -> Result<(), ExperimentError> {
+    // The Intel D7-P5510 model: ps0 (25 W), ps1 (12 W), ps2 (10 W).
+    println!("Device: Intel D7-P5510 (\"SSD2\"), power states:");
+    let dev = catalog::ssd2_d7_p5510(7);
+    for ps in powadapt::device::StorageDevice::power_states(&dev) {
+        println!("  {}: cap {:.0} W", ps.id, ps.cap_w);
+    }
+    println!();
+
+    // A sequential write job, fio-style: bs=1MiB, iodepth=64.
+    let job = JobSpec::new(Workload::SeqWrite)
+        .block_size(MIB)
+        .io_depth(64)
+        .runtime(SimDuration::from_millis(800))
+        .size_limit(4 * 1024 * MIB)
+        .ramp(SimDuration::from_millis(150))
+        .seed(7);
+
+    println!("{job} under each power state:");
+    let mut baseline = None;
+    for ps in 0..3u8 {
+        let mut dev = catalog::ssd2_d7_p5510(7);
+        powadapt::device::StorageDevice::set_power_state(&mut dev, PowerStateId(ps))
+            .expect("catalog device implements ps0-ps2");
+        let r = run_experiment(&mut dev, &job)?;
+        let thr = r.io.throughput_mibs();
+        let base = *baseline.get_or_insert(thr);
+        println!(
+            "  ps{ps}: {:>6.0} MiB/s ({:>3.0}% of ps0) at {:>5.2} W, p99 {:>7.0} us",
+            thr,
+            100.0 * thr / base,
+            r.avg_power_w(),
+            r.io.p99_latency_us()
+        );
+    }
+    println!();
+
+    // The same cap barely touches a read workload (the paper's asymmetry).
+    let job = JobSpec::new(Workload::RandRead)
+        .block_size(4 * KIB)
+        .io_depth(64)
+        .runtime(SimDuration::from_millis(800))
+        .size_limit(4 * 1024 * MIB)
+        .ramp(SimDuration::from_millis(150))
+        .seed(7);
+    println!("{job} under each power state:");
+    let mut baseline = None;
+    for ps in 0..3u8 {
+        let mut dev = catalog::ssd2_d7_p5510(7);
+        powadapt::device::StorageDevice::set_power_state(&mut dev, PowerStateId(ps))
+            .expect("catalog device implements ps0-ps2");
+        let r = run_experiment(&mut dev, &job)?;
+        let thr = r.io.throughput_mibs();
+        let base = *baseline.get_or_insert(thr);
+        println!(
+            "  ps{ps}: {:>6.0} MiB/s ({:>3.0}% of ps0) at {:>5.2} W, p99 {:>7.0} us",
+            thr,
+            100.0 * thr / base,
+            r.avg_power_w(),
+            r.io.p99_latency_us()
+        );
+    }
+    println!();
+    println!("Takeaway: power caps are nearly free for reads and expensive for writes —");
+    println!("the asymmetry the paper's §4 policies exploit.");
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Power-aware IO redirection over a diurnal demand curve (§4,
+//! cf. SRCMap): consolidate load onto few devices at night, wake devices
+//! for the daily peak, and account the energy saved. Also shows the tiered
+//! spin-down break-even analysis for an HDD tier.
+//!
+//! Run with: `cargo run --release --example standby_consolidation`
+
+use powadapt::core::{
+    AbsorptionProfile, RedirectionConfig, RedirectionPolicy, SpinProfile, TieringPolicy,
+};
+use powadapt::sim::SimDuration;
+
+fn main() {
+    // A 16-SSD storage server (the paper's §2 sizing example): each device
+    // serves ~3 GB/s active at ~12 W, or idles in standby near 1 W.
+    let cfg = RedirectionConfig {
+        per_device_capacity_bps: 3.0e9,
+        active_power_w: 12.0,
+        standby_power_w: 1.0,
+        wake_latency: SimDuration::from_millis(1),
+        grow_threshold: 0.85,
+        shrink_threshold: 0.55,
+    };
+    let mut policy = RedirectionPolicy::new(16, cfg).expect("valid config");
+
+    // A stylized 24-hour demand curve in GB/s (one step per hour).
+    let demand_gbs = [
+        8.0, 6.0, 4.0, 3.0, 2.5, 3.0, 6.0, 12.0, 20.0, 28.0, 34.0, 38.0,
+        40.0, 38.0, 36.0, 34.0, 30.0, 26.0, 24.0, 22.0, 18.0, 14.0, 12.0, 10.0,
+    ];
+
+    println!("Hourly consolidation over a diurnal demand curve (16 devices):");
+    println!(
+        "  {:>4} {:>9} {:>7} {:>6} {:>6} {:>8} {:>9}",
+        "hour", "demand", "active", "woken", "slept", "util", "power"
+    );
+    let mut adaptive_energy_j = 0.0;
+    let mut static_energy_j = 0.0;
+    for (hour, gbs) in demand_gbs.iter().enumerate() {
+        let d = policy.step(gbs * 1e9);
+        adaptive_energy_j += d.power_w * 3600.0;
+        static_energy_j += 16.0 * 12.0 * 3600.0;
+        println!(
+            "  {hour:>4} {:>6.1}GB/s {:>7} {:>6} {:>6} {:>7.0}% {:>7.1}W",
+            gbs,
+            d.active,
+            d.woken,
+            d.slept,
+            100.0 * d.utilization,
+            d.power_w
+        );
+    }
+    println!(
+        "\nEnergy: adaptive {:.1} kWh vs always-on {:.1} kWh -> {:.0}% saved",
+        adaptive_energy_j / 3.6e6,
+        static_energy_j / 3.6e6,
+        100.0 * (1.0 - adaptive_energy_j / static_energy_j)
+    );
+    println!();
+
+    // Tiered storage: when is it worth spinning the HDD tier down, and can
+    // the SSD tier mask the spin-up by absorbing writes (§4)?
+    let tiering = TieringPolicy::new(
+        SpinProfile {
+            idle_w: 3.76,
+            standby_w: 1.1,
+            down: SimDuration::from_millis(1500),
+            down_w: 2.5,
+            up: SimDuration::from_secs(6),
+            up_w: 5.2,
+        },
+        AbsorptionProfile {
+            absorb_bw_bps: 500e6,
+            absorb_capacity_bytes: 16 * 1024 * 1024 * 1024,
+        },
+    )
+    .expect("valid profiles");
+
+    println!("HDD tier spin-down analysis (Exos 7E2000 profile):");
+    println!("  break-even idle period: {}", tiering.break_even());
+    for idle_secs in [5u64, 30, 300, 3600] {
+        let period = SimDuration::from_secs(idle_secs);
+        println!(
+            "  idle {:>5} s: standby {} ({:+.1} J)",
+            idle_secs,
+            if tiering.should_standby(period) { "YES" } else { "no " },
+            tiering.savings_j(period)
+        );
+    }
+    println!();
+    println!("Write absorption while the disk sleeps (SSD stages the writes):");
+    for rate_mbs in [50.0, 100.0, 400.0] {
+        let max = tiering.max_maskable_period(rate_mbs * 1e6);
+        println!("  at {rate_mbs:>5.0} MB/s of writes: maskable for up to {max}");
+    }
+}
