@@ -34,8 +34,7 @@ fn bench_ssd(c: &mut Criterion) {
         b.iter(|| {
             let mut dev = catalog::ssd2_d7_p5510(9);
             black_box(
-                run_experiment(&mut dev, &quick_job(Workload::SeqWrite, MIB, 64))
-                    .expect("runs"),
+                run_experiment(&mut dev, &quick_job(Workload::SeqWrite, MIB, 64)).expect("runs"),
             )
         });
     });

@@ -36,9 +36,7 @@ fn bench_model(c: &mut Criterion) {
     let points = synthetic_points("D", 216, 1);
     c.bench_function("model/build_216_points", |b| {
         b.iter(|| {
-            black_box(
-                PowerThroughputModel::from_points("D", points.clone()).expect("valid"),
-            )
+            black_box(PowerThroughputModel::from_points("D", points.clone()).expect("valid"))
         });
     });
 

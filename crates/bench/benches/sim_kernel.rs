@@ -48,7 +48,12 @@ fn bench_rolling_mean(c: &mut Criterion) {
     c.bench_function("rolling_mean/push_query_10k", |b| {
         let mut rng = SimRng::seed_from(3);
         let steps: Vec<(u64, f64)> = (0..10_000)
-            .map(|i| (i * 700 + rng.u64_range(0, 500), rng.uniform_range(0.0, 20.0)))
+            .map(|i| {
+                (
+                    i * 700 + rng.u64_range(0, 500),
+                    rng.uniform_range(0.0, 20.0),
+                )
+            })
             .collect();
         b.iter(|| {
             let mut rm = RollingMean::new(SimDuration::from_millis(25), 5.0);

@@ -55,7 +55,9 @@ fn main() {
     }
     println!();
 
-    println!("== Ablation 2: enforcement window vs the literal 10 s spec (ps2, seq write 2 MiB QD64) ==");
+    println!(
+        "== Ablation 2: enforcement window vs the literal 10 s spec (ps2, seq write 2 MiB QD64) =="
+    );
     println!("   The NVMe cap is an average over any 10 s window. Firmware that enforced");
     println!("   only the literal window would run uncapped for seconds, then stall hard;");
     println!("   fast enforcement paces smoothly. Power spread = p95 - p5 of the trace.");
@@ -69,10 +71,9 @@ fn main() {
         cfg.noise_sd_w = 0.0;
         let mut dev = device_with(cfg, 2);
         let r = run(&mut dev, Workload::SeqWrite, 2 * MIB, 64);
-        let (peak, spread) = r
-            .power
-            .summary()
-            .map_or((0.0, 0.0), |s| (s.max(), s.percentile(95.0) - s.percentile(5.0)));
+        let (peak, spread) = r.power.summary().map_or((0.0, 0.0), |s| {
+            (s.max(), s.percentile(95.0) - s.percentile(5.0))
+        });
         println!(
             "   {:>6}ms {:>10.0} {:>9.2} {:>10.2} {:>10.2}",
             ms,

@@ -7,16 +7,43 @@ fn main() {
     let seed = 42;
     let rule = "=".repeat(72);
     for (name, f) in [
-        ("Table 1", Box::new(move || figures::table1::run(scale, seed)) as Box<dyn Fn()>),
-        ("Figure 2", Box::new(move || figures::fig2::run(scale, seed))),
-        ("Figure 3", Box::new(move || figures::fig3::run(scale, seed))),
-        ("Figure 4", Box::new(move || figures::fig4::run(scale, seed))),
-        ("Figure 5", Box::new(move || figures::fig5::run(scale, seed))),
-        ("Figure 6", Box::new(move || figures::fig6::run(scale, seed))),
+        (
+            "Table 1",
+            Box::new(move || figures::table1::run(scale, seed)) as Box<dyn Fn()>,
+        ),
+        (
+            "Figure 2",
+            Box::new(move || figures::fig2::run(scale, seed)),
+        ),
+        (
+            "Figure 3",
+            Box::new(move || figures::fig3::run(scale, seed)),
+        ),
+        (
+            "Figure 4",
+            Box::new(move || figures::fig4::run(scale, seed)),
+        ),
+        (
+            "Figure 5",
+            Box::new(move || figures::fig5::run(scale, seed)),
+        ),
+        (
+            "Figure 6",
+            Box::new(move || figures::fig6::run(scale, seed)),
+        ),
         ("Figure 7", Box::new(move || figures::fig7::run(seed))),
-        ("Figure 8", Box::new(move || figures::fig8::run(scale, seed))),
-        ("Figure 9", Box::new(move || figures::fig9::run(scale, seed))),
-        ("Figure 10", Box::new(move || figures::fig10::run(scale, seed))),
+        (
+            "Figure 8",
+            Box::new(move || figures::fig8::run(scale, seed)),
+        ),
+        (
+            "Figure 9",
+            Box::new(move || figures::fig9::run(scale, seed)),
+        ),
+        (
+            "Figure 10",
+            Box::new(move || figures::fig10::run(scale, seed)),
+        ),
     ] {
         println!("{rule}\n{name}\n{rule}");
         f();

@@ -68,7 +68,9 @@ fn main() {
         );
     }
 
-    println!("== SSD2 randwrite QD1 latency by state (paper: avg up to ~2x, p99 up to ~6.2x at ps2) ==");
+    println!(
+        "== SSD2 randwrite QD1 latency by state (paper: avg up to ~2x, p99 up to ~6.2x at ps2) =="
+    );
     for chunk in [4 * KIB, 256 * KIB, 2 * MIB] {
         let mut base = (0.0, 0.0);
         for ps in [0u8, 2u8] {
@@ -81,7 +83,12 @@ fn main() {
             let (avg, p99) = (r.io.avg_latency_us(), r.io.p99_latency_us());
             if ps == 0 {
                 base = (avg, p99);
-                println!("  {}KiB ps0: avg {:.0} us p99 {:.0} us", chunk / KIB, avg, p99);
+                println!(
+                    "  {}KiB ps0: avg {:.0} us p99 {:.0} us",
+                    chunk / KIB,
+                    avg,
+                    p99
+                );
             } else {
                 println!(
                     "  {}KiB ps2: avg {:.0} us ({:.2}x) p99 {:.0} us ({:.2}x)",
@@ -183,7 +190,12 @@ fn main() {
     for label in ["SSD1", "SSD2", "SSD3", "HDD"] {
         let mut lo = f64::INFINITY;
         let mut hi = 0.0f64;
-        for w in [Workload::SeqWrite, Workload::SeqRead, Workload::RandWrite, Workload::RandRead] {
+        for w in [
+            Workload::SeqWrite,
+            Workload::SeqRead,
+            Workload::RandWrite,
+            Workload::RandRead,
+        ] {
             for (chunk, depth) in [(4 * KIB, 1), (256 * KIB, 64), (2 * MIB, 64)] {
                 let r = run_fresh(
                     || catalog::by_label(label, 1).unwrap(),

@@ -5,7 +5,9 @@
 //! 1. power-aware IO redirection (consolidation) across demand levels,
 //! 2. asymmetric IO (write segregation) under fleet-wide caps,
 //! 3. the §4.1 mechanism crossover (shape vs redirect),
-//! 4. closed-loop budget tracking.
+//! 4. closed-loop budget tracking,
+//! 5. fault tolerance: throughput and tail cost of riding through a
+//!    device dropout behind the circuit breaker.
 //!
 //! Run with: `cargo run --release -p powadapt-bench --bin policy_eval`
 
@@ -13,10 +15,10 @@ use powadapt_core::{
     choose_mechanism, redirect_crossover_fraction, AdaptiveScenarioRouter, BudgetSchedule,
     ConsolidatingRouter, PowerEventCause, RedirectionConfig, WriteSegregationRouter,
 };
-use powadapt_device::{catalog, PowerStateId, StorageDevice, GIB, KIB};
+use powadapt_device::{catalog, FaultInjector, FaultPlan, PowerStateId, StorageDevice, GIB, KIB};
 use powadapt_io::{
-    full_sweep, run_fleet, AccessPattern, Arrivals, LeastLoadedRouter, OpenLoopSpec, SweepScale,
-    Workload,
+    full_sweep, run_fleet, AccessPattern, Arrivals, BreakerConfig, CircuitBreakerRouter,
+    LeastLoadedRouter, OpenLoopSpec, SweepScale, Workload,
 };
 use powadapt_model::PowerThroughputModel;
 use powadapt_sim::{SimDuration, SimTime};
@@ -197,7 +199,10 @@ fn mechanism_section() {
         );
     }
     let crossover = redirect_crossover_fraction(&model, 8, 0.17);
-    println!("   crossover: redirection wins below {:.0}% of fleet peak", 100.0 * crossover);
+    println!(
+        "   crossover: redirection wins below {:.0}% of fleet peak",
+        100.0 * crossover
+    );
     println!();
 }
 
@@ -225,15 +230,28 @@ fn scenario_section() {
         .expect("one model");
 
     let mut schedule = BudgetSchedule::new(32.0);
-    schedule.push(SimTime::from_millis(500), 21.0, PowerEventCause::DemandResponse);
+    schedule.push(
+        SimTime::from_millis(500),
+        21.0,
+        PowerEventCause::DemandResponse,
+    );
     let mut router =
         AdaptiveScenarioRouter::new(schedule, vec![model.clone(), model], vec![None, None]);
     let mut devices = ssd2_fleet(2);
     let spec = stream(14_000.0, 256 * KIB, 0.0, 1200);
-    let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-        .expect("runs");
-    let before = r.power.between(SimTime::from_millis(100), SimTime::from_millis(500));
-    let after = r.power.between(SimTime::from_millis(650), SimTime::from_millis(1200));
+    let r = run_fleet(
+        &mut devices,
+        &mut router,
+        &spec,
+        SimDuration::from_millis(50),
+    )
+    .expect("runs");
+    let before = r
+        .power
+        .between(SimTime::from_millis(100), SimTime::from_millis(500));
+    let after = r
+        .power
+        .between(SimTime::from_millis(650), SimTime::from_millis(1200));
     println!(
         "   before dip: {:.1} W (budget 32) | after dip: {:.1} W (budget 21) | replans {}",
         before.mean(),
@@ -247,9 +265,86 @@ fn scenario_section() {
     );
 }
 
+fn fault_section() {
+    println!("== 5. Fault tolerance: 4x SSD3, device 0 drops out for [0.3 s, 0.9 s) ==");
+    let spec = OpenLoopSpec {
+        arrivals: Arrivals::Poisson { rate_iops: 8_000.0 },
+        block_size: 64 * KIB,
+        read_fraction: 0.7,
+        pattern: AccessPattern::Random,
+        region: (0, 8 * GIB),
+        duration: SimDuration::from_millis(1500),
+        seed: 77,
+        zipf_theta: None,
+    };
+    let interval = SimDuration::from_millis(20);
+    let outage = FaultPlan::none()
+        .io_errors(0.01)
+        .dropout(SimTime::from_millis(300), SimTime::from_millis(900));
+    let fleet = |faulted: bool| -> Vec<Box<dyn StorageDevice>> {
+        (0..4)
+            .map(|i| {
+                let inner = Box::new(catalog::ssd3_d3_p4510(700 + i));
+                let plan = if faulted && i == 0 {
+                    outage.clone()
+                } else {
+                    FaultPlan::none()
+                };
+                Box::new(FaultInjector::seeded(inner, plan, 40 + i)) as Box<dyn StorageDevice>
+            })
+            .collect()
+    };
+
+    let healthy = {
+        let mut devices = fleet(false);
+        let mut router = LeastLoadedRouter::default();
+        run_fleet(&mut devices, &mut router, &spec, interval).expect("runs")
+    };
+    let faulted = {
+        let mut devices = fleet(true);
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_millis(200),
+            probe_successes: 2,
+        };
+        let mut router = CircuitBreakerRouter::new(LeastLoadedRouter::default(), cfg);
+        let r = run_fleet(&mut devices, &mut router, &spec, interval).expect("runs");
+        println!("   breaker timeline:");
+        for e in router.events() {
+            println!(
+                "     t={:.3}s  device {}  -> {}",
+                e.at.as_secs_f64(),
+                e.device,
+                e.entered
+            );
+        }
+        r
+    };
+    println!(
+        "   {:>18} {:>9} {:>9} {:>12} {:>9} {:>9}",
+        "", "IOs", "dropped", "MiB/s", "p99 us", "avg W"
+    );
+    for (name, r) in [("healthy fleet", &healthy), ("dropout + breaker", &faulted)] {
+        println!(
+            "   {:>18} {:>9} {:>9} {:>12.1} {:>9.0} {:>9.2}",
+            name,
+            r.total.ios(),
+            r.dropped,
+            r.total.throughput_mibs(),
+            r.total.p99_latency_us(),
+            r.avg_power_w()
+        );
+    }
+    println!(
+        "   -> served {:.1}% of the healthy run's IOs through a 40% outage window",
+        100.0 * faulted.total.ios() as f64 / healthy.total.ios() as f64
+    );
+}
+
 fn main() {
     consolidation_section();
     segregation_section();
     mechanism_section();
     scenario_section();
+    fault_section();
 }

@@ -71,9 +71,7 @@ fn main() {
     println!();
 
     let range = fleet_power(|_| read_w.max(write_w)) - fleet_power(|_| idle);
-    println!(
-        "  fleet dynamic range without any control: {range:.0} W — \"comparable with the"
-    );
+    println!("  fleet dynamic range without any control: {range:.0} W — \"comparable with the");
     println!("  power dynamic range of the host server without storage devices\" (Sec. 2).");
     println!(
         "  the 9 W cap alone shrinks the fleet ceiling by {:.0} W ({:.0}%).",

@@ -41,7 +41,11 @@ pub fn run(scale: SweepScale, seed: u64) {
     println!("Figure 10a. Normalized power-throughput model, random write, all devices.");
     println!("  (normalized throughput, normalized power) per configuration:");
     for m in &models {
-        println!("  {} -> dynamic range {:.1}% of max power", m, 100.0 * m.power_dynamic_range());
+        println!(
+            "  {} -> dynamic range {:.1}% of max power",
+            m,
+            100.0 * m.power_dynamic_range()
+        );
         for (i, (t, p)) in m.normalized().iter().enumerate() {
             if i % 12 == 0 {
                 println!("    ({t:.2}, {p:.2})");
@@ -98,9 +102,7 @@ pub fn run(scale: SweepScale, seed: u64) {
     let from = ssd1
         .points()
         .iter()
-        .find(|p| {
-            p.chunk() == 256 * KIB && p.depth() == 64 && p.power_state() == PowerStateId(0)
-        })
+        .find(|p| p.chunk() == 256 * KIB && p.depth() == 64 && p.power_state() == PowerStateId(0))
         .expect("paper operating point swept")
         .clone();
     println!(

@@ -53,10 +53,12 @@ fn print_normalized(title: &str, cells: &[Cell], pick: fn(&Cell) -> f64) {
     for &chunk in &PAPER_CHUNKS {
         let v: Vec<f64> = (0u8..3)
             .map(|ps| {
-                pick(cells
-                    .iter()
-                    .find(|c| c.chunk == chunk && c.ps == ps)
-                    .expect("cell measured"))
+                pick(
+                    cells
+                        .iter()
+                        .find(|c| c.chunk == chunk && c.ps == ps)
+                        .expect("cell measured"),
+                )
             })
             .collect();
         println!(
@@ -86,16 +88,32 @@ pub fn run(scale: SweepScale, seed: u64) {
     let max_avg = PAPER_CHUNKS
         .iter()
         .map(|&ch| {
-            let v0 = cells.iter().find(|c| c.chunk == ch && c.ps == 0).unwrap().avg_us;
-            let v2 = cells.iter().find(|c| c.chunk == ch && c.ps == 2).unwrap().avg_us;
+            let v0 = cells
+                .iter()
+                .find(|c| c.chunk == ch && c.ps == 0)
+                .unwrap()
+                .avg_us;
+            let v2 = cells
+                .iter()
+                .find(|c| c.chunk == ch && c.ps == 2)
+                .unwrap()
+                .avg_us;
             v2 / v0
         })
         .fold(0.0, f64::max);
     let max_p99 = PAPER_CHUNKS
         .iter()
         .map(|&ch| {
-            let v0 = cells.iter().find(|c| c.chunk == ch && c.ps == 0).unwrap().p99_us;
-            let v2 = cells.iter().find(|c| c.chunk == ch && c.ps == 2).unwrap().p99_us;
+            let v0 = cells
+                .iter()
+                .find(|c| c.chunk == ch && c.ps == 0)
+                .unwrap()
+                .p99_us;
+            let v2 = cells
+                .iter()
+                .find(|c| c.chunk == ch && c.ps == 2)
+                .unwrap()
+                .p99_us;
             v2 / v0
         })
         .fold(0.0, f64::max);

@@ -11,7 +11,10 @@ pub fn run(scale: SweepScale, seed: u64) {
     let cells = fig5::panel(Workload::RandRead, scale, seed);
 
     for (panel, pick) in [
-        ("a (avg)", (|c: &fig5::Cell| c.avg_us) as fn(&fig5::Cell) -> f64),
+        (
+            "a (avg)",
+            (|c: &fig5::Cell| c.avg_us) as fn(&fig5::Cell) -> f64,
+        ),
         ("b (p99)", |c: &fig5::Cell| c.p99_us),
     ] {
         println!("Figure 6{panel}. SSD2 random read latency (normalized to ps0), QD 1.");
@@ -19,10 +22,12 @@ pub fn run(scale: SweepScale, seed: u64) {
         for &chunk in &PAPER_CHUNKS {
             let v: Vec<f64> = (0u8..3)
                 .map(|ps| {
-                    pick(cells
-                        .iter()
-                        .find(|c| c.chunk == chunk && c.ps == ps)
-                        .expect("cell measured"))
+                    pick(
+                        cells
+                            .iter()
+                            .find(|c| c.chunk == chunk && c.ps == ps)
+                            .expect("cell measured"),
+                    )
                 })
                 .collect();
             println!(
@@ -37,7 +42,10 @@ pub fn run(scale: SweepScale, seed: u64) {
     }
 
     let max_dev = max_deviation(&cells);
-    println!("Measured: max deviation from ps0 across all cells: {:.1}%.", 100.0 * max_dev);
+    println!(
+        "Measured: max deviation from ps0 across all cells: {:.1}%.",
+        100.0 * max_dev
+    );
     println!("Paper:    no noticeable difference between power states.");
 }
 

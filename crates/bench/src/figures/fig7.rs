@@ -83,7 +83,9 @@ pub fn run(seed: u64) {
 
     let idle = a.samples().first().copied().unwrap_or(0.0);
     let slumber = a.samples().last().copied().unwrap_or(0.0);
-    println!("Measured: idle {idle:.2} W -> SLUMBER {slumber:.2} W; transitions < 0.5 s with a spike.");
+    println!(
+        "Measured: idle {idle:.2} W -> SLUMBER {slumber:.2} W; transitions < 0.5 s with a spike."
+    );
     println!("Paper:    idle 0.35 W -> SLUMBER 0.17 W; EVO transitions within 0.5 s.");
     println!();
 
@@ -104,7 +106,10 @@ pub fn run(seed: u64) {
         hdd.advance_to(t);
     }
     let up = hdd.now().duration_since(t1);
-    println!("  idle {idle_w:.2} W -> standby {standby_w:.2} W (saves {:.2} W)", idle_w - standby_w);
+    println!(
+        "  idle {idle_w:.2} W -> standby {standby_w:.2} W (saves {:.2} W)",
+        idle_w - standby_w
+    );
     println!("  spin-down {down}, spin-up {up}");
     println!("Paper: idle 3.76 W -> standby 1.1 W (saves 2.66 W); spin transitions up to 10 s.");
     println!();
@@ -137,6 +142,9 @@ pub fn run(seed: u64) {
                 println!("  +{:>4} us  {:>6.3} W", j * 10, w);
             }
         }
-        println!("  edge resolved at 10 us resolution; plateau {:.2} W (wake spike)", c.mean());
+        println!(
+            "  edge resolved at 10 us resolution; plateau {:.2} W (wake spike)",
+            c.mean()
+        );
     }
 }

@@ -52,7 +52,11 @@ pub fn grid(scale: SweepScale, seed: u64) -> Vec<Cell> {
 pub fn run(scale: SweepScale, seed: u64) {
     let cells = grid(scale, seed);
     for (panel, title, pick) in [
-        ("a", "average power (W)", (|c: &Cell| c.power_w) as fn(&Cell) -> f64),
+        (
+            "a",
+            "average power (W)",
+            (|c: &Cell| c.power_w) as fn(&Cell) -> f64,
+        ),
         ("b", "throughput (MiB/s)", |c: &Cell| c.mibs),
     ] {
         println!("Figure 8{panel}. Random write {title} vs chunk size (QD 64).");

@@ -52,7 +52,11 @@ pub fn grid(scale: SweepScale, seed: u64) -> Vec<Cell> {
 pub fn run(scale: SweepScale, seed: u64) {
     let cells = grid(scale, seed);
     for (panel, title, pick) in [
-        ("a", "average power (W)", (|c: &Cell| c.power_w) as fn(&Cell) -> f64),
+        (
+            "a",
+            "average power (W)",
+            (|c: &Cell| c.power_w) as fn(&Cell) -> f64,
+        ),
         ("b", "throughput (MiB/s)", |c: &Cell| c.mibs),
     ] {
         println!("Figure 9{panel}. Random read {title} vs IO depth (4 KiB chunks).");
@@ -91,5 +95,7 @@ pub fn run(scale: SweepScale, seed: u64) {
             100.0 * qd1.mibs / qd64.mibs
         );
     }
-    println!("Paper: depth 1 consumes up to 40% less power but may provide only ~10% of throughput.");
+    println!(
+        "Paper: depth 1 consumes up to 40% less power but may provide only ~10% of throughput."
+    );
 }

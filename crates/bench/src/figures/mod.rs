@@ -2,8 +2,6 @@
 //! measurement functions plus a `run` that prints the paper's rows/series.
 
 pub mod fig10;
-#[cfg(test)]
-mod tests;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -13,3 +11,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod table1;
+#[cfg(test)]
+mod tests;

@@ -98,7 +98,10 @@ pub fn rows(scale: SweepScale, seed: u64) -> Vec<Row> {
 /// Prints the table in the paper's layout.
 pub fn run(scale: SweepScale, seed: u64) {
     println!("Table 1. Evaluated storage devices.");
-    println!("{:<6} {:<9} {:<22} Measured Power Range", "Label", "Protocol", "Model");
+    println!(
+        "{:<6} {:<9} {:<22} Measured Power Range",
+        "Label", "Protocol", "Model"
+    );
     println!("{}", "-".repeat(64));
     for r in rows(scale, seed) {
         println!(

@@ -173,7 +173,13 @@ mod tests {
 
     #[test]
     fn causes_display() {
-        assert_eq!(PowerEventCause::Oversubscription.to_string(), "oversubscription");
-        assert_eq!(PowerEventCause::DemandResponse.to_string(), "demand-response");
+        assert_eq!(
+            PowerEventCause::Oversubscription.to_string(),
+            "oversubscription"
+        );
+        assert_eq!(
+            PowerEventCause::DemandResponse.to_string(),
+            "demand-response"
+        );
     }
 }

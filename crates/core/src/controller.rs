@@ -1,11 +1,20 @@
 //! The adaptive control loop: given per-device power-throughput models and
 //! a power budget, pick and apply a fleet configuration.
+//!
+//! The loop degrades gracefully when devices misbehave (the §4.1
+//! transition-safety requirement): admin commands are retried under a
+//! bounded [`RetryPolicy`], persistent refusers are quarantined for a few
+//! control rounds, and the remaining budget is re-planned across the
+//! compliant devices, so one broken drive cannot take the fleet out of
+//! its power envelope.
 
 use std::error::Error;
 use std::fmt;
 
 use powadapt_device::{DeviceError, StandbyState, StorageDevice};
 use powadapt_model::{ConfigPoint, FleetModel, PowerThroughputModel};
+
+use crate::health::{Degradation, DeviceHealth, RetryPolicy};
 
 /// Action applied to one device by the controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,12 +31,29 @@ pub enum DeviceAction {
 /// The plan the controller applied in response to a budget.
 #[derive(Debug, Clone)]
 pub struct AppliedPlan {
-    /// `(device label, action)` per device, in controller order.
+    /// `(device label, action)` per device that accepted an action, in
+    /// controller order. Quarantined devices are absent here and listed in
+    /// [`quarantined`](AppliedPlan::quarantined) instead.
     pub actions: Vec<(String, DeviceAction)>,
-    /// Expected total power, in watts.
+    /// Expected total power, in watts. Includes the measured draw of
+    /// quarantined devices, so compliance is judged fleet-wide.
     pub expected_power_w: f64,
-    /// Expected total throughput, in bytes/second.
+    /// Expected total throughput, in bytes/second (compliant devices
+    /// only).
     pub expected_throughput_bps: f64,
+    /// Devices that refused their planned action this round (retries
+    /// exhausted), with the evidence.
+    pub degraded: Vec<Degradation>,
+    /// Labels of every device currently out of service — quarantined this
+    /// round or still cooling down from an earlier one.
+    pub quarantined: Vec<String>,
+}
+
+impl AppliedPlan {
+    /// True when every device accepted its action.
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty() && self.quarantined.is_empty()
+    }
 }
 
 impl fmt::Display for AppliedPlan {
@@ -45,6 +71,16 @@ impl fmt::Display for AppliedPlan {
                     writeln!(f, "  {label}: standby ({power_w:.2} W)")?
                 }
             }
+        }
+        for d in &self.degraded {
+            writeln!(
+                f,
+                "  {}: DEGRADED after {} attempt(s): {}",
+                d.device, d.attempts, d.error
+            )?;
+        }
+        for label in &self.quarantined {
+            writeln!(f, "  {label}: quarantined")?;
         }
         Ok(())
     }
@@ -179,6 +215,10 @@ pub fn plan_budget(
 pub struct AdaptiveController {
     devices: Vec<Box<dyn StorageDevice>>,
     models: Vec<PowerThroughputModel>,
+    retry: RetryPolicy,
+    health: Vec<DeviceHealth>,
+    /// Remaining cooldown rounds per device; non-zero = quarantined.
+    quarantine: Vec<u32>,
 }
 
 impl AdaptiveController {
@@ -201,7 +241,38 @@ impl AdaptiveController {
         {
             return Err(ControlError::MismatchedModels);
         }
-        Ok(AdaptiveController { devices, models })
+        let n = devices.len();
+        Ok(AdaptiveController {
+            devices,
+            models,
+            retry: RetryPolicy::default(),
+            health: vec![DeviceHealth::default(); n],
+            quarantine: vec![0; n],
+        })
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Health record of device `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn health(&self, i: usize) -> &DeviceHealth {
+        &self.health[i]
+    }
+
+    /// True while device `i` is quarantined (sitting out control rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        self.quarantine[i] > 0
     }
 
     /// The managed devices.
@@ -242,56 +313,156 @@ impl AdaptiveController {
             .sum()
     }
 
+    /// Applies `action` to device `i`, retrying transient rejections up to
+    /// the policy's attempt bound. Returns the final error and the number
+    /// of attempts made on failure.
+    fn apply_action(&mut self, i: usize, action: &DeviceAction) -> Result<(), (DeviceError, u32)> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let device = self.devices[i].as_mut();
+            let result = match action {
+                DeviceAction::Standby { .. } => match device.standby_state() {
+                    StandbyState::Standby | StandbyState::EnteringStandby => Ok(()),
+                    _ => device.request_standby(),
+                },
+                DeviceAction::Operate(point) => {
+                    let woken = if device.standby_state() != StandbyState::Active {
+                        device.request_wake()
+                    } else {
+                        Ok(())
+                    };
+                    woken.and_then(|()| device.set_power_state(point.power_state()))
+                }
+            };
+            match result {
+                Ok(()) => {
+                    self.health[i].record(true);
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.health[i].record(false);
+                    if !e.is_transient() || attempts >= self.retry.max_attempts {
+                        return Err((e, attempts));
+                    }
+                }
+            }
+        }
+    }
+
     /// Picks the throughput-maximizing fleet configuration under
     /// `budget_w` (allowing standby for devices that support it) and
     /// applies it: power states are set, and devices chosen for standby are
     /// requested to sleep.
+    ///
+    /// Devices that refuse their action — transient errors are retried
+    /// under the controller's [`RetryPolicy`] first — are quarantined for
+    /// `quarantine_cooldown` rounds and the budget is re-planned across
+    /// the compliant remainder, with the refuser's *measured* power draw
+    /// reserved out of the budget. The outcome is a degraded but compliant
+    /// plan; its [`degraded`](AppliedPlan::degraded) and
+    /// [`quarantined`](AppliedPlan::quarantined) fields carry the
+    /// evidence. Quarantined devices are probed again once their cooldown
+    /// expires.
     ///
     /// The returned plan carries the advisory IO shape per operating device;
     /// the workload layer is responsible for issuing IO in that shape.
     ///
     /// # Errors
     ///
-    /// [`ControlError::Infeasible`] when the budget is below the floor, or
-    /// [`ControlError::Device`] if a device rejects an action.
+    /// [`ControlError::Infeasible`] when the budget is below the floor of
+    /// the devices still in service, or [`ControlError::Device`] when no
+    /// device accepted an action (the last device error is returned).
     pub fn apply_budget(&mut self, budget_w: f64) -> Result<AppliedPlan, ControlError> {
-        let standby_w: Vec<Option<f64>> =
-            self.devices.iter().map(|d| d.standby_power_w()).collect();
-        let planned =
-            plan_budget(&self.models, &standby_w, budget_w).ok_or(ControlError::Infeasible {
-                budget_w,
-                floor_w: self.floor_w(),
-            })?;
+        // Tick quarantine cooldowns: a device whose cooldown expires this
+        // round re-enters planning as a probe.
+        for q in &mut self.quarantine {
+            *q = q.saturating_sub(1);
+        }
+        let mut excluded: Vec<bool> = self.quarantine.iter().map(|&q| q > 0).collect();
+        let mut degraded: Vec<Degradation> = Vec::new();
+        let mut last_err: Option<DeviceError> = None;
 
-        let mut actions = Vec::with_capacity(self.devices.len());
-        let mut expected_power_w = 0.0;
-        let mut expected_throughput_bps = 0.0;
-        for (device, action) in self.devices.iter_mut().zip(planned) {
-            match &action {
-                DeviceAction::Standby { power_w } => {
-                    expected_power_w += power_w;
-                    match device.standby_state() {
-                        StandbyState::Standby | StandbyState::EnteringStandby => {}
-                        _ => device.request_standby()?,
-                    }
-                }
-                DeviceAction::Operate(point) => {
-                    expected_power_w += point.power_w();
-                    expected_throughput_bps += point.throughput_bps();
-                    if device.standby_state() != StandbyState::Active {
-                        device.request_wake()?;
-                    }
-                    device.set_power_state(point.power_state())?;
+        loop {
+            let included: Vec<usize> = (0..self.devices.len()).filter(|&i| !excluded[i]).collect();
+            if included.is_empty() {
+                return Err(match last_err {
+                    Some(e) => ControlError::Device(e),
+                    None => ControlError::Infeasible {
+                        budget_w,
+                        floor_w: self.floor_w(),
+                    },
+                });
+            }
+
+            // Quarantined devices still draw their measured power; reserve
+            // it so the compliant remainder plans inside what is left.
+            let reserved_w: f64 = (0..self.devices.len())
+                .filter(|&i| excluded[i])
+                .map(|i| self.devices[i].power_w())
+                .sum();
+            let models: Vec<PowerThroughputModel> =
+                included.iter().map(|&i| self.models[i].clone()).collect();
+            let standby_w: Vec<Option<f64>> = included
+                .iter()
+                .map(|&i| self.devices[i].standby_power_w())
+                .collect();
+            let planned = plan_budget(&models, &standby_w, budget_w - reserved_w).ok_or(
+                ControlError::Infeasible {
+                    budget_w,
+                    floor_w: self.floor_w(),
+                },
+            )?;
+
+            let mut refused: Option<(usize, DeviceError, u32, DeviceAction)> = None;
+            for (&i, action) in included.iter().zip(&planned) {
+                if let Err((e, attempts)) = self.apply_action(i, action) {
+                    refused = Some((i, e, attempts, action.clone()));
+                    break;
                 }
             }
-            actions.push((device.spec().label().to_string(), action));
-        }
 
-        Ok(AppliedPlan {
-            actions,
-            expected_power_w,
-            expected_throughput_bps,
-        })
+            match refused {
+                Some((i, e, attempts, action)) => {
+                    degraded.push(Degradation {
+                        device: self.devices[i].spec().label().to_string(),
+                        planned: action,
+                        error: e.clone(),
+                        attempts,
+                    });
+                    excluded[i] = true;
+                    self.quarantine[i] = self.retry.quarantine_cooldown.max(1);
+                    last_err = Some(e);
+                    // Re-plan the remaining budget across compliant devices.
+                }
+                None => {
+                    let mut actions = Vec::with_capacity(included.len());
+                    let mut expected_power_w = reserved_w;
+                    let mut expected_throughput_bps = 0.0;
+                    for (&i, action) in included.iter().zip(&planned) {
+                        match action {
+                            DeviceAction::Standby { power_w } => expected_power_w += power_w,
+                            DeviceAction::Operate(point) => {
+                                expected_power_w += point.power_w();
+                                expected_throughput_bps += point.throughput_bps();
+                            }
+                        }
+                        actions.push((self.devices[i].spec().label().to_string(), action.clone()));
+                    }
+                    let quarantined: Vec<String> = (0..self.devices.len())
+                        .filter(|&i| excluded[i])
+                        .map(|i| self.devices[i].spec().label().to_string())
+                        .collect();
+                    return Ok(AppliedPlan {
+                        actions,
+                        expected_power_w,
+                        expected_throughput_bps,
+                        degraded,
+                        quarantined,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -326,11 +497,7 @@ mod tests {
     }
 
     fn hdd_model() -> PowerThroughputModel {
-        PowerThroughputModel::from_points(
-            "HDD",
-            vec![mk("HDD", 0, 4.5, 130e6)],
-        )
-        .unwrap()
+        PowerThroughputModel::from_points("HDD", vec![mk("HDD", 0, 4.5, 130e6)]).unwrap()
     }
 
     fn controller() -> AdaptiveController {
@@ -346,10 +513,8 @@ mod tests {
 
     #[test]
     fn mismatched_models_rejected() {
-        let err = AdaptiveController::new(
-            vec![Box::new(catalog::ssd2_d7_p5510(1))],
-            vec![hdd_model()],
-        );
+        let err =
+            AdaptiveController::new(vec![Box::new(catalog::ssd2_d7_p5510(1))], vec![hdd_model()]);
         assert!(matches!(err, Err(ControlError::MismatchedModels)));
     }
 
@@ -358,7 +523,9 @@ mod tests {
         let mut ctl = controller();
         let plan = ctl.apply_budget(30.0).unwrap();
         assert_eq!(plan.actions.len(), 2);
-        assert!(matches!(plan.actions[0].1, DeviceAction::Operate(ref p) if p.power_state() == PowerStateId(0)));
+        assert!(
+            matches!(plan.actions[0].1, DeviceAction::Operate(ref p) if p.power_state() == PowerStateId(0))
+        );
         assert!(plan.expected_throughput_bps > 3.0e9);
     }
 

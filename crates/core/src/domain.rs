@@ -138,7 +138,11 @@ impl PowerDomain {
     /// conservative breaker-sizing assumption).
     pub fn worst_case_w(&self) -> f64 {
         self.devices.iter().map(|d| d.peak_w).sum::<f64>()
-            + self.children.iter().map(PowerDomain::worst_case_w).sum::<f64>()
+            + self
+                .children
+                .iter()
+                .map(PowerDomain::worst_case_w)
+                .sum::<f64>()
     }
 
     /// Worst-case power of adaptive devices in this subtree.
@@ -258,7 +262,9 @@ mod tests {
         let violations = row.check_safety(0.5);
         assert_eq!(violations.len(), 1);
         match &violations[0] {
-            SafetyViolation::ConcentratedDeployment { domain, fraction, .. } => {
+            SafetyViolation::ConcentratedDeployment {
+                domain, fraction, ..
+            } => {
                 assert_eq!(domain, "r1");
                 assert!((*fraction - 1.0).abs() < 1e-12);
             }

@@ -9,7 +9,10 @@
 //!   ([`RedirectionPolicy`]), asymmetric IO ([`plan_asymmetric`]), and
 //!   tiered standby masking ([`TieringPolicy`]),
 //! - [`PowerDomain`] encodes the §4.1 incremental-rollout safety rules,
-//! - [`AdaptiveController`] closes the loop: budget in, device actions out.
+//! - [`AdaptiveController`] closes the loop: budget in, device actions out —
+//!   retrying refused admin commands under a [`RetryPolicy`], tracking
+//!   per-device [`DeviceHealth`], and re-planning around quarantined
+//!   devices so a broken drive cannot break the budget.
 //!
 //! # Examples
 //!
@@ -30,19 +33,23 @@
 mod budget;
 mod controller;
 mod domain;
+mod health;
 pub mod policy;
 mod scenario;
 mod slo;
 
 pub use budget::{BudgetSchedule, PowerEvent, PowerEventCause};
 pub use controller::{plan_budget, AdaptiveController, AppliedPlan, ControlError, DeviceAction};
-pub use scenario::AdaptiveScenarioRouter;
 pub use domain::{AttachedDevice, PowerDomain, SafetyViolation};
+pub use health::{Degradation, DeviceHealth, RetryPolicy};
 pub use policy::asymmetric::{plan_asymmetric, AsymmetricPlan, AsymmetricProfile};
 pub use policy::caching::ExcesCachingRouter;
-pub use policy::mechanism::{choose_mechanism, redirect_crossover_fraction, Mechanism, MechanismChoice};
+pub use policy::mechanism::{
+    choose_mechanism, redirect_crossover_fraction, Mechanism, MechanismChoice,
+};
 pub use policy::redirection::{RedirectionConfig, RedirectionDecision, RedirectionPolicy};
 pub use policy::routing::{ConsolidatingRouter, WriteSegregationRouter};
 pub use policy::shaping::{choose_config, required_curtailment_bps};
 pub use policy::tiering::{AbsorptionProfile, SpinProfile, TieringPolicy};
+pub use scenario::AdaptiveScenarioRouter;
 pub use slo::Slo;

@@ -141,8 +141,8 @@ pub fn plan_asymmetric(
     } else {
         0.0
     };
-    let per_dev_uniform = write_frac * profile.write_power_w
-        + (1.0 - write_frac) * profile.read_power_uncapped_w;
+    let per_dev_uniform =
+        write_frac * profile.write_power_w + (1.0 - write_frac) * profile.read_power_uncapped_w;
     let uniform_power_w = n as f64 * per_dev_uniform;
     Some(AsymmetricPlan {
         write_devices,

@@ -219,7 +219,10 @@ mod tests {
             power_state: powadapt_device::PowerStateId(0),
             supports_standby: false,
         }];
-        assert!(matches!(r.route(&read_at(0, 8192), &fleet), Route::Device(0)));
+        assert!(matches!(
+            r.route(&read_at(0, 8192), &fleet),
+            Route::Device(0)
+        ));
         assert!(matches!(
             r.route(&read_at(1, 8192), &fleet),
             Route::Absorbed { .. }
@@ -404,8 +407,7 @@ mod tests {
             seed: 11,
             zipf_theta: Some(1.1),
         };
-        let mut devices: Vec<Box<dyn StorageDevice>> =
-            vec![Box::new(catalog::ssd3_d3_p4510(11))];
+        let mut devices: Vec<Box<dyn StorageDevice>> = vec![Box::new(catalog::ssd3_d3_p4510(11))];
         let mut router = ExcesCachingRouter::new(
             LeastLoadedRouter::default(),
             4 * KIB,

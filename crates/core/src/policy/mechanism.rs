@@ -124,11 +124,7 @@ pub fn choose_mechanism(
 /// redirect+standby becomes cheaper, found by bisection over
 /// [`choose_mechanism`]. Returns 0 if shaping always wins and 1 if
 /// redirection always wins.
-pub fn redirect_crossover_fraction(
-    model: &PowerThroughputModel,
-    n: usize,
-    standby_w: f64,
-) -> f64 {
+pub fn redirect_crossover_fraction(model: &PowerThroughputModel, n: usize, standby_w: f64) -> f64 {
     let peak = model.max_throughput_bps() * n as f64;
     let prefers_redirect = |frac: f64| {
         choose_mechanism(model, n, peak * frac, standby_w).preferred
@@ -173,7 +169,15 @@ mod tests {
     }
 
     fn pt(depth: usize, power: f64, thr: f64) -> ConfigPoint {
-        ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 64 * KIB, depth, power, thr)
+        ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(0),
+            64 * KIB,
+            depth,
+            power,
+            thr,
+        )
     }
 
     #[test]
@@ -231,6 +235,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Mechanism::CapAndShape.to_string(), "cap+shape");
-        assert_eq!(Mechanism::RedirectAndStandby.to_string(), "redirect+standby");
+        assert_eq!(
+            Mechanism::RedirectAndStandby.to_string(),
+            "redirect+standby"
+        );
     }
 }

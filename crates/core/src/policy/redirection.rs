@@ -162,8 +162,8 @@ impl RedirectionPolicy {
             // shrunken set would still sit at or below the shrink threshold.
             // The gap between the two thresholds is the hysteresis band.
             while self.active > target {
-                let shrunk_util = demand_bps
-                    / ((self.active - 1) as f64 * self.cfg.per_device_capacity_bps);
+                let shrunk_util =
+                    demand_bps / ((self.active - 1) as f64 * self.cfg.per_device_capacity_bps);
                 if shrunk_util <= self.cfg.shrink_threshold {
                     self.active -= 1;
                     slept += 1;
@@ -172,8 +172,7 @@ impl RedirectionPolicy {
                 }
             }
         }
-        let utilization =
-            demand_bps / (self.active as f64 * self.cfg.per_device_capacity_bps);
+        let utilization = demand_bps / (self.active as f64 * self.cfg.per_device_capacity_bps);
         RedirectionDecision {
             active: self.active,
             woken,
@@ -191,8 +190,7 @@ impl RedirectionPolicy {
 
     /// Power saved versus keeping every device active.
     pub fn savings_w(&self) -> f64 {
-        (self.total - self.active) as f64
-            * (self.cfg.active_power_w - self.cfg.standby_power_w)
+        (self.total - self.active) as f64 * (self.cfg.active_power_w - self.cfg.standby_power_w)
     }
 }
 

@@ -93,8 +93,7 @@ impl Router for ConsolidatingRouter {
                 if d.standby != StandbyState::Active {
                     cmds.push(DeviceCommand::Wake { device: i });
                 }
-            } else if d.supports_standby && d.standby == StandbyState::Active && d.inflight == 0
-            {
+            } else if d.supports_standby && d.standby == StandbyState::Active && d.inflight == 0 {
                 cmds.push(DeviceCommand::Standby { device: i });
             }
         }
@@ -229,8 +228,13 @@ mod tests {
         let spec = light_stream(1.0);
         let mut devices = evo_fleet(4);
         let mut router = ConsolidatingRouter::new(4, redirection_cfg()).expect("valid");
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(100))
-            .expect("policy runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(100),
+        )
+        .expect("policy runs");
         // Requests routed to the active subset never hit a sleeping device,
         // so only p99.9-class wake events may appear. Median must stay low.
         let lat = r.total.latency_summary().expect("has latencies");
@@ -246,8 +250,13 @@ mod tests {
         let spec = light_stream(0.5);
         let mut devices = evo_fleet(4);
         let mut router = ConsolidatingRouter::new(4, redirection_cfg()).expect("valid");
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(100))
-            .expect("policy runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(100),
+        )
+        .expect("policy runs");
         // The tail devices served almost nothing.
         let tail: u64 = r.per_device[2..].iter().map(|d| d.routed).sum();
         assert!(
@@ -274,8 +283,13 @@ mod tests {
             seed: 5,
             zipf_theta: None,
         };
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("policy runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("policy runs");
 
         // Device 0 took all the writes; devices 1..4 only reads.
         assert!(r.per_device[0].routed > 0);
@@ -349,7 +363,11 @@ mod tests {
             run_fleet(&mut devices, &mut router, &spec, interval).expect("runs")
         };
 
-        assert_eq!(uniform.total.ios(), segregated.total.ios(), "same offered work");
+        assert_eq!(
+            uniform.total.ios(),
+            segregated.total.ios(),
+            "same offered work"
+        );
         let u_p99 = uniform.writes.p99_latency_us();
         let s_p99 = segregated.writes.p99_latency_us();
         assert!(

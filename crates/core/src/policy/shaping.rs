@@ -62,8 +62,16 @@ mod tests {
     use powadapt_io::Workload;
 
     fn pt(power: f64, thr: f64, p99: f64) -> ConfigPoint {
-        ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
-            .with_latencies(p99 / 5.0, p99)
+        ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            power,
+            thr,
+        )
+        .with_latencies(p99 / 5.0, p99)
     }
 
     fn model() -> PowerThroughputModel {
@@ -107,8 +115,7 @@ mod tests {
         let shed = required_curtailment_bps(&m, &current, 8.5, &Slo::new()).unwrap();
         assert_eq!(shed, 200.0);
         // Already below budget: nothing to shed.
-        let shed =
-            required_curtailment_bps(&m, &pt(5.0, 100.0, 0.0), 8.5, &Slo::new()).unwrap();
+        let shed = required_curtailment_bps(&m, &pt(5.0, 100.0, 0.0), 8.5, &Slo::new()).unwrap();
         assert_eq!(shed, 0.0);
     }
 }

@@ -128,8 +128,7 @@ impl TieringPolicy {
             return false;
         }
         let must_cover = period + self.spin.up;
-        write_rate_bps * must_cover.as_secs_f64()
-            <= self.absorb.absorb_capacity_bytes as f64
+        write_rate_bps * must_cover.as_secs_f64() <= self.absorb.absorb_capacity_bytes as f64
     }
 
     /// The longest standby period the fast tier can mask at the given

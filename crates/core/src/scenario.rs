@@ -146,8 +146,8 @@ mod tests {
     use super::*;
     use crate::budget::PowerEventCause;
     use powadapt_device::{catalog, PowerStateId, StorageDevice, GIB, KIB};
-    use powadapt_io::{run_fleet, AccessPattern, Arrivals, JobSpec, OpenLoopSpec, Workload};
     use powadapt_io::{full_sweep, SweepScale};
+    use powadapt_io::{run_fleet, AccessPattern, Arrivals, JobSpec, OpenLoopSpec, Workload};
     use powadapt_sim::SimDuration;
 
     fn model_for(label: &str) -> PowerThroughputModel {
@@ -202,8 +202,13 @@ mod tests {
             seed: 71,
             zipf_theta: None,
         };
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("scenario runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("scenario runs");
 
         assert_eq!(router.infeasible_events(), 0);
         assert!(router.replans() >= 2, "initial plan + dip");
@@ -232,8 +237,7 @@ mod tests {
         schedule.push(SimTime::from_millis(200), 2.0, PowerEventCause::RailFailure);
         let m = model_for("SSD2");
         let mut router = AdaptiveScenarioRouter::new(schedule, vec![m], vec![None]);
-        let mut devices: Vec<Box<dyn StorageDevice>> =
-            vec![Box::new(catalog::ssd2_d7_p5510(73))];
+        let mut devices: Vec<Box<dyn StorageDevice>> = vec![Box::new(catalog::ssd2_d7_p5510(73))];
         let spec = OpenLoopSpec {
             arrivals: Arrivals::Poisson { rate_iops: 500.0 },
             block_size: 64 * KIB,
@@ -244,8 +248,13 @@ mod tests {
             seed: 73,
             zipf_theta: None,
         };
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("scenario survives");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("scenario survives");
         assert!(router.infeasible_events() >= 1);
         assert!(r.total.ios() > 0, "service continues on the old plan");
     }
@@ -257,7 +266,11 @@ mod tests {
         // the dip; the router must route it to the one operating device and
         // park the others.
         let mut schedule = BudgetSchedule::new(10.0);
-        schedule.push(SimTime::from_millis(300), 1.2, PowerEventCause::Oversubscription);
+        schedule.push(
+            SimTime::from_millis(300),
+            1.2,
+            PowerEventCause::Oversubscription,
+        );
         let m = model_for("860EVO");
         let mut router = AdaptiveScenarioRouter::new(
             schedule,
@@ -279,8 +292,13 @@ mod tests {
             seed: 81,
             zipf_theta: None,
         };
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("scenario runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("scenario runs");
         assert!(r.total.ios() > 0, "service continued through the dip");
         let sleeping = devices
             .iter()
@@ -311,4 +329,3 @@ mod tests {
         assert!(r.io.ios() > 0);
     }
 }
-

@@ -131,8 +131,16 @@ mod tests {
     use powadapt_io::Workload;
 
     fn pt(thr: f64, avg: f64, p99: f64) -> ConfigPoint {
-        ConfigPoint::new("D", Workload::RandRead, PowerStateId(0), 4 * KIB, 1, 5.0, thr)
-            .with_latencies(avg, p99)
+        ConfigPoint::new(
+            "D",
+            Workload::RandRead,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            5.0,
+            thr,
+        )
+        .with_latencies(avg, p99)
     }
 
     #[test]
@@ -149,7 +157,9 @@ mod tests {
 
     #[test]
     fn latency_ceilings() {
-        let slo = Slo::new().max_avg_latency_us(100.0).max_p99_latency_us(500.0);
+        let slo = Slo::new()
+            .max_avg_latency_us(100.0)
+            .max_p99_latency_us(500.0);
         assert!(slo.admits(&pt(1.0, 90.0, 400.0)));
         assert!(!slo.admits(&pt(1.0, 110.0, 400.0)));
         assert!(!slo.admits(&pt(1.0, 90.0, 600.0)));
@@ -159,7 +169,9 @@ mod tests {
 
     #[test]
     fn display_lists_constraints() {
-        let slo = Slo::new().min_throughput_bps(1e9).max_p99_latency_us(2000.0);
+        let slo = Slo::new()
+            .min_throughput_bps(1e9)
+            .max_p99_latency_us(2000.0);
         let s = slo.to_string();
         assert!(s.contains("thr>=") && s.contains("p99<="));
         assert_eq!(Slo::new().to_string(), "slo(unconstrained)");

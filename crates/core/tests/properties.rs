@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use powadapt_core::{
-    choose_mechanism, plan_budget, AbsorptionProfile, Mechanism, PowerDomain,
-    RedirectionConfig, RedirectionPolicy, SpinProfile, TieringPolicy,
+    choose_mechanism, plan_budget, AbsorptionProfile, Mechanism, PowerDomain, RedirectionConfig,
+    RedirectionPolicy, SpinProfile, TieringPolicy,
 };
 use powadapt_device::{PowerStateId, KIB};
 use powadapt_io::Workload;

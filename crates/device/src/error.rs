@@ -35,6 +35,22 @@ pub enum DeviceError {
         /// Protocol the device implements.
         actual: Protocol,
     },
+    /// A transient IO-path error: the device could not accept or complete
+    /// the request (media error, internal retry exhaustion). The request
+    /// id, if the failure is tied to one, is carried for diagnostics.
+    Io {
+        /// Id of the failed request, when known.
+        request: Option<u64>,
+    },
+    /// An admin command did not complete within the device's internal
+    /// deadline (e.g. a power-state transition that wedged).
+    Timeout {
+        /// The command that timed out.
+        op: &'static str,
+    },
+    /// The device is temporarily unreachable (link dropout, controller
+    /// reset). Retrying after the dropout window may succeed.
+    Unavailable,
 }
 
 impl fmt::Display for DeviceError {
@@ -59,7 +75,27 @@ impl fmt::Display for DeviceError {
             DeviceError::ProtocolMismatch { expected, actual } => {
                 write!(f, "expected a {expected} device, found {actual}")
             }
+            DeviceError::Io { request: Some(id) } => {
+                write!(f, "io error on request {id}")
+            }
+            DeviceError::Io { request: None } => write!(f, "io error"),
+            DeviceError::Timeout { op } => write!(f, "{op} timed out"),
+            DeviceError::Unavailable => write!(f, "device temporarily unavailable"),
         }
+    }
+}
+
+impl DeviceError {
+    /// True for fault-injected / environmental errors that a control plane
+    /// should retry or route around ([`Io`](DeviceError::Io),
+    /// [`Timeout`](DeviceError::Timeout),
+    /// [`Unavailable`](DeviceError::Unavailable)), as opposed to request
+    /// or wiring bugs that retrying cannot fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::Io { .. } | DeviceError::Timeout { .. } | DeviceError::Unavailable
+        )
     }
 }
 
@@ -74,8 +110,36 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DeviceError>();
         assert!(!DeviceError::ZeroLength.to_string().is_empty());
-        assert!(!DeviceError::OutOfRange { end: 10, capacity: 5 }
+        assert!(!DeviceError::OutOfRange {
+            end: 10,
+            capacity: 5
+        }
+        .to_string()
+        .is_empty());
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(DeviceError::Io { request: Some(3) }.is_transient());
+        assert!(DeviceError::Timeout {
+            op: "set_power_state"
+        }
+        .is_transient());
+        assert!(DeviceError::Unavailable.is_transient());
+        assert!(!DeviceError::ZeroLength.is_transient());
+        assert!(!DeviceError::StandbyUnsupported.is_transient());
+    }
+
+    #[test]
+    fn new_variants_display() {
+        assert!(DeviceError::Io { request: Some(7) }
             .to_string()
-            .is_empty());
+            .contains('7'));
+        assert!(DeviceError::Timeout {
+            op: "request_standby"
+        }
+        .to_string()
+        .contains("request_standby"));
+        assert!(!DeviceError::Unavailable.to_string().is_empty());
     }
 }

@@ -247,7 +247,9 @@ impl Hdd {
             SimDuration::ZERO
         } else {
             // NCQ rotational-position ordering: deeper queues land closer.
-            let raw = self.rng.uniform_range(0.0, self.cfg.revolution().as_secs_f64());
+            let raw = self
+                .rng
+                .uniform_range(0.0, self.cfg.revolution().as_secs_f64());
             let depth = (self.pending_media.len() + 1) as f64;
             SimDuration::from_secs_f64(raw / (1.0 + 0.5 * depth.ln()))
         };
@@ -256,15 +258,15 @@ impl Hdd {
             self.begin_transfer(op);
         } else {
             self.media_phase = MediaPhase::Positioning;
-            self.events.schedule(self.now + position, Ev::MediaPositioned(op));
+            self.events
+                .schedule(self.now + position, Ev::MediaPositioned(op));
         }
     }
 
     fn begin_transfer(&mut self, op: MediaOp) {
         self.media_phase = MediaPhase::Transferring;
         let bw = self.cfg.media_bw_at(op.offset, self.spec.capacity());
-        let dur = SimDuration::from_secs_f64(op.len as f64 / bw)
-            .max(SimDuration::from_nanos(1));
+        let dur = SimDuration::from_secs_f64(op.len as f64 / bw).max(SimDuration::from_nanos(1));
         self.events.schedule(self.now + dur, Ev::MediaDone(op));
     }
 
@@ -462,7 +464,11 @@ impl StorageDevice for Hdd {
     }
 
     fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion> {
-        assert!(t >= self.now, "advance_to {t} before device time {}", self.now);
+        assert!(
+            t >= self.now,
+            "advance_to {t} before device time {}",
+            self.now
+        );
         while let Some((te, ev)) = self.events.pop_at_or_before(t) {
             self.now = te;
             self.handle(ev);

@@ -33,6 +33,7 @@
 pub mod catalog;
 mod device;
 mod error;
+mod fault;
 pub mod hdd;
 mod io;
 mod nvme;
@@ -43,12 +44,11 @@ pub mod ssd;
 
 pub use device::{drain, StorageDevice};
 pub use error::DeviceError;
+pub use fault::{FaultInjector, FaultPlan, FaultStats, FaultWindow, FaultWindowKind};
 pub use hdd::{Hdd, HddConfig};
 pub use io::{IoCompletion, IoId, IoKind, IoRequest, GIB, KIB, MIB};
-pub use nvme::{
-    IdentifyController, NvmeAdmin, NvmePowerStateDescriptor, FEATURE_POWER_MANAGEMENT,
-};
-pub use sata::{AhciLink, LinkPowerState};
+pub use nvme::{IdentifyController, NvmeAdmin, NvmePowerStateDescriptor, FEATURE_POWER_MANAGEMENT};
 pub use power::{PowerStateDesc, PowerStateId, StandbyConfig, StandbyState};
+pub use sata::{AhciLink, LinkPowerState};
 pub use spec::{DeviceClass, DeviceSpec, Protocol};
 pub use ssd::{Ssd, SsdConfig};

@@ -150,7 +150,10 @@ mod tests {
     fn standby_state_predicates() {
         assert!(StandbyState::Active.is_active());
         assert!(!StandbyState::Standby.is_active());
-        assert_eq!(StandbyState::EnteringStandby.to_string(), "entering-standby");
+        assert_eq!(
+            StandbyState::EnteringStandby.to_string(),
+            "entering-standby"
+        );
     }
 
     #[test]

@@ -101,13 +101,15 @@ mod tests {
         let mut dev = catalog::evo_860(2);
         let mut link = AhciLink::new(&mut dev).expect("SATA device");
         assert_eq!(link.link_state(), LinkPowerState::Active);
-        link.set_link_pm(LinkPowerState::Slumber).expect("EVO supports SLUMBER");
+        link.set_link_pm(LinkPowerState::Slumber)
+            .expect("EVO supports SLUMBER");
         assert_eq!(link.link_state(), LinkPowerState::Slumber);
         drain(&mut dev);
         assert!((dev.power_w() - 0.17).abs() < 1e-9);
 
         let mut link = AhciLink::new(&mut dev).expect("SATA device");
-        link.set_link_pm(LinkPowerState::Active).expect("wake accepted");
+        link.set_link_pm(LinkPowerState::Active)
+            .expect("wake accepted");
         drain(&mut dev);
         assert!((dev.power_w() - 0.35).abs() < 1e-9);
     }
@@ -147,7 +149,8 @@ mod tests {
     fn hdd_spindown_via_the_link_facade() {
         let mut dev = catalog::hdd_exos_7e2000(2);
         let mut link = AhciLink::new(&mut dev).expect("SATA device");
-        link.set_link_pm(LinkPowerState::Slumber).expect("HDD spins down");
+        link.set_link_pm(LinkPowerState::Slumber)
+            .expect("HDD spins down");
         drain(&mut dev);
         assert!((dev.power_w() - 1.1).abs() < 1e-9);
     }

@@ -123,7 +123,13 @@ mod tests {
 
     #[test]
     fn spec_accessors() {
-        let s = DeviceSpec::new("HDD", "Seagate Exos 7E2000", Protocol::Sata, DeviceClass::Hdd, 2 << 40);
+        let s = DeviceSpec::new(
+            "HDD",
+            "Seagate Exos 7E2000",
+            Protocol::Sata,
+            DeviceClass::Hdd,
+            2 << 40,
+        );
         assert_eq!(s.label(), "HDD");
         assert_eq!(s.model(), "Seagate Exos 7E2000");
         assert_eq!(s.protocol(), Protocol::Sata);

@@ -252,7 +252,8 @@ impl Ssd {
     fn need_retry(&mut self) {
         if !self.retry_pending {
             self.retry_pending = true;
-            self.events.schedule(self.now + RETRY_INTERVAL, Ev::RetryTick);
+            self.events
+                .schedule(self.now + RETRY_INTERVAL, Ev::RetryTick);
         }
     }
 
@@ -466,7 +467,13 @@ impl Ssd {
         if ops == 0 {
             self.iface_queue.push_back(Transfer { pending: p });
         } else {
-            self.reads.insert(p.id.0, ReadState { pending: p, remaining: ops });
+            self.reads.insert(
+                p.id.0,
+                ReadState {
+                    pending: p,
+                    remaining: ops,
+                },
+            );
         }
     }
 
@@ -662,7 +669,9 @@ impl Ssd {
                         };
                         if finished {
                             let rs = self.reads.remove(&id.0).expect("present");
-                            self.iface_queue.push_back(Transfer { pending: rs.pending });
+                            self.iface_queue.push_back(Transfer {
+                                pending: rs.pending,
+                            });
                         }
                     }
                     DieWork::Program => {
@@ -755,7 +764,11 @@ impl StorageDevice for Ssd {
     }
 
     fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion> {
-        assert!(t >= self.now, "advance_to {t} before device time {}", self.now);
+        assert!(
+            t >= self.now,
+            "advance_to {t} before device time {}",
+            self.now
+        );
         while let Some((te, ev)) = self.events.pop_at_or_before(t) {
             self.now = te;
             self.handle(ev);
@@ -1147,10 +1160,7 @@ mod tests {
         }
         let done = drain(&mut dev);
         assert_eq!(done.len(), 16);
-        let hits = done
-            .iter()
-            .filter(|c| c.latency().as_micros() < 65)
-            .count();
+        let hits = done.iter().filter(|c| c.latency().as_micros() < 65).count();
         assert!(hits >= 8, "expected most cache hits, got {hits}");
     }
 
@@ -1159,10 +1169,19 @@ mod tests {
         let run = || {
             let mut dev = test_ssd();
             for i in 0..64u64 {
-                submit(&mut dev, i, IoKind::Write, (i * 977_777) % (GIB / 2), 64 * KIB);
+                submit(
+                    &mut dev,
+                    i,
+                    IoKind::Write,
+                    (i * 977_777) % (GIB / 2),
+                    64 * KIB,
+                );
             }
             let done = drain(&mut dev);
-            (dev.now(), done.iter().map(|c| c.completed.as_nanos()).sum::<u64>())
+            (
+                dev.now(),
+                done.iter().map(|c| c.completed.as_nanos()).sum::<u64>(),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -3,8 +3,8 @@
 //! ordering.
 
 use powadapt_device::{
-    catalog, drain, IoId, IoKind, IoRequest, PowerStateId, StandbyState, StorageDevice, GIB,
-    KIB, MIB,
+    catalog, drain, IoId, IoKind, IoRequest, PowerStateId, StandbyState, StorageDevice, GIB, KIB,
+    MIB,
 };
 use powadapt_sim::{SimDuration, SimTime};
 
@@ -166,7 +166,13 @@ fn zero_gap_sequential_writes_detect_as_sequential_waf() {
             } else {
                 i * 256 * KIB
             };
-            submit(&mut dev, i, IoKind::Write, offset / (256 * KIB) * (256 * KIB), 256 * KIB);
+            submit(
+                &mut dev,
+                i,
+                IoKind::Write,
+                offset / (256 * KIB) * (256 * KIB),
+                256 * KIB,
+            );
         }
         drain(&mut dev);
         dev.now().as_secs_f64()

@@ -17,7 +17,11 @@ struct Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (any::<bool>(), 0u64..10_000, prop::sample::select(vec![4u64, 16, 64, 256, 1024, 2048]))
+    (
+        any::<bool>(),
+        0u64..10_000,
+        prop::sample::select(vec![4u64, 16, 64, 256, 1024, 2048]),
+    )
         .prop_map(|(write, block, len_kib)| Op {
             write,
             block,
@@ -28,7 +32,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn submit_ops(dev: &mut dyn StorageDevice, ops: &[Op]) -> usize {
     let mut submitted = 0;
     for (i, op) in ops.iter().enumerate() {
-        let kind = if op.write { IoKind::Write } else { IoKind::Read };
+        let kind = if op.write {
+            IoKind::Write
+        } else {
+            IoKind::Read
+        };
         let offset = (op.block * 2048 * KIB) % (4 * GIB);
         let req = IoRequest::new(IoId(i as u64), kind, offset, op.len_kib * KIB);
         dev.submit(req).expect("request within bounds");

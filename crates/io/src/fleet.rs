@@ -11,8 +11,7 @@
 use std::fmt;
 
 use powadapt_device::{
-    DeviceError, IoCompletion, IoId, IoKind, IoRequest, PowerStateId, StandbyState,
-    StorageDevice,
+    DeviceError, IoCompletion, IoId, IoKind, IoRequest, PowerStateId, StandbyState, StorageDevice,
 };
 use powadapt_meter::{PowerRig, PowerTrace};
 use powadapt_sim::{SimDuration, SimRng, SimTime};
@@ -95,6 +94,21 @@ pub trait Router: fmt::Debug {
         let _ = (now, fleet);
         Vec::new()
     }
+
+    /// Called when device `device` rejects a submit or a control command
+    /// with a transient error ([`DeviceError::is_transient`]). Routers that
+    /// track device health (see
+    /// [`CircuitBreakerRouter`](crate::CircuitBreakerRouter)) use this to
+    /// steer load away from a failing device. The default does nothing.
+    fn on_device_error(&mut self, device: usize, error: &DeviceError, now: SimTime) {
+        let _ = (device, error, now);
+    }
+
+    /// Called for every IO completion device `device` delivers, as evidence
+    /// that the device is serving again. The default does nothing.
+    fn on_io_complete(&mut self, device: usize, completion: &IoCompletion) {
+        let _ = (device, completion);
+    }
 }
 
 /// The baseline router: sends each request to the least-loaded device,
@@ -156,6 +170,13 @@ pub struct FleetResult {
     pub power: PowerTrace,
     /// Total energy over the run, in joules.
     pub energy_j: f64,
+    /// Transient submit rejections observed (each arrival may count more
+    /// than once if several devices refused it before one accepted).
+    pub io_errors: u64,
+    /// Arrivals dropped because every device transiently refused them.
+    pub dropped: u64,
+    /// Router control commands rejected with a transient error.
+    pub command_errors: u64,
 }
 
 impl FleetResult {
@@ -181,6 +202,13 @@ impl fmt::Display for FleetResult {
         )?;
         for d in &self.per_device {
             writeln!(f, "  {}: {} routed, {}", d.label, d.routed, d.io)?;
+        }
+        if self.io_errors + self.dropped + self.command_errors > 0 {
+            writeln!(
+                f,
+                "  faults: {} io errors, {} dropped, {} command errors",
+                self.io_errors, self.dropped, self.command_errors
+            )?;
         }
         Ok(())
     }
@@ -214,16 +242,32 @@ fn apply_command(
     }
 }
 
+fn command_target(cmd: &DeviceCommand) -> usize {
+    match *cmd {
+        DeviceCommand::SetPowerState { device, .. }
+        | DeviceCommand::Standby { device }
+        | DeviceCommand::Wake { device } => device,
+    }
+}
+
 /// Runs an open-loop stream against a fleet.
 ///
 /// All devices advance in lockstep so the 1 kHz fleet-power samples are
 /// coherent sums. The run ends when the stream is exhausted and every
 /// device has drained.
 ///
+/// Transient device errors ([`DeviceError::is_transient`]) do not abort
+/// the run: a refused submit is reported to the router
+/// ([`Router::on_device_error`]) and re-routed to another device, counting
+/// the arrival as dropped only when every device has refused it; a refused
+/// control command is reported and skipped. The [`FleetResult`] records
+/// these under `io_errors`, `dropped` and `command_errors`.
+///
 /// # Errors
 ///
 /// Returns [`ExperimentError::InvalidJob`] for a bad stream spec and
-/// [`ExperimentError::Device`] if a submit or a router command is rejected.
+/// [`ExperimentError::Device`] if a submit or a router command is rejected
+/// with a non-transient (wiring) error.
 ///
 /// # Panics
 ///
@@ -286,7 +330,10 @@ where
     I: IntoIterator<Item = Arrival>,
 {
     assert!(!devices.is_empty(), "fleet must be non-empty");
-    assert!(!control_interval.is_zero(), "control interval must be non-zero");
+    assert!(
+        !control_interval.is_zero(),
+        "control interval must be non-zero"
+    );
     let mut gen = arrivals.into_iter();
 
     // Shared meter on the summed rail. SATA/NVMe mixes are summed at the
@@ -306,6 +353,9 @@ where
     let mut routed: Vec<u64> = vec![0; devices.len()];
     let mut completions: Vec<Vec<IoCompletion>> = vec![Vec::new(); devices.len()];
     let mut absorbed: Vec<IoCompletion> = Vec::new();
+    let mut io_errors = 0u64;
+    let mut dropped = 0u64;
+    let mut command_errors = 0u64;
 
     loop {
         // Next event across all sources.
@@ -326,7 +376,11 @@ where
 
         // Advance the whole fleet to t.
         for (i, d) in devices.iter_mut().enumerate() {
-            completions[i].extend(d.advance_to(t));
+            let new = d.advance_to(t);
+            for c in &new {
+                router.on_io_complete(i, c);
+            }
+            completions[i].extend(new);
         }
 
         // Admit any arrivals due at or before t.
@@ -334,25 +388,57 @@ where
             if start.max(a.at) > t {
                 break;
             }
-            let statuses = statuses(devices);
-            match router.route(&a, &statuses) {
-                Route::Device(target) => {
-                    assert!(target < devices.len(), "router returned index {target}");
-                    let dev = &mut devices[target];
-                    let cap = dev.spec().capacity();
-                    let offset = a.offset.min(cap - a.len);
-                    dev.submit(IoRequest::new(IoId(next_id), a.kind, offset, a.len))?;
-                    routed[target] += 1;
-                }
-                Route::Absorbed { latency } => {
-                    let at = start.max(a.at);
-                    absorbed.push(IoCompletion {
-                        id: IoId(next_id),
-                        kind: a.kind,
-                        len: a.len,
-                        submitted: at,
-                        completed: at + latency,
-                    });
+            // Transiently-refused submits are re-routed; each device gets
+            // at most one try per arrival, so a fully-faulted fleet drops
+            // the arrival instead of wedging the loop.
+            let mut tried = vec![false; devices.len()];
+            let mut route = router.route(&a, &statuses(devices));
+            loop {
+                match route {
+                    Route::Device(target) => {
+                        assert!(target < devices.len(), "router returned index {target}");
+                        let dev = &mut devices[target];
+                        let cap = dev.spec().capacity();
+                        let offset = a.offset.min(cap - a.len);
+                        match dev.submit(IoRequest::new(IoId(next_id), a.kind, offset, a.len)) {
+                            Ok(()) => {
+                                routed[target] += 1;
+                                break;
+                            }
+                            Err(e) if e.is_transient() => {
+                                io_errors += 1;
+                                router.on_device_error(target, &e, t);
+                                tried[target] = true;
+                                // Ask the router again; if it insists on a
+                                // device we already tried, fall back to the
+                                // first untried one, or give up.
+                                route = match router.route(&a, &statuses(devices)) {
+                                    Route::Device(d) if tried[d] => {
+                                        match tried.iter().position(|&x| !x) {
+                                            Some(d2) => Route::Device(d2),
+                                            None => {
+                                                dropped += 1;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    other => other,
+                                };
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    Route::Absorbed { latency } => {
+                        let at = start.max(a.at);
+                        absorbed.push(IoCompletion {
+                            id: IoId(next_id),
+                            kind: a.kind,
+                            len: a.len,
+                            submitted: at,
+                            completed: at + latency,
+                        });
+                        break;
+                    }
                 }
             }
             next_id += 1;
@@ -363,7 +449,14 @@ where
         if t >= next_control {
             let statuses = statuses(devices);
             for cmd in router.control(t, &statuses) {
-                apply_command(devices, cmd)?;
+                if let Err(e) = apply_command(devices, cmd) {
+                    if e.is_transient() {
+                        command_errors += 1;
+                        router.on_device_error(command_target(&cmd), &e, t);
+                    } else {
+                        return Err(e.into());
+                    }
+                }
             }
             next_control = t + control_interval;
         }
@@ -404,6 +497,9 @@ where
         absorbed,
         power,
         energy_j,
+        io_errors,
+        dropped,
+        command_errors,
     })
 }
 
@@ -439,8 +535,13 @@ mod tests {
         let mut router = LeastLoadedRouter::default();
         let spec = stream(2_000.0, 0.5, 200);
         let expected = ArrivalGen::new(&spec).unwrap().count() as u64;
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("fleet runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("fleet runs");
         assert_eq!(r.total.ios(), expected);
         let routed: u64 = r.per_device.iter().map(|d| d.routed).sum();
         assert_eq!(routed, expected);
@@ -451,8 +552,13 @@ mod tests {
         let mut devices = fleet(4);
         let mut router = LeastLoadedRouter::default();
         let spec = stream(4_000.0, 1.0, 200);
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("fleet runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("fleet runs");
         let max = r.per_device.iter().map(|d| d.routed).max().unwrap();
         let min = r.per_device.iter().map(|d| d.routed).min().unwrap();
         assert!(
@@ -467,8 +573,13 @@ mod tests {
         let mut devices = fleet(2);
         let mut router = LeastLoadedRouter::default();
         let spec = stream(500.0, 1.0, 100);
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-            .expect("fleet runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(50),
+        )
+        .expect("fleet runs");
         // Two SSD3s idle at ~1 W each; active adds more.
         let mean = r.avg_power_w();
         assert!(mean > 1.9 && mean < 8.0, "fleet mean power {mean}");
@@ -498,8 +609,13 @@ mod tests {
         ];
         let mut router = SleepSecond;
         let spec = stream(200.0, 1.0, 300);
-        let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(20))
-            .expect("fleet runs");
+        let r = run_fleet(
+            &mut devices,
+            &mut router,
+            &spec,
+            SimDuration::from_millis(20),
+        )
+        .expect("fleet runs");
         assert_eq!(r.per_device[1].routed, 0);
         assert_ne!(devices[1].standby_state(), StandbyState::Active);
     }
@@ -508,13 +624,18 @@ mod tests {
     fn trace_replay_reproduces_the_generated_run() {
         use crate::wltrace::ArrivalTrace;
         let spec = stream(1_500.0, 0.4, 150);
-        let trace =
-            ArrivalTrace::record(crate::openloop::ArrivalGen::new(&spec).unwrap()).unwrap();
+        let trace = ArrivalTrace::record(crate::openloop::ArrivalGen::new(&spec).unwrap()).unwrap();
 
         let generated = {
             let mut devices = fleet(2);
             let mut router = LeastLoadedRouter::default();
-            run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50)).unwrap()
+            run_fleet(
+                &mut devices,
+                &mut router,
+                &spec,
+                SimDuration::from_millis(50),
+            )
+            .unwrap()
         };
         let replayed = {
             let mut devices = fleet(2);
@@ -543,8 +664,13 @@ mod tests {
             let mut devices = fleet(2);
             let mut router = LeastLoadedRouter::default();
             let spec = stream(1_000.0, 0.3, 150);
-            let r = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-                .expect("fleet runs");
+            let r = run_fleet(
+                &mut devices,
+                &mut router,
+                &spec,
+                SimDuration::from_millis(50),
+            )
+            .expect("fleet runs");
             (r.total.ios(), r.energy_j.to_bits(), r.power.len())
         };
         assert_eq!(run(), run());

@@ -348,7 +348,9 @@ mod tests {
         let j = JobSpec::new(Workload::SeqRead);
         assert!(j.validate(16 * GIB).is_ok());
         assert!(j.validate(4 * GIB).is_err(), "region exceeds capacity");
-        let j = JobSpec::new(Workload::SeqRead).region(0, MIB).block_size(2 * MIB);
+        let j = JobSpec::new(Workload::SeqRead)
+            .region(0, MIB)
+            .block_size(2 * MIB);
         assert!(j.validate(16 * GIB).is_err(), "block larger than region");
         let j = JobSpec::new(Workload::SeqRead)
             .runtime(SimDuration::from_secs(1))
@@ -358,7 +360,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let j = JobSpec::new(Workload::RandRead).block_size(256 * KIB).io_depth(32);
+        let j = JobSpec::new(Workload::RandRead)
+            .block_size(256 * KIB)
+            .io_depth(32);
         assert_eq!(j.to_string(), "randread bs=256KiB qd=32");
     }
 

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod breaker;
 mod fleet;
 mod job;
 mod openloop;
@@ -36,6 +37,7 @@ mod stats;
 mod sweep;
 mod wltrace;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreakerRouter, QuarantineEvent};
 pub use fleet::{
     run_fleet, run_fleet_arrivals, run_fleet_trace, DeviceCommand, DeviceOutcome, DeviceStatus,
     FleetResult, LeastLoadedRouter, Route, Router,

@@ -184,11 +184,12 @@ impl ArrivalGen {
                 i
             }
             AccessPattern::Random => match &self.zipf {
-                Some(z) => z
-                    .sample(&mut self.rng)
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .rotate_left(31)
-                    % self.blocks,
+                Some(z) => {
+                    z.sample(&mut self.rng)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .rotate_left(31)
+                        % self.blocks
+                }
                 None => self.rng.u64_range(0, self.blocks),
             },
         };
@@ -333,7 +334,9 @@ mod tests {
 
     #[test]
     fn read_fraction_is_respected() {
-        let s = spec(Arrivals::Poisson { rate_iops: 10_000.0 });
+        let s = spec(Arrivals::Poisson {
+            rate_iops: 10_000.0,
+        });
         let arrivals: Vec<Arrival> = ArrivalGen::new(&s).unwrap().collect();
         let reads = arrivals.iter().filter(|a| a.kind == IoKind::Read).count();
         let frac = reads as f64 / arrivals.len() as f64;

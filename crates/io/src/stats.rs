@@ -155,11 +155,7 @@ mod tests {
             completion(1, 1_500, 60, 4096),
             completion(2, 3_000, 70, 4096), // outside window
         ];
-        let s = IoStats::from_completions(
-            &cs,
-            SimTime::ZERO,
-            SimTime::from_micros(2_999),
-        );
+        let s = IoStats::from_completions(&cs, SimTime::ZERO, SimTime::from_micros(2_999));
         assert_eq!(s.ios(), 2);
         assert_eq!(s.bytes(), 8192);
         let lat = s.latency_summary().unwrap();

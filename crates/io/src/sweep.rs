@@ -166,7 +166,9 @@ mod tests {
     #[test]
     fn run_fresh_applies_power_state() {
         let job = SweepScale::quick().apply(
-            JobSpec::new(Workload::RandRead).block_size(4 * KIB).io_depth(4),
+            JobSpec::new(Workload::RandRead)
+                .block_size(4 * KIB)
+                .io_depth(4),
         );
         let r = run_fresh(ssd2_factory, PowerStateId(2), &job).unwrap();
         assert_eq!(r.power_state, PowerStateId(2));
@@ -190,7 +192,11 @@ mod tests {
         .unwrap();
         assert_eq!(points.len(), 4);
         for p in &points {
-            assert!(p.result.io.ios() > 0, "{:?} produced no IO", (p.chunk, p.depth));
+            assert!(
+                p.result.io.ios() > 0,
+                "{:?} produced no IO",
+                (p.chunk, p.depth)
+            );
         }
         // Deeper queues should not be slower.
         let thr = |c: u64, d: usize| {

@@ -122,9 +122,9 @@ impl ArrivalTrace {
 
     /// Time of the last arrival ([`SimTime::ZERO`] when empty).
     pub fn duration(&self) -> SimDuration {
-        self.arrivals
-            .last()
-            .map_or(SimDuration::ZERO, |a| a.at.saturating_duration_since(SimTime::ZERO))
+        self.arrivals.last().map_or(SimDuration::ZERO, |a| {
+            a.at.saturating_duration_since(SimTime::ZERO)
+        })
     }
 
     /// Total bytes across all arrivals.

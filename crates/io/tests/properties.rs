@@ -16,7 +16,14 @@ fn any_workload() -> impl Strategy<Value = Workload> {
 }
 
 fn any_chunk() -> impl Strategy<Value = u64> {
-    prop::sample::select(vec![4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB, 1024 * KIB, 2048 * KIB])
+    prop::sample::select(vec![
+        4 * KIB,
+        16 * KIB,
+        64 * KIB,
+        256 * KIB,
+        1024 * KIB,
+        2048 * KIB,
+    ])
 }
 
 proptest! {

@@ -205,8 +205,10 @@ impl MeasurementChain {
         assert!(known_power_w > 0.0, "calibration load must be positive");
         assert!(n > 0, "need at least one calibration sample");
         self.correction = 1.0;
-        let avg: f64 =
-            (0..n).map(|_| self.measure(known_power_w, rng)).sum::<f64>() / n as f64;
+        let avg: f64 = (0..n)
+            .map(|_| self.measure(known_power_w, rng))
+            .sum::<f64>()
+            / n as f64;
         self.correction = known_power_w / avg;
     }
 
@@ -273,8 +275,7 @@ mod tests {
         let (chain, mut rng) = rig();
         for &truth in &[0.5, 1.0, 3.76, 8.19, 15.1, 25.0] {
             let n = 200;
-            let avg: f64 =
-                (0..n).map(|_| chain.measure(truth, &mut rng)).sum::<f64>() / n as f64;
+            let avg: f64 = (0..n).map(|_| chain.measure(truth, &mut rng)).sum::<f64>() / n as f64;
             assert!(
                 relative_error(avg, truth) < 0.01,
                 "avg {avg} vs truth {truth}"
@@ -299,9 +300,8 @@ mod tests {
         let (chain, mut rng) = rig();
         let samples: Vec<f64> = (0..500).map(|_| chain.measure(5.0, &mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!(sd > 0.0, "noise present");
         assert!(sd < 0.1, "noise bounded: sd {sd}");
     }

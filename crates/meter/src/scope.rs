@@ -101,9 +101,7 @@ impl Oscilloscope {
     /// True once the capture buffer is full (or will never fill because the
     /// scope is single-shot and already complete).
     pub fn is_complete(&self) -> bool {
-        self.capture
-            .as_ref()
-            .is_some_and(|c| c.len() >= self.depth)
+        self.capture.as_ref().is_some_and(|c| c.len() >= self.depth)
     }
 
     /// Feeds the true power at the due sample instant.

@@ -60,12 +60,18 @@ impl FleetModel {
     /// Sum of per-device minimum powers — the lowest budget any allocation
     /// can satisfy.
     pub fn min_power_w(&self) -> f64 {
-        self.models.iter().map(PowerThroughputModel::min_power_w).sum()
+        self.models
+            .iter()
+            .map(PowerThroughputModel::min_power_w)
+            .sum()
     }
 
     /// Sum of per-device maximum powers.
     pub fn max_power_w(&self) -> f64 {
-        self.models.iter().map(PowerThroughputModel::max_power_w).sum()
+        self.models
+            .iter()
+            .map(PowerThroughputModel::max_power_w)
+            .sum()
     }
 
     /// Finds the throughput-maximizing assignment of one configuration per
@@ -180,7 +186,11 @@ mod tests {
     fn two_device_fleet() -> FleetModel {
         let a = PowerThroughputModel::from_points(
             "A",
-            vec![pt("A", 2.0, 100.0), pt("A", 5.0, 500.0), pt("A", 10.0, 800.0)],
+            vec![
+                pt("A", 2.0, 100.0),
+                pt("A", 5.0, 500.0),
+                pt("A", 10.0, 800.0),
+            ],
         )
         .unwrap();
         let b = PowerThroughputModel::from_points(

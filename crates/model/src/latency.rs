@@ -68,19 +68,14 @@ impl LatencyModel {
         self.points
             .iter()
             .filter(|p| {
-                p.p99_latency_us() <= p99_us_max
-                    && p.throughput_bps() >= throughput_floor_bps
+                p.p99_latency_us() <= p99_us_max && p.throughput_bps() >= throughput_floor_bps
             })
             .min_by(|a, b| a.power_w().partial_cmp(&b.power_w()).expect("finite"))
     }
 
     /// The best achievable p99 at or under a power budget, with a
     /// throughput floor, or `None` if nothing fits.
-    pub fn best_p99_under(
-        &self,
-        budget_w: f64,
-        throughput_floor_bps: f64,
-    ) -> Option<&ConfigPoint> {
+    pub fn best_p99_under(&self, budget_w: f64, throughput_floor_bps: f64) -> Option<&ConfigPoint> {
         self.points
             .iter()
             .filter(|p| p.power_w() <= budget_w && p.throughput_bps() >= throughput_floor_bps)
@@ -99,9 +94,7 @@ impl LatencyModel {
         let mut n = 0usize;
         for base in self.points.iter().filter(|p| p.power_state() == from) {
             if let Some(capped) = self.points.iter().find(|p| {
-                p.power_state() == to
-                    && p.chunk() == base.chunk()
-                    && p.depth() == base.depth()
+                p.power_state() == to && p.chunk() == base.chunk() && p.depth() == base.depth()
             }) {
                 log_sum += (capped.p99_latency_us() / base.p99_latency_us()).ln();
                 n += 1;
@@ -120,9 +113,7 @@ impl LatencyModel {
         let mut max: Option<f64> = None;
         for base in self.points.iter().filter(|p| p.power_state() == from) {
             if let Some(capped) = self.points.iter().find(|p| {
-                p.power_state() == to
-                    && p.chunk() == base.chunk()
-                    && p.depth() == base.depth()
+                p.power_state() == to && p.chunk() == base.chunk() && p.depth() == base.depth()
             }) {
                 let r = capped.p99_latency_us() / base.p99_latency_us();
                 max = Some(max.map_or(r, |m: f64| m.max(r)));
@@ -137,14 +128,11 @@ impl LatencyModel {
     pub fn power_latency_frontier(&self) -> Vec<ConfigPoint> {
         let mut sorted: Vec<&ConfigPoint> = self.points.iter().collect();
         sorted.sort_by(|a, b| {
-            a.power_w()
-                .partial_cmp(&b.power_w())
-                .expect("finite")
-                .then(
-                    a.p99_latency_us()
-                        .partial_cmp(&b.p99_latency_us())
-                        .expect("finite"),
-                )
+            a.power_w().partial_cmp(&b.power_w()).expect("finite").then(
+                a.p99_latency_us()
+                    .partial_cmp(&b.p99_latency_us())
+                    .expect("finite"),
+            )
         });
         let mut frontier: Vec<ConfigPoint> = Vec::new();
         let mut best_p99 = f64::INFINITY;
@@ -251,7 +239,9 @@ mod tests {
     fn p99_ratios_reproduce_the_fig5_summary() {
         let m = model();
         // Worst blowup: 256 KiB, 760/120 = 6.33x (the paper's 6.19x shape).
-        let worst = m.max_p99_ratio_vs(PowerStateId(0), PowerStateId(2)).unwrap();
+        let worst = m
+            .max_p99_ratio_vs(PowerStateId(0), PowerStateId(2))
+            .unwrap();
         assert!((worst - 760.0 / 120.0).abs() < 1e-9);
         // Geometric mean across shapes is smaller than the worst case.
         let geo = m.p99_ratio_vs(PowerStateId(0), PowerStateId(2)).unwrap();

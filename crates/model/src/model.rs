@@ -44,10 +44,7 @@ impl PowerThroughputModel {
     ///
     /// Returns `None` if `points` is empty, contains a different device
     /// label, or has a non-positive maximum power or throughput.
-    pub fn from_points(
-        device: impl Into<String>,
-        points: Vec<ConfigPoint>,
-    ) -> Option<Self> {
+    pub fn from_points(device: impl Into<String>, points: Vec<ConfigPoint>) -> Option<Self> {
         let device = device.into();
         if points.is_empty() || points.iter().any(|p| p.device() != device) {
             return None;
@@ -181,7 +178,15 @@ mod tests {
     use powadapt_io::Workload;
 
     fn pt(device: &str, power: f64, thr: f64) -> ConfigPoint {
-        ConfigPoint::new(device, Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
+        ConfigPoint::new(
+            device,
+            Workload::RandWrite,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            power,
+            thr,
+        )
     }
 
     #[test]
@@ -200,11 +205,8 @@ mod tests {
 
     #[test]
     fn normalization_maps_to_unit_square() {
-        let m = PowerThroughputModel::from_points(
-            "X",
-            vec![pt("X", 5.0, 2e8), pt("X", 10.0, 1e9)],
-        )
-        .unwrap();
+        let m = PowerThroughputModel::from_points("X", vec![pt("X", 5.0, 2e8), pt("X", 10.0, 1e9)])
+            .unwrap();
         for (t, p) in m.normalized() {
             assert!((0.0..=1.0).contains(&t));
             assert!((0.0..=1.0).contains(&p));
@@ -227,16 +229,13 @@ mod tests {
     #[test]
     fn rejects_empty_or_mixed_devices() {
         assert!(PowerThroughputModel::from_points("X", vec![]).is_none());
-        assert!(
-            PowerThroughputModel::from_points("X", vec![pt("Y", 1.0, 1.0)]).is_none()
-        );
+        assert!(PowerThroughputModel::from_points("X", vec![pt("Y", 1.0, 1.0)]).is_none());
     }
 
     #[test]
     fn display_mentions_range() {
-        let m =
-            PowerThroughputModel::from_points("X", vec![pt("X", 5.0, 1e9), pt("X", 10.0, 2e9)])
-                .unwrap();
+        let m = PowerThroughputModel::from_points("X", vec![pt("X", 5.0, 1e9), pt("X", 10.0, 2e9)])
+            .unwrap();
         assert!(m.to_string().contains('%'));
     }
 }

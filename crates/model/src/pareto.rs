@@ -52,20 +52,30 @@ mod tests {
     use powadapt_io::Workload;
 
     fn pt(power: f64, thr: f64) -> ConfigPoint {
-        ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
+        ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            power,
+            thr,
+        )
     }
 
     #[test]
     fn removes_dominated_points() {
         let f = pareto_frontier(&[
             pt(5.0, 100.0),
-            pt(6.0, 90.0),  // dominated
+            pt(6.0, 90.0), // dominated
             pt(7.0, 150.0),
             pt(7.5, 140.0), // dominated
             pt(10.0, 300.0),
         ]);
-        let coords: Vec<(f64, f64)> =
-            f.iter().map(|p| (p.power_w(), p.throughput_bps())).collect();
+        let coords: Vec<(f64, f64)> = f
+            .iter()
+            .map(|p| (p.power_w(), p.throughput_bps()))
+            .collect();
         assert_eq!(coords, vec![(5.0, 100.0), (7.0, 150.0), (10.0, 300.0)]);
     }
 

@@ -134,8 +134,7 @@ impl ConfigPoint {
     /// throughput, and strictly better in at least one.
     pub fn dominates(&self, other: &ConfigPoint) -> bool {
         let no_worse = self.power_w <= other.power_w && self.throughput_bps >= other.throughput_bps;
-        let better =
-            self.power_w < other.power_w || self.throughput_bps > other.throughput_bps;
+        let better = self.power_w < other.power_w || self.throughput_bps > other.throughput_bps;
         no_worse && better
     }
 }
@@ -151,10 +150,7 @@ impl From<&SweepPoint> for ConfigPoint {
             sp.result.avg_power_w(),
             sp.result.io.throughput_bps(),
         )
-        .with_latencies(
-            sp.result.io.avg_latency_us(),
-            sp.result.io.p99_latency_us(),
-        )
+        .with_latencies(sp.result.io.avg_latency_us(), sp.result.io.p99_latency_us())
     }
 }
 
@@ -180,7 +176,15 @@ mod tests {
     use powadapt_device::KIB;
 
     fn pt(power: f64, thr: f64) -> ConfigPoint {
-        ConfigPoint::new("D", Workload::RandWrite, PowerStateId(0), 4 * KIB, 1, power, thr)
+        ConfigPoint::new(
+            "D",
+            Workload::RandWrite,
+            PowerStateId(0),
+            4 * KIB,
+            1,
+            power,
+            thr,
+        )
     }
 
     #[test]

@@ -55,12 +55,10 @@ impl fmt::Display for CurtailmentPlan {
 
 /// The highest-throughput configuration whose power does not exceed
 /// `budget_w`, or `None` if no configuration fits.
-pub fn best_under_power_budget(
-    model: &PowerThroughputModel,
-    budget_w: f64,
-) -> Option<ConfigPoint> {
+pub fn best_under_power_budget(model: &PowerThroughputModel, budget_w: f64) -> Option<ConfigPoint> {
     pareto_frontier(model.points())
-        .into_iter().rfind(|p| p.power_w() <= budget_w)
+        .into_iter()
+        .rfind(|p| p.power_w() <= budget_w)
 }
 
 /// The lowest-power configuration whose throughput is at least
@@ -151,9 +149,18 @@ mod tests {
     #[test]
     fn budget_selection_maximizes_throughput() {
         let m = model();
-        assert_eq!(best_under_power_budget(&m, 10.0).unwrap().throughput_bps(), 1000.0);
-        assert_eq!(best_under_power_budget(&m, 8.5).unwrap().throughput_bps(), 800.0);
-        assert_eq!(best_under_power_budget(&m, 6.5).unwrap().throughput_bps(), 300.0);
+        assert_eq!(
+            best_under_power_budget(&m, 10.0).unwrap().throughput_bps(),
+            1000.0
+        );
+        assert_eq!(
+            best_under_power_budget(&m, 8.5).unwrap().throughput_bps(),
+            800.0
+        );
+        assert_eq!(
+            best_under_power_budget(&m, 6.5).unwrap().throughput_bps(),
+            300.0
+        );
         assert!(best_under_power_budget(&m, 5.0).is_none());
     }
 

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use powadapt_device::{PowerStateId, KIB};
 use powadapt_io::Workload;
 use powadapt_model::{
-    best_under_power_budget, cheapest_above_throughput, pareto_frontier, ConfigPoint,
-    FleetModel, PowerThroughputModel,
+    best_under_power_budget, cheapest_above_throughput, pareto_frontier, ConfigPoint, FleetModel,
+    PowerThroughputModel,
 };
 
 fn pt(device: &str, power: f64, thr: f64) -> ConfigPoint {

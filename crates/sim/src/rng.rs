@@ -1,17 +1,25 @@
 //! Deterministic randomness for simulations.
 //!
 //! All stochastic components in the suite draw from a [`SimRng`] seeded
-//! explicitly, so every experiment is reproducible bit-for-bit. Distribution
-//! helpers (normal, exponential, log-normal) are implemented here directly so
-//! the dependency set stays minimal.
+//! explicitly, so every experiment is reproducible bit-for-bit. The
+//! generator (xoshiro256++ seeded through splitmix64) and the distribution
+//! helpers (normal, exponential, log-normal) are implemented here directly
+//! so the suite builds with no external dependencies — including on
+//! machines with no access to a crates registry.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Expands a 64-bit seed into well-mixed state words (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
 
 /// Deterministic random number generator used throughout the suite.
 ///
-/// Wraps a seeded [`StdRng`] and adds the distribution samplers the device
-/// and meter models need. Two `SimRng`s created with the same seed produce
+/// Implements xoshiro256++ with the distribution samplers the device and
+/// meter models need. Two `SimRng`s created with the same seed produce
 /// identical streams.
 ///
 /// # Examples
@@ -25,7 +33,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second output of the Box-Muller transform.
     gauss_spare: Option<f64>,
 }
@@ -33,8 +41,14 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             gauss_spare: None,
         }
     }
@@ -43,17 +57,39 @@ impl SimRng {
     /// component (device, meter, engine) its own stream so adding draws in
     /// one component does not perturb another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` in `[0, n)` by rejection sampling (unbiased).
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mask = n.next_power_of_two().wrapping_sub(1);
+        loop {
+            let v = self.next_u64() & mask;
+            if v < n {
+                return v;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits give the full double-precision mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -62,7 +98,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         if lo == hi {
             return lo;
         }
@@ -76,7 +115,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.bounded(n as u64) as usize
     }
 
     /// Uniform `u64` in `[lo, hi)`.
@@ -86,7 +125,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "u64_range requires lo < hi (got {lo}..{hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.bounded(hi - lo)
     }
 
     /// Bernoulli trial with probability `p` of `true`.
@@ -124,7 +163,10 @@ impl SimRng {
     ///
     /// Panics if `std_dev` is negative or not finite.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "bad std dev {std_dev}");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "bad std dev {std_dev}"
+        );
         mean + std_dev * self.standard_normal()
     }
 
@@ -134,7 +176,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "bad exponential mean {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "bad exponential mean {mean}"
+        );
         let u = loop {
             let u = self.uniform();
             if u > f64::MIN_POSITIVE {

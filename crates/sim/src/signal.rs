@@ -74,7 +74,10 @@ impl StepSignal {
     /// Panics if `at` precedes the latest recorded step.
     pub fn step(&mut self, at: SimTime, value: f64) {
         if let Some(&(last_t, last_v)) = self.steps.back() {
-            assert!(at >= last_t, "step at {at} precedes latest step at {last_t}");
+            assert!(
+                at >= last_t,
+                "step at {at} precedes latest step at {last_t}"
+            );
             if at == last_t {
                 self.steps.back_mut().unwrap().1 = value;
                 return;
@@ -295,6 +298,9 @@ mod tests {
     #[test]
     fn trailing_mean_with_no_elapsed_time_returns_point_value() {
         let s = StepSignal::new(7.0);
-        assert_eq!(s.trailing_mean(SimTime::ZERO, SimDuration::from_secs(10)), 7.0);
+        assert_eq!(
+            s.trailing_mean(SimTime::ZERO, SimDuration::from_secs(10)),
+            7.0
+        );
     }
 }

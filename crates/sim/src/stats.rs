@@ -107,9 +107,7 @@ impl Summary {
             let idx = (((x - lo) / width) as usize).min(bins - 1);
             counts[idx] += 1;
         }
-        let centers = (0..bins)
-            .map(|i| lo + width * (i as f64 + 0.5))
-            .collect();
+        let centers = (0..bins).map(|i| lo + width * (i as f64 + 0.5)).collect();
         (centers, counts)
     }
 }

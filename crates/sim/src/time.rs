@@ -378,7 +378,10 @@ mod tests {
         let b = SimTime::from_millis(9);
         assert_eq!(b.duration_since(a).as_millis(), 5);
         assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

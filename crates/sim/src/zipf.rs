@@ -53,9 +53,7 @@ impl Zipf {
         } else {
             theta
         };
-        let zeta = |count: u64| -> f64 {
-            (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum()
-        };
+        let zeta = |count: u64| -> f64 { (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
         let zeta_n = zeta(n);
         let zeta_2 = zeta(2.min(n));
         let alpha = 1.0 / (1.0 - theta);
@@ -132,9 +130,8 @@ mod tests {
     fn low_theta_flattens_the_distribution() {
         let skewed = frequencies(100, 1.2, 100_000);
         let flat = frequencies(100, 0.1, 100_000);
-        let top_share = |c: &[usize]| {
-            c[..5].iter().sum::<usize>() as f64 / c.iter().sum::<usize>() as f64
-        };
+        let top_share =
+            |c: &[usize]| c[..5].iter().sum::<usize>() as f64 / c.iter().sum::<usize>() as f64;
         assert!(top_share(&skewed) > 2.0 * top_share(&flat));
     }
 

@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --release --example demand_response`
 
-use powadapt::core::{
-    AdaptiveController, BudgetSchedule, PowerDomain, PowerEventCause,
-};
+use powadapt::core::{AdaptiveController, BudgetSchedule, PowerDomain, PowerEventCause};
 use powadapt::device::{catalog, StorageDevice, KIB};
 use powadapt::io::{full_sweep, SweepScale, Workload};
 use powadapt::model::PowerThroughputModel;
@@ -52,7 +50,10 @@ fn main() {
         .child(rack("rack-1"))
         .child(rack("rack-2"));
     let violations = row.check_safety(0.6);
-    assert!(violations.is_empty(), "deployment must be safe: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "deployment must be safe: {violations:?}"
+    );
     println!(
         "Deployment check: OK (worst case {:.0} W across {} racks, breakers hold)",
         row.worst_case_w(),
@@ -63,8 +64,7 @@ fn main() {
     // 2. Model the fleet by measurement (one rack's worth).
     println!("Building power-throughput models from sweeps...");
     let labels = ["SSD1", "SSD2", "HDD"];
-    let models: Vec<PowerThroughputModel> =
-        labels.iter().map(|l| model_for(l, 42)).collect();
+    let models: Vec<PowerThroughputModel> = labels.iter().map(|l| model_for(l, 42)).collect();
     for m in &models {
         println!("  {m}");
     }
@@ -72,8 +72,16 @@ fn main() {
 
     // 3. The power schedule: normal -> emergency -> demand response -> recovery.
     let mut schedule = BudgetSchedule::new(40.0);
-    schedule.push(SimTime::from_secs(10), 14.0, PowerEventCause::Oversubscription);
-    schedule.push(SimTime::from_secs(20), 22.0, PowerEventCause::DemandResponse);
+    schedule.push(
+        SimTime::from_secs(10),
+        14.0,
+        PowerEventCause::Oversubscription,
+    );
+    schedule.push(
+        SimTime::from_secs(20),
+        22.0,
+        PowerEventCause::DemandResponse,
+    );
     schedule.push(SimTime::from_secs(40), 40.0, PowerEventCause::Recovery);
 
     // 4. Drive the controller through the schedule.
@@ -82,8 +90,7 @@ fn main() {
         Box::new(catalog::ssd2_d7_p5510(43)),
         Box::new(catalog::hdd_exos_7e2000(44)),
     ];
-    let mut controller =
-        AdaptiveController::new(devices, models).expect("labels line up");
+    let mut controller = AdaptiveController::new(devices, models).expect("labels line up");
     println!(
         "Fleet floor (everything standby / min-power): {:.1} W",
         controller.floor_w()

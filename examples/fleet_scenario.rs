@@ -41,8 +41,7 @@ fn model_for(label: &str, seed: u64) -> PowerThroughputModel {
 fn main() {
     println!("Building per-device models (one sweep per device)...");
     let labels = ["SSD1", "SSD2", "860EVO"];
-    let models: Vec<PowerThroughputModel> =
-        labels.iter().map(|l| model_for(l, 42)).collect();
+    let models: Vec<PowerThroughputModel> = labels.iter().map(|l| model_for(l, 42)).collect();
     for m in &models {
         println!("  {m}");
     }
@@ -56,8 +55,16 @@ fn main() {
 
     // The day's power script.
     let mut schedule = BudgetSchedule::new(30.0);
-    schedule.push(SimTime::from_millis(600), 16.0, PowerEventCause::Oversubscription);
-    schedule.push(SimTime::from_millis(1200), 22.0, PowerEventCause::DemandResponse);
+    schedule.push(
+        SimTime::from_millis(600),
+        16.0,
+        PowerEventCause::Oversubscription,
+    );
+    schedule.push(
+        SimTime::from_millis(1200),
+        22.0,
+        PowerEventCause::DemandResponse,
+    );
     schedule.push(SimTime::from_millis(1800), 30.0, PowerEventCause::Recovery);
     println!("\nBudget schedule:");
     println!("  t=0.0s    30 W (initial)");
@@ -81,13 +88,20 @@ fn main() {
         zipf_theta: None,
     };
 
-    let mut router =
-        AdaptiveScenarioRouter::new(schedule.clone(), models, standby_w);
-    let result = run_fleet(&mut devices, &mut router, &spec, SimDuration::from_millis(50))
-        .expect("scenario runs");
+    let mut router = AdaptiveScenarioRouter::new(schedule.clone(), models, standby_w);
+    let result = run_fleet(
+        &mut devices,
+        &mut router,
+        &spec,
+        SimDuration::from_millis(50),
+    )
+    .expect("scenario runs");
 
     println!("\nMeasured fleet power vs budget (100 ms windows):");
-    println!("  {:>8} {:>10} {:>10} {:>9}", "t", "budget", "measured", "ok?");
+    println!(
+        "  {:>8} {:>10} {:>10} {:>9}",
+        "t", "budget", "measured", "ok?"
+    );
     let window = SimDuration::from_millis(100);
     let mut t = SimTime::ZERO;
     while t + window <= SimTime::from_millis(2400) {
@@ -114,7 +128,11 @@ fn main() {
     }
 
     println!("\nOutcome:");
-    println!("  replans: {}, infeasible events: {}", router.replans(), router.infeasible_events());
+    println!(
+        "  replans: {}, infeasible events: {}",
+        router.replans(),
+        router.infeasible_events()
+    );
     println!("  served: {}", result.total);
     println!(
         "  reads:  avg {:.0} us, p99 {:.0} us | writes: avg {:.0} us, p99 {:.0} us",

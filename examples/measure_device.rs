@@ -27,7 +27,13 @@ fn main() {
 
     // 2. Describe a hypothetical next-gen drive: more dies, faster NAND,
     //    a deeper power-state ladder.
-    let spec = DeviceSpec::new("PROTO", "Prototype Gen5", Protocol::Nvme, DeviceClass::Ssd, 4096 * GIB);
+    let spec = DeviceSpec::new(
+        "PROTO",
+        "Prototype Gen5",
+        Protocol::Nvme,
+        DeviceClass::Ssd,
+        4096 * GIB,
+    );
     let cfg = SsdConfig {
         dies: 128,
         interface_bw: 7.0e9,
@@ -81,8 +87,7 @@ fn main() {
     }
 
     // 4. Model it.
-    let model =
-        PowerThroughputModel::from_points("PROTO", points).expect("non-empty sweep");
+    let model = PowerThroughputModel::from_points("PROTO", points).expect("non-empty sweep");
     println!("{model}");
     println!();
     println!("Pareto frontier (power -> throughput):");

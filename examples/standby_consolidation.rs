@@ -25,8 +25,8 @@ fn main() {
 
     // A stylized 24-hour demand curve in GB/s (one step per hour).
     let demand_gbs = [
-        8.0, 6.0, 4.0, 3.0, 2.5, 3.0, 6.0, 12.0, 20.0, 28.0, 34.0, 38.0,
-        40.0, 38.0, 36.0, 34.0, 30.0, 26.0, 24.0, 22.0, 18.0, 14.0, 12.0, 10.0,
+        8.0, 6.0, 4.0, 3.0, 2.5, 3.0, 6.0, 12.0, 20.0, 28.0, 34.0, 38.0, 40.0, 38.0, 36.0, 34.0,
+        30.0, 26.0, 24.0, 22.0, 18.0, 14.0, 12.0, 10.0,
     ];
 
     println!("Hourly consolidation over a diurnal demand curve (16 devices):");
@@ -83,7 +83,11 @@ fn main() {
         println!(
             "  idle {:>5} s: standby {} ({:+.1} J)",
             idle_secs,
-            if tiering.should_standby(period) { "YES" } else { "no " },
+            if tiering.should_standby(period) {
+                "YES"
+            } else {
+                "no "
+            },
             tiering.savings_j(period)
         );
     }

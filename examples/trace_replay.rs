@@ -87,8 +87,7 @@ fn main() {
         grow_threshold: 0.85,
         shrink_threshold: 0.6,
     };
-    let mut consolidating =
-        powadapt::core::ConsolidatingRouter::new(4, cfg).expect("valid config");
+    let mut consolidating = powadapt::core::ConsolidatingRouter::new(4, cfg).expect("valid config");
     let cons = replay("consolidation", &trace, &mut consolidating);
 
     let mut cached = ExcesCachingRouter::new(

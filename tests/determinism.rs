@@ -19,11 +19,9 @@ fn experiment(device_seed: u64, job_seed: u64) -> ExperimentResult {
 
 fn fingerprint(r: &ExperimentResult) -> (u64, u64, usize, u64) {
     // Hash-free exact fingerprint: counts plus bit patterns of the floats.
-    let power_bits = r
-        .power
-        .samples()
-        .iter()
-        .fold(0u64, |acc, w| acc.wrapping_mul(31).wrapping_add(w.to_bits()));
+    let power_bits = r.power.samples().iter().fold(0u64, |acc, w| {
+        acc.wrapping_mul(31).wrapping_add(w.to_bits())
+    });
     (r.io.ios(), r.io.bytes(), r.power.len(), power_bits)
 }
 
@@ -32,7 +30,10 @@ fn identical_seeds_are_bit_identical() {
     let a = experiment(7, 99);
     let b = experiment(7, 99);
     assert_eq!(fingerprint(&a), fingerprint(&b));
-    assert_eq!(a.io.avg_latency_us().to_bits(), b.io.avg_latency_us().to_bits());
+    assert_eq!(
+        a.io.avg_latency_us().to_bits(),
+        b.io.avg_latency_us().to_bits()
+    );
     assert_eq!(a.avg_power_w().to_bits(), b.avg_power_w().to_bits());
 }
 
@@ -54,9 +55,7 @@ fn different_job_seeds_change_the_offset_stream() {
     let a = experiment(7, 99);
     let b = experiment(7, 100);
     // Random offsets differ; aggregate behaviour stays close.
-    assert!((a.io.throughput_mibs() - b.io.throughput_mibs()).abs()
-        / a.io.throughput_mibs()
-        < 0.1);
+    assert!((a.io.throughput_mibs() - b.io.throughput_mibs()).abs() / a.io.throughput_mibs() < 0.1);
     assert_ne!(fingerprint(&a).3, fingerprint(&b).3);
 }
 

@@ -2,10 +2,10 @@
 //! fio-like engine, build models, hand them to the adaptive controller, and
 //! verify the closed loop actually keeps measured fleet power within budget.
 
-use powadapt::core::{AdaptiveController, BudgetSchedule, ControlError, PowerEventCause, Slo};
 use powadapt::core::choose_config;
+use powadapt::core::{AdaptiveController, BudgetSchedule, ControlError, PowerEventCause, Slo};
 use powadapt::device::{catalog, StandbyState, StorageDevice, GIB, KIB};
-use powadapt::io::{full_sweep, JobSpec, run_experiment, SweepScale, Workload};
+use powadapt::io::{full_sweep, run_experiment, JobSpec, SweepScale, Workload};
 use powadapt::model::{pareto_frontier, ConfigPoint, LatencyModel, PowerThroughputModel};
 use powadapt::sim::{SimDuration, SimTime};
 
@@ -40,7 +40,11 @@ fn model_for(label: &str) -> PowerThroughputModel {
 fn measured_models_have_sane_frontiers() {
     for label in ["SSD1", "SSD2", "HDD"] {
         let m = model_for(label);
-        assert!(m.points().len() >= 4, "{label}: {} points", m.points().len());
+        assert!(
+            m.points().len() >= 4,
+            "{label}: {} points",
+            m.points().len()
+        );
         let frontier = pareto_frontier(m.points());
         assert!(!frontier.is_empty());
         // Frontier is monotone: more power, more throughput.
@@ -66,7 +70,11 @@ fn controller_tracks_a_budget_schedule_end_to_end() {
     let mut ctl = AdaptiveController::new(devices, models).expect("labels match");
 
     let mut schedule = BudgetSchedule::new(25.0);
-    schedule.push(SimTime::from_secs(1), 12.0, PowerEventCause::Oversubscription);
+    schedule.push(
+        SimTime::from_secs(1),
+        12.0,
+        PowerEventCause::Oversubscription,
+    );
     schedule.push(SimTime::from_secs(2), 25.0, PowerEventCause::Recovery);
 
     // Initial budget: everything can run at full power.
@@ -152,7 +160,10 @@ fn latency_model_from_a_real_sweep_reproduces_the_cap_blowup() {
         &[Workload::RandWrite],
         &[256 * KIB, 2048 * KIB],
         &[1],
-        &[powadapt::device::PowerStateId(0), powadapt::device::PowerStateId(2)],
+        &[
+            powadapt::device::PowerStateId(0),
+            powadapt::device::PowerStateId(2),
+        ],
         SweepScale {
             runtime: SimDuration::from_millis(600),
             size_limit: 2 * GIB,

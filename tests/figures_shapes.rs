@@ -228,7 +228,11 @@ fn fig7_hdd_spin_cycle_matches_paper_energetics() {
     let standby = hdd.power_w();
     // Paper: 1.1 W standby vs 3.76 W idle — saves 2.66 W.
     assert!((standby - 1.1).abs() < 0.05, "standby {standby}");
-    assert!((idle - standby - 2.66).abs() < 0.15, "saving {}", idle - standby);
+    assert!(
+        (idle - standby - 2.66).abs() < 0.15,
+        "saving {}",
+        idle - standby
+    );
 
     // IO against the sleeping disk pays the multi-second spin-up.
     use powadapt::device::{IoId, IoKind, IoRequest};
@@ -288,14 +292,24 @@ fn fig10_ssd1_operating_point_matches_the_case_study() {
     let gib = r.io.throughput_bps() / GIB as f64;
     // Paper: 3.3 GiB/s at 8.19 W.
     assert!((gib - 3.3).abs() < 0.35, "throughput {gib:.2} GiB/s");
-    assert!((r.avg_power_w() - 8.19).abs() < 1.0, "power {:.2} W", r.avg_power_w());
+    assert!(
+        (r.avg_power_w() - 8.19).abs() < 1.0,
+        "power {:.2} W",
+        r.avg_power_w()
+    );
 
     // The QD1 shape: roughly -40 % throughput for -20 % power.
     let q1 = run("SSD1", 0, &job(Workload::RandWrite, 256 * KIB, 1));
     let thr_ratio = q1.io.throughput_bps() / r.io.throughput_bps();
     let pow_ratio = q1.avg_power_w() / r.avg_power_w();
-    assert!((0.5..=0.75).contains(&thr_ratio), "QD1 throughput ratio {thr_ratio:.2}");
-    assert!((0.7..=0.9).contains(&pow_ratio), "QD1 power ratio {pow_ratio:.2}");
+    assert!(
+        (0.5..=0.75).contains(&thr_ratio),
+        "QD1 throughput ratio {thr_ratio:.2}"
+    );
+    assert!(
+        (0.7..=0.9).contains(&pow_ratio),
+        "QD1 power ratio {pow_ratio:.2}"
+    );
 }
 
 #[test]

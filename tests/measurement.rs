@@ -114,8 +114,13 @@ fn dynamic_range_of_a_trace_matches_device_behaviour() {
         let t = rig.next_sample();
         if i == 100 {
             for _ in 0..8 {
-                dev.submit(IoRequest::new(IoId(id), IoKind::Write, id * 8 * MIB, 8 * MIB))
-                    .expect("valid request");
+                dev.submit(IoRequest::new(
+                    IoId(id),
+                    IoKind::Write,
+                    id * 8 * MIB,
+                    8 * MIB,
+                ))
+                .expect("valid request");
                 id += 1;
             }
         }

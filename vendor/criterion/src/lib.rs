@@ -1,0 +1,243 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, implementing the API surface the `powadapt-bench` benches use:
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], and [`BatchSize`].
+//!
+//! Measurement is deliberately simple — warm up briefly, then time a fixed
+//! number of sample batches with `std::time::Instant` and report the
+//! median and mean nanoseconds per iteration on stdout. No statistics
+//! beyond that, no HTML reports, no CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls. Only used to pick
+/// the per-batch iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per setup.
+    SmallInput,
+    /// Large inputs: one iteration per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly 1/20 of the measurement target.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target / 20 || n >= 1 << 20 {
+                break;
+            }
+            n *= 2;
+        }
+        let deadline = Instant::now() + self.target;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iters_per_batch();
+        let deadline = Instant::now() + self.target;
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{name:50} no samples");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:50} median {:>12.1} ns/iter   mean {:>12.1} ns/iter   ({} samples)",
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op CLI hook kept for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets how long each benchmark is measured for.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measurement_time);
+        body(&mut b);
+        report(name, &mut b.samples);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are prefixed with its name.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// No-op sample-count hint kept for API compatibility (this harness
+    /// samples for a fixed wall-clock window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets how long each benchmark in the group is measured for.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, body);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u64, 2, 3],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(!b.samples.is_empty());
+    }
+}
