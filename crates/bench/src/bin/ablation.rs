@@ -3,10 +3,15 @@
 //! amplification. Each section varies one knob on the SSD2 model and shows
 //! which paper-observed behaviour that knob is responsible for.
 //!
+//! Each section's variants are independent experiments, so they fan across
+//! the workers configured by `POWADAPT_WORKERS` (or `--workers N`); the
+//! printed tables are identical for every worker count.
+//!
 //! Run with: `cargo run --release -p powadapt-bench --bin ablation`
 
+use powadapt_bench::{apply_cli_workers, report_executor};
 use powadapt_device::{catalog, PowerStateId, Ssd, SsdConfig, StorageDevice, GIB, KIB, MIB};
-use powadapt_io::{run_experiment, JobSpec, Workload};
+use powadapt_io::{run_cells, run_experiment, JobSpec, ParallelConfig, Workload};
 use powadapt_sim::SimDuration;
 
 fn base_config() -> SsdConfig {
@@ -32,6 +37,9 @@ fn run(dev: &mut Ssd, w: Workload, chunk: u64, depth: usize) -> powadapt_io::Exp
 }
 
 fn main() {
+    apply_cli_workers();
+    let pcfg = ParallelConfig::from_env();
+
     println!("== Ablation 1: cap-governor control window (ps2, randwrite 256 KiB QD1) ==");
     println!("   The NVMe spec only bounds the 10 s average; the control window is how");
     println!("   fast firmware enforces it. Longer windows -> longer stalls -> worse tails.");
@@ -39,11 +47,14 @@ fn main() {
         "   {:>8} {:>10} {:>10} {:>10} {:>9}",
         "window", "thr MiB/s", "avg us", "p99 us", "avg W"
     );
-    for ms in [5u64, 25, 100, 500] {
+    let windows = [5u64, 25, 100, 500];
+    let results = run_cells(&windows, &pcfg, |_, &ms| {
         let mut cfg = base_config();
         cfg.cap_window = SimDuration::from_millis(ms);
         let mut dev = device_with(cfg, 2);
-        let r = run(&mut dev, Workload::RandWrite, 256 * KIB, 1);
+        run(&mut dev, Workload::RandWrite, 256 * KIB, 1)
+    });
+    for (ms, r) in windows.iter().zip(&results) {
         println!(
             "   {:>6}ms {:>10.0} {:>10.0} {:>10.0} {:>9.2}",
             ms,
@@ -65,12 +76,15 @@ fn main() {
         "   {:>8} {:>10} {:>9} {:>10} {:>10}",
         "window", "thr MiB/s", "avg W", "peak W", "spread W"
     );
-    for ms in [25u64, 500, 2000, 10_000] {
+    let windows = [25u64, 500, 2000, 10_000];
+    let results = run_cells(&windows, &pcfg, |_, &ms| {
         let mut cfg = base_config();
         cfg.cap_window = SimDuration::from_millis(ms);
         cfg.noise_sd_w = 0.0;
         let mut dev = device_with(cfg, 2);
-        let r = run(&mut dev, Workload::SeqWrite, 2 * MIB, 64);
+        run(&mut dev, Workload::SeqWrite, 2 * MIB, 64)
+    });
+    for (ms, r) in windows.iter().zip(&results) {
         let (peak, spread) = r.power.summary().map_or((0.0, 0.0), |s| {
             (s.max(), s.percentile(95.0) - s.percentile(5.0))
         });
@@ -92,12 +106,15 @@ fn main() {
         "   {:>10} {:>10} {:>9} {:>10} {:>10}",
         "watermark", "thr MiB/s", "avg W", "peak W", "p99 us"
     );
-    for wm_mib in [1u64, 4, 16] {
+    let watermarks = [1u64, 4, 16];
+    let results = run_cells(&watermarks, &pcfg, |_, &wm_mib| {
         let mut cfg = base_config();
         cfg.flush_watermark_bytes = wm_mib * MIB;
         cfg.noise_sd_w = 0.0;
         let mut dev = device_with(cfg, 0);
-        let r = run(&mut dev, Workload::RandWrite, 4 * KIB, 1);
+        run(&mut dev, Workload::RandWrite, 4 * KIB, 1)
+    });
+    for (wm_mib, r) in watermarks.iter().zip(&results) {
         let peak = r.power.summary().map_or(0.0, |s| s.max());
         println!(
             "   {:>7}MiB {:>10.0} {:>9.2} {:>10.2} {:>10.0}",
@@ -118,7 +135,8 @@ fn main() {
         "   {:>12} {:>13} {:>13} {:>11} {:>11}",
         "waf", "4K thr MiB/s", "2M thr MiB/s", "4K avg W", "2M avg W"
     );
-    for (name, waf_min, waf_max) in [("off (1.0)", 1.0, 1.0), ("paper-like", 1.05, 1.6)] {
+    let variants = [("off (1.0)", 1.0, 1.0), ("paper-like", 1.05, 1.6)];
+    let results = run_cells(&variants, &pcfg, |_, &(_, waf_min, waf_max)| {
         let mut cfg = base_config();
         cfg.waf_min = waf_min;
         cfg.waf_max = waf_max;
@@ -126,6 +144,9 @@ fn main() {
         let small = run(&mut small_dev, Workload::RandWrite, 4 * KIB, 64);
         let mut large_dev = device_with(cfg, 0);
         let large = run(&mut large_dev, Workload::RandWrite, 2 * MIB, 64);
+        (small, large)
+    });
+    for ((name, _, _), (small, large)) in variants.iter().zip(&results) {
         println!(
             "   {:>12} {:>13.0} {:>13.0} {:>11.2} {:>11.2}",
             name,
@@ -135,4 +156,5 @@ fn main() {
             large.avg_power_w()
         );
     }
+    report_executor("ablation");
 }

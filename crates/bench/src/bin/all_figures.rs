@@ -1,8 +1,11 @@
-//! Regenerates every table and figure in sequence.
+//! Regenerates every table and figure in sequence. Each figure fans its
+//! grid across the workers configured by `POWADAPT_WORKERS` (or the
+//! `--workers N` flag); stdout is byte-identical for every worker count.
 
-use powadapt_bench::{bench_scale, figures};
+use powadapt_bench::{apply_cli_workers, bench_scale, figures, report_executor};
 
 fn main() {
+    apply_cli_workers();
     let scale = bench_scale();
     let seed = 42;
     let rule = "=".repeat(72);
@@ -49,4 +52,5 @@ fn main() {
         f();
         println!();
     }
+    report_executor("all_figures");
 }

@@ -11,14 +11,15 @@
 //!
 //! Run with: `cargo run --release -p powadapt-bench --bin policy_eval`
 
+use powadapt_bench::{apply_cli_workers, report_executor};
 use powadapt_core::{
     choose_mechanism, redirect_crossover_fraction, AdaptiveScenarioRouter, BudgetSchedule,
     ConsolidatingRouter, PowerEventCause, RedirectionConfig, WriteSegregationRouter,
 };
 use powadapt_device::{catalog, FaultInjector, FaultPlan, PowerStateId, StorageDevice, GIB, KIB};
 use powadapt_io::{
-    full_sweep, run_fleet, AccessPattern, Arrivals, BreakerConfig, CircuitBreakerRouter,
-    LeastLoadedRouter, OpenLoopSpec, SweepScale, Workload,
+    full_sweep, run_cells, run_fleet, AccessPattern, Arrivals, BreakerConfig, CircuitBreakerRouter,
+    LeastLoadedRouter, OpenLoopSpec, ParallelConfig, SweepScale, Workload,
 };
 use powadapt_model::PowerThroughputModel;
 use powadapt_sim::{SimDuration, SimTime};
@@ -62,7 +63,10 @@ fn consolidation_section() {
         grow_threshold: 0.85,
         shrink_threshold: 0.6,
     };
-    for mbs in [20.0, 80.0, 320.0, 1280.0] {
+    // Each demand level's baseline/consolidated pair is an independent
+    // fleet simulation; fan all of them across the configured workers.
+    let demands = [20.0, 80.0, 320.0, 1280.0];
+    let pairs = run_cells(&demands, &ParallelConfig::from_env(), |_, &mbs| {
         let rate = mbs * 1e6 / (64.0 * 1024.0);
         let spec = stream(rate, 64 * KIB, 1.0, 1500);
         let interval = SimDuration::from_millis(100);
@@ -76,6 +80,9 @@ fn consolidation_section() {
             let mut router = ConsolidatingRouter::new(8, cfg).expect("valid");
             run_fleet(&mut devices, &mut router, &spec, interval).expect("runs")
         };
+        (baseline, consolidated)
+    });
+    for (mbs, (baseline, consolidated)) in demands.iter().zip(&pairs) {
         println!(
             "   {:>6.0}MB/s {:>10.2} {:>13.2} {:>8.0}% {:>12.0} {:>12.0}",
             mbs,
@@ -342,9 +349,11 @@ fn fault_section() {
 }
 
 fn main() {
+    apply_cli_workers();
     consolidation_section();
     segregation_section();
     mechanism_section();
     scenario_section();
     fault_section();
+    report_executor("policy_eval");
 }

@@ -6,8 +6,9 @@
 //!
 //! Run with: `cargo run --release -p powadapt-bench --bin sec2_sizing`
 
+use powadapt_bench::{apply_cli_workers, report_executor};
 use powadapt_device::{catalog, PowerStateId, StorageDevice, GIB, KIB, MIB};
-use powadapt_io::{run_experiment, JobSpec, Workload};
+use powadapt_io::{run_cells, run_experiment, JobSpec, ParallelConfig, Workload};
 use powadapt_sim::{SimDuration, SimRng};
 
 const N: usize = 16;
@@ -33,8 +34,21 @@ fn measure(ps: u8, w: Workload) -> (f64, f64) {
 }
 
 fn main() {
+    apply_cli_workers();
     println!("Sec. 2 sizing example: a 16x Samsung PM1743 storage server, measured.");
     println!();
+
+    // The three workload measurements are independent; fan them across the
+    // configured workers (each is deterministic, so the printed numbers do
+    // not depend on the worker count).
+    let workloads = [
+        (0u8, Workload::SeqRead),
+        (0, Workload::SeqWrite),
+        (2, Workload::SeqWrite),
+    ];
+    let measured = run_cells(&workloads, &ParallelConfig::from_env(), |_, &(ps, w)| {
+        measure(ps, w)
+    });
 
     // Idle: meter one idle device precisely.
     let mut dev = catalog::pm1743(7);
@@ -51,19 +65,19 @@ fn main() {
         fleet_power(|_| idle)
     );
 
-    let (read_w, read_gbps) = measure(0, Workload::SeqRead);
+    let (read_w, read_gbps) = measured[0];
     println!(
         "  reads:  {read_w:5.2} W/device -> fleet {:6.1} W at {read_gbps:.1} GB/s each (paper: 23 W -> 368 W)",
         fleet_power(|_| read_w)
     );
 
-    let (write_w, write_gbps) = measure(0, Workload::SeqWrite);
+    let (write_w, write_gbps) = measured[1];
     println!(
         "  writes: {write_w:5.2} W/device -> fleet {:6.1} W at {write_gbps:.1} GB/s each (paper: 21.1 W typical)",
         fleet_power(|_| write_w)
     );
 
-    let (capped_w, capped_gbps) = measure(2, Workload::SeqWrite);
+    let (capped_w, capped_gbps) = measured[2];
     println!(
         "  capped: {capped_w:5.2} W/device -> fleet {:6.1} W at {capped_gbps:.1} GB/s each (paper: 9 W cap, ~40% of max, 1.8x idle)",
         fleet_power(|_| capped_w)
@@ -94,4 +108,5 @@ fn main() {
         r.io.iops() / 1e3,
         r.avg_power_w()
     );
+    report_executor("sec2_sizing");
 }

@@ -3,17 +3,30 @@
 //! configuration-selection case study.
 
 use powadapt_device::{catalog, PowerStateId, GIB, KIB};
-use powadapt_io::{full_sweep, SweepPoint, SweepScale, Workload, PAPER_CHUNKS, PAPER_DEPTHS};
+use powadapt_io::{
+    full_sweep_with, ParallelConfig, SweepPoint, SweepScale, Workload, PAPER_CHUNKS, PAPER_DEPTHS,
+};
 use powadapt_model::{best_under_power_budget, PowerThroughputModel};
 
 use crate::TABLE1_LABELS;
 
 /// Runs the full random-write sweep for one device (all chunk sizes, all
-/// depths, all of its power states).
+/// depths, all of its power states), fanned across the workers configured
+/// by the environment.
 pub fn device_sweep(label: &str, scale: SweepScale, seed: u64) -> Vec<SweepPoint> {
+    device_sweep_with(label, scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`device_sweep`] with an explicit executor configuration.
+pub fn device_sweep_with(
+    label: &str,
+    scale: SweepScale,
+    seed: u64,
+    cfg: &ParallelConfig,
+) -> Vec<SweepPoint> {
     let factory = || catalog::by_label(label, seed).expect("known label");
     let states: Vec<PowerStateId> = factory().power_states().iter().map(|d| d.id).collect();
-    full_sweep(
+    full_sweep_with(
         factory,
         &[Workload::RandWrite],
         &PAPER_CHUNKS,
@@ -21,15 +34,25 @@ pub fn device_sweep(label: &str, scale: SweepScale, seed: u64) -> Vec<SweepPoint
         &states,
         scale,
         seed,
+        cfg,
     )
     .expect("sweep runs")
 }
 
 /// Builds the per-device models behind Figure 10a.
 pub fn models(scale: SweepScale, seed: u64) -> Vec<PowerThroughputModel> {
+    models_with(scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`models`] with an explicit executor configuration.
+pub fn models_with(
+    scale: SweepScale,
+    seed: u64,
+    cfg: &ParallelConfig,
+) -> Vec<PowerThroughputModel> {
     let mut all = Vec::new();
     for label in TABLE1_LABELS {
-        all.extend(device_sweep(label, scale, seed));
+        all.extend(device_sweep_with(label, scale, seed, cfg));
     }
     PowerThroughputModel::from_sweep(&all)
 }

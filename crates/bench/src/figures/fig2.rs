@@ -3,7 +3,9 @@
 //! workload (randwrite, 256 KiB chunks, queue depth 64).
 
 use powadapt_device::{catalog, KIB};
-use powadapt_io::{run_experiment, ExperimentResult, JobSpec, SweepScale, Workload};
+use powadapt_io::{
+    run_cells, run_experiment, ExperimentResult, JobSpec, ParallelConfig, SweepScale, Workload,
+};
 
 use crate::TABLE1_LABELS;
 
@@ -20,10 +22,26 @@ pub fn experiment(label: &str, scale: SweepScale, seed: u64) -> ExperimentResult
     run_experiment(dev.as_mut(), &job).expect("valid experiment")
 }
 
+/// Runs the Figure 2 workload on all four devices (paper order), fanned
+/// across the given workers. Experiments are deterministic, so the results
+/// are identical for any worker count.
+pub fn experiments_with(
+    scale: SweepScale,
+    seed: u64,
+    cfg: &ParallelConfig,
+) -> Vec<ExperimentResult> {
+    run_cells(&TABLE1_LABELS, cfg, |_, label| {
+        experiment(label, scale, seed)
+    })
+}
+
 /// Prints Figure 2a (the ms-scale trace) and 2b (per-device violins).
 pub fn run(scale: SweepScale, seed: u64) {
+    // One parallel batch covers both panels: SSD1's result doubles as the
+    // panel-(a) trace because experiments are deterministic.
+    let results = experiments_with(scale, seed, &ParallelConfig::from_env());
     println!("Figure 2a. SSD1 power usage over one experiment (randwrite 256 KiB, QD 64).");
-    let r = experiment("SSD1", scale, seed);
+    let r = &results[0];
     let n = r.power.len().min(1200);
     println!("  first {n} ms of the measurement window (t_ms, watts):");
     for (i, &w) in r.power.samples().iter().take(n).enumerate() {
@@ -47,8 +65,7 @@ pub fn run(scale: SweepScale, seed: u64) {
         "  {:<6} {:>8} {:>8} {:>8} {:>8} {:>8}   violin (5 bins)",
         "Device", "min", "p25", "median", "mean", "max"
     );
-    for label in TABLE1_LABELS {
-        let r = experiment(label, scale, seed);
+    for (label, r) in TABLE1_LABELS.iter().zip(&results) {
         let s = r.power.summary().expect("non-empty trace");
         let (_, counts) = s.violin_bins(5);
         let total: usize = counts.iter().sum();

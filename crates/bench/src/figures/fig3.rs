@@ -2,7 +2,10 @@
 //! across chunk sizes, at queue depths 64 (a) and 1 (b).
 
 use powadapt_device::{catalog, PowerStateId, KIB};
-use powadapt_io::{run_fresh, JobSpec, SweepScale, Workload, PAPER_CHUNKS};
+use powadapt_io::{
+    run_cells, run_fresh, JobSpec, ParallelConfig, SweepScale, Workload, PAPER_CHUNKS,
+};
+use powadapt_sim::SimRng;
 
 /// One measured cell of the figure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,35 +20,44 @@ pub struct Cell {
     pub power_w: f64,
 }
 
-/// Measures the full grid: 6 chunks × depths {64, 1} × states {0, 1, 2}.
+/// Measures the full grid: 6 chunks × depths {64, 1} × states {0, 1, 2},
+/// fanned across the workers configured by the environment.
 pub fn grid(scale: SweepScale, seed: u64) -> Vec<Cell> {
-    let mut out = Vec::new();
+    grid_with(scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`grid`] with an explicit executor configuration. Cells are seeded by
+/// their stable index, so the result is bit-identical for any worker count.
+pub fn grid_with(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> Vec<Cell> {
+    let mut coords = Vec::new();
     for &depth in &[64usize, 1] {
         for &chunk in &PAPER_CHUNKS {
             for ps in 0u8..3 {
-                let job = JobSpec::new(Workload::RandWrite)
-                    .block_size(chunk)
-                    .io_depth(depth)
-                    .runtime(scale.runtime)
-                    .size_limit(scale.size_limit)
-                    .ramp(scale.ramp)
-                    .seed(seed ^ chunk);
-                let r = run_fresh(
-                    || Box::new(catalog::ssd2_d7_p5510(seed)),
-                    PowerStateId(ps),
-                    &job,
-                )
-                .expect("valid experiment");
-                out.push(Cell {
-                    chunk,
-                    depth,
-                    ps,
-                    power_w: r.avg_power_w(),
-                });
+                coords.push((depth, chunk, ps));
             }
         }
     }
-    out
+    run_cells(&coords, cfg, |i, &(depth, chunk, ps)| {
+        let job = JobSpec::new(Workload::RandWrite)
+            .block_size(chunk)
+            .io_depth(depth)
+            .runtime(scale.runtime)
+            .size_limit(scale.size_limit)
+            .ramp(scale.ramp)
+            .seed(SimRng::stream_seed(seed, i as u64));
+        let r = run_fresh(
+            || Box::new(catalog::ssd2_d7_p5510(seed)),
+            PowerStateId(ps),
+            &job,
+        )
+        .expect("valid experiment");
+        Cell {
+            chunk,
+            depth,
+            ps,
+            power_w: r.avg_power_w(),
+        }
+    })
 }
 
 /// Prints both panels of the figure.

@@ -3,7 +3,10 @@
 //! minimal drop.
 
 use powadapt_device::{catalog, PowerStateId, KIB};
-use powadapt_io::{run_fresh, JobSpec, SweepScale, Workload, PAPER_CHUNKS};
+use powadapt_io::{
+    run_cells, run_fresh, JobSpec, ParallelConfig, SweepScale, Workload, PAPER_CHUNKS,
+};
+use powadapt_sim::SimRng;
 
 /// Measured throughput for one (workload, chunk, state) cell, in MiB/s.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,32 +19,46 @@ pub struct Cell {
     pub mibs: f64,
 }
 
-/// Measures one panel (seq write or seq read) across chunks × states.
+/// Measures one panel (seq write or seq read) across chunks × states,
+/// fanned across the workers configured by the environment.
 pub fn panel(workload: Workload, scale: SweepScale, seed: u64) -> Vec<Cell> {
-    let mut out = Vec::new();
+    panel_with(workload, scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`panel`] with an explicit executor configuration. Cells are seeded by
+/// their stable index, so the result is bit-identical for any worker count.
+pub fn panel_with(
+    workload: Workload,
+    scale: SweepScale,
+    seed: u64,
+    cfg: &ParallelConfig,
+) -> Vec<Cell> {
+    let mut coords = Vec::new();
     for &chunk in &PAPER_CHUNKS {
         for ps in 0u8..3 {
-            let job = JobSpec::new(workload)
-                .block_size(chunk)
-                .io_depth(64)
-                .runtime(scale.runtime)
-                .size_limit(scale.size_limit)
-                .ramp(scale.ramp)
-                .seed(seed ^ chunk);
-            let r = run_fresh(
-                || Box::new(catalog::ssd2_d7_p5510(seed)),
-                PowerStateId(ps),
-                &job,
-            )
-            .expect("valid experiment");
-            out.push(Cell {
-                chunk,
-                ps,
-                mibs: r.io.throughput_mibs(),
-            });
+            coords.push((chunk, ps));
         }
     }
-    out
+    run_cells(&coords, cfg, |i, &(chunk, ps)| {
+        let job = JobSpec::new(workload)
+            .block_size(chunk)
+            .io_depth(64)
+            .runtime(scale.runtime)
+            .size_limit(scale.size_limit)
+            .ramp(scale.ramp)
+            .seed(SimRng::stream_seed(seed, i as u64));
+        let r = run_fresh(
+            || Box::new(catalog::ssd2_d7_p5510(seed)),
+            PowerStateId(ps),
+            &job,
+        )
+        .expect("valid experiment");
+        Cell {
+            chunk,
+            ps,
+            mibs: r.io.throughput_mibs(),
+        }
+    })
 }
 
 fn print_panel(title: &str, cells: &[Cell]) {

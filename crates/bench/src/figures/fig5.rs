@@ -3,7 +3,10 @@
 //! don't change at all.
 
 use powadapt_device::{catalog, PowerStateId, KIB};
-use powadapt_io::{run_fresh, JobSpec, SweepScale, Workload, PAPER_CHUNKS};
+use powadapt_io::{
+    run_cells, run_fresh, JobSpec, ParallelConfig, SweepScale, Workload, PAPER_CHUNKS,
+};
+use powadapt_sim::SimRng;
 
 /// Latency measurements of one (chunk, state) cell, in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,33 +21,47 @@ pub struct Cell {
     pub p99_us: f64,
 }
 
-/// Measures one workload across chunks × states at queue depth 1.
+/// Measures one workload across chunks × states at queue depth 1, fanned
+/// across the workers configured by the environment.
 pub fn panel(workload: Workload, scale: SweepScale, seed: u64) -> Vec<Cell> {
-    let mut out = Vec::new();
+    panel_with(workload, scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`panel`] with an explicit executor configuration. Cells are seeded by
+/// their stable index, so the result is bit-identical for any worker count.
+pub fn panel_with(
+    workload: Workload,
+    scale: SweepScale,
+    seed: u64,
+    cfg: &ParallelConfig,
+) -> Vec<Cell> {
+    let mut coords = Vec::new();
     for &chunk in &PAPER_CHUNKS {
         for ps in 0u8..3 {
-            let job = JobSpec::new(workload)
-                .block_size(chunk)
-                .io_depth(1)
-                .runtime(scale.runtime)
-                .size_limit(scale.size_limit)
-                .ramp(scale.ramp)
-                .seed(seed ^ chunk);
-            let r = run_fresh(
-                || Box::new(catalog::ssd2_d7_p5510(seed)),
-                PowerStateId(ps),
-                &job,
-            )
-            .expect("valid experiment");
-            out.push(Cell {
-                chunk,
-                ps,
-                avg_us: r.io.avg_latency_us(),
-                p99_us: r.io.p99_latency_us(),
-            });
+            coords.push((chunk, ps));
         }
     }
-    out
+    run_cells(&coords, cfg, |i, &(chunk, ps)| {
+        let job = JobSpec::new(workload)
+            .block_size(chunk)
+            .io_depth(1)
+            .runtime(scale.runtime)
+            .size_limit(scale.size_limit)
+            .ramp(scale.ramp)
+            .seed(SimRng::stream_seed(seed, i as u64));
+        let r = run_fresh(
+            || Box::new(catalog::ssd2_d7_p5510(seed)),
+            PowerStateId(ps),
+            &job,
+        )
+        .expect("valid experiment");
+        Cell {
+            chunk,
+            ps,
+            avg_us: r.io.avg_latency_us(),
+            p99_us: r.io.p99_latency_us(),
+        }
+    })
 }
 
 fn print_normalized(title: &str, cells: &[Cell], pick: fn(&Cell) -> f64) {

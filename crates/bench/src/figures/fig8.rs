@@ -2,7 +2,10 @@
 //! (queue depth 64), across all four devices.
 
 use powadapt_device::{catalog, PowerStateId, KIB};
-use powadapt_io::{run_fresh, JobSpec, SweepScale, Workload, PAPER_CHUNKS};
+use powadapt_io::{
+    run_cells, run_fresh, JobSpec, ParallelConfig, SweepScale, Workload, PAPER_CHUNKS,
+};
+use powadapt_sim::SimRng;
 
 use crate::TABLE1_LABELS;
 
@@ -19,33 +22,42 @@ pub struct Cell {
     pub mibs: f64,
 }
 
-/// Measures the chunk sweep for every device.
+/// Measures the chunk sweep for every device, fanned across the workers
+/// configured by the environment.
 pub fn grid(scale: SweepScale, seed: u64) -> Vec<Cell> {
-    let mut out = Vec::new();
+    grid_with(scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`grid`] with an explicit executor configuration. Cells are seeded by
+/// their stable index, so the result is bit-identical for any worker count.
+pub fn grid_with(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> Vec<Cell> {
+    let mut coords = Vec::new();
     for label in TABLE1_LABELS {
         for &chunk in &PAPER_CHUNKS {
-            let job = JobSpec::new(Workload::RandWrite)
-                .block_size(chunk)
-                .io_depth(64)
-                .runtime(scale.runtime)
-                .size_limit(scale.size_limit)
-                .ramp(scale.ramp)
-                .seed(seed ^ chunk);
-            let r = run_fresh(
-                || catalog::by_label(label, seed).expect("known label"),
-                PowerStateId(0),
-                &job,
-            )
-            .expect("valid experiment");
-            out.push(Cell {
-                device: label.to_string(),
-                chunk,
-                power_w: r.avg_power_w(),
-                mibs: r.io.throughput_mibs(),
-            });
+            coords.push((label, chunk));
         }
     }
-    out
+    run_cells(&coords, cfg, |i, &(label, chunk)| {
+        let job = JobSpec::new(Workload::RandWrite)
+            .block_size(chunk)
+            .io_depth(64)
+            .runtime(scale.runtime)
+            .size_limit(scale.size_limit)
+            .ramp(scale.ramp)
+            .seed(SimRng::stream_seed(seed, i as u64));
+        let r = run_fresh(
+            || catalog::by_label(label, seed).expect("known label"),
+            PowerStateId(0),
+            &job,
+        )
+        .expect("valid experiment");
+        Cell {
+            device: label.to_string(),
+            chunk,
+            power_w: r.avg_power_w(),
+            mibs: r.io.throughput_mibs(),
+        }
+    })
 }
 
 /// Prints both panels of the figure.

@@ -2,7 +2,10 @@
 //! (4 KiB chunks), across all four devices.
 
 use powadapt_device::{catalog, PowerStateId, KIB};
-use powadapt_io::{run_fresh, JobSpec, SweepScale, Workload, PAPER_DEPTHS};
+use powadapt_io::{
+    run_cells, run_fresh, JobSpec, ParallelConfig, SweepScale, Workload, PAPER_DEPTHS,
+};
+use powadapt_sim::SimRng;
 
 use crate::TABLE1_LABELS;
 
@@ -19,33 +22,42 @@ pub struct Cell {
     pub mibs: f64,
 }
 
-/// Measures the depth sweep for every device.
+/// Measures the depth sweep for every device, fanned across the workers
+/// configured by the environment.
 pub fn grid(scale: SweepScale, seed: u64) -> Vec<Cell> {
-    let mut out = Vec::new();
+    grid_with(scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`grid`] with an explicit executor configuration. Cells are seeded by
+/// their stable index, so the result is bit-identical for any worker count.
+pub fn grid_with(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> Vec<Cell> {
+    let mut coords = Vec::new();
     for label in TABLE1_LABELS {
         for &depth in &PAPER_DEPTHS {
-            let job = JobSpec::new(Workload::RandRead)
-                .block_size(4 * KIB)
-                .io_depth(depth)
-                .runtime(scale.runtime)
-                .size_limit(scale.size_limit)
-                .ramp(scale.ramp)
-                .seed(seed ^ depth as u64);
-            let r = run_fresh(
-                || catalog::by_label(label, seed).expect("known label"),
-                PowerStateId(0),
-                &job,
-            )
-            .expect("valid experiment");
-            out.push(Cell {
-                device: label.to_string(),
-                depth,
-                power_w: r.avg_power_w(),
-                mibs: r.io.throughput_mibs(),
-            });
+            coords.push((label, depth));
         }
     }
-    out
+    run_cells(&coords, cfg, |i, &(label, depth)| {
+        let job = JobSpec::new(Workload::RandRead)
+            .block_size(4 * KIB)
+            .io_depth(depth)
+            .runtime(scale.runtime)
+            .size_limit(scale.size_limit)
+            .ramp(scale.ramp)
+            .seed(SimRng::stream_seed(seed, i as u64));
+        let r = run_fresh(
+            || catalog::by_label(label, seed).expect("known label"),
+            PowerStateId(0),
+            &job,
+        )
+        .expect("valid experiment");
+        Cell {
+            device: label.to_string(),
+            depth,
+            power_w: r.avg_power_w(),
+            mibs: r.io.throughput_mibs(),
+        }
+    })
 }
 
 /// Prints both panels of the figure.

@@ -1,7 +1,7 @@
 //! Table 1: evaluated storage devices and their measured power ranges.
 
 use powadapt_device::{catalog, KIB, MIB};
-use powadapt_io::{run_experiment, JobSpec, SweepScale, Workload};
+use powadapt_io::{run_cells, run_experiment, JobSpec, ParallelConfig, SweepScale, Workload};
 use powadapt_meter::PowerRig;
 use powadapt_sim::{SimDuration, SimRng};
 
@@ -87,12 +87,18 @@ pub fn measure_device(label: &str, scale: SweepScale, seed: u64) -> Row {
     }
 }
 
-/// Regenerates Table 1 for all four devices.
+/// Regenerates Table 1 for all four devices, measuring them in parallel
+/// across the workers configured by the environment.
 pub fn rows(scale: SweepScale, seed: u64) -> Vec<Row> {
-    TABLE1_LABELS
-        .iter()
-        .map(|l| measure_device(l, scale, seed))
-        .collect()
+    rows_with(scale, seed, &ParallelConfig::from_env())
+}
+
+/// [`rows`] with an explicit executor configuration. Each device's
+/// measurement is self-seeded, so rows are identical for any worker count.
+pub fn rows_with(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> Vec<Row> {
+    run_cells(&TABLE1_LABELS, cfg, |_, label| {
+        measure_device(label, scale, seed)
+    })
 }
 
 /// Prints the table in the paper's layout.

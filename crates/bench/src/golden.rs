@@ -1,0 +1,355 @@
+//! Golden-figure regression fixtures: canonical JSON summaries of every
+//! table/figure at a fixed scale and seed, committed under
+//! `crates/bench/goldens/` and compared byte-for-byte by
+//! `tests/parallel_equivalence.rs`.
+//!
+//! The summaries are produced through the same measurement functions the
+//! figure binaries use, so any drift in device models, the runner, or the
+//! parallel executor shows up as a fixture diff. Floats are serialized with
+//! Rust's shortest round-trip formatting (`{:?}`), making the comparison
+//! exact at the bit level. Regenerate after intentional changes with
+//! `cargo run -p powadapt-bench --bin regen_goldens`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use powadapt_device::{catalog, StorageDevice, GIB};
+use powadapt_io::{ParallelConfig, SweepScale, Workload};
+use powadapt_meter::PowerTrace;
+use powadapt_sim::{SimDuration, SimTime};
+
+use crate::figures::{fig10, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1};
+
+/// Root seed for every golden summary.
+pub const GOLDEN_SEED: u64 = 42;
+
+/// Every figure with a committed golden fixture, in paper order.
+pub const FIGURES: [&str; 10] = [
+    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+];
+
+/// The scale golden summaries are measured at: long enough for every cell
+/// to do real IO, short enough that the full figure set replays in seconds.
+pub fn golden_scale() -> SweepScale {
+    SweepScale {
+        runtime: SimDuration::from_millis(60),
+        size_limit: 4 * GIB,
+        ramp: SimDuration::from_millis(15),
+    }
+}
+
+/// The committed fixture directory (`crates/bench/goldens/`).
+pub fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens")
+}
+
+/// Bit-exact checksum of a float sequence (order-sensitive).
+pub fn f64_checksum<'a, I>(values: I) -> u64
+where
+    I: IntoIterator<Item = &'a f64>,
+{
+    values.into_iter().fold(0u64, |acc, v| {
+        acc.wrapping_mul(31).wrapping_add(v.to_bits())
+    })
+}
+
+fn checksum_field(trace: &PowerTrace) -> String {
+    format!(
+        "\"samples\": {}, \"checksum\": \"{:016x}\"",
+        trace.len(),
+        f64_checksum(trace.samples())
+    )
+}
+
+/// Formats a float exactly (shortest round-trip representation, valid JSON
+/// for all finite values).
+fn jf(v: f64) -> String {
+    assert!(v.is_finite(), "golden summaries must be finite, got {v}");
+    format!("{v:?}")
+}
+
+fn doc(figure: &str, seed: u64, rows: &[String]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"figure\": \"{figure}\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    {row}{sep}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn table1_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let rows: Vec<String> = table1::rows_with(scale, seed, cfg)
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\": \"{}\", \"protocol\": \"{}\", \"model\": \"{}\", \"min_w\": {}, \"max_w\": {}}}",
+                r.label,
+                r.protocol,
+                r.model,
+                jf(r.min_w),
+                jf(r.max_w)
+            )
+        })
+        .collect();
+    doc("table1", seed, &rows)
+}
+
+fn fig2_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let rows: Vec<String> = crate::TABLE1_LABELS
+        .iter()
+        .zip(fig2::experiments_with(scale, seed, cfg))
+        .map(|(label, r)| {
+            let s = r.power.summary().expect("non-empty trace");
+            format!(
+                "{{\"device\": \"{label}\", \"ios\": {}, \"bytes\": {}, \"mean_w\": {}, \"min_w\": {}, \"max_w\": {}, {}}}",
+                r.io.ios(),
+                r.io.bytes(),
+                jf(s.mean()),
+                jf(s.min()),
+                jf(s.max()),
+                checksum_field(&r.power)
+            )
+        })
+        .collect();
+    doc("fig2", seed, &rows)
+}
+
+fn fig3_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let rows: Vec<String> = fig3::grid_with(scale, seed, cfg)
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"chunk\": {}, \"depth\": {}, \"ps\": {}, \"power_w\": {}}}",
+                c.chunk,
+                c.depth,
+                c.ps,
+                jf(c.power_w)
+            )
+        })
+        .collect();
+    doc("fig3", seed, &rows)
+}
+
+fn throughput_panel_rows(panel: &str, cells: &[fig4::Cell]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"panel\": \"{panel}\", \"chunk\": {}, \"ps\": {}, \"mibs\": {}}}",
+                c.chunk,
+                c.ps,
+                jf(c.mibs)
+            )
+        })
+        .collect()
+}
+
+fn fig4_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let mut rows =
+        throughput_panel_rows("a", &fig4::panel_with(Workload::SeqWrite, scale, seed, cfg));
+    rows.extend(throughput_panel_rows(
+        "b",
+        &fig4::panel_with(Workload::SeqRead, scale, seed, cfg),
+    ));
+    doc("fig4", seed, &rows)
+}
+
+fn latency_panel_rows(cells: &[fig5::Cell]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"chunk\": {}, \"ps\": {}, \"avg_us\": {}, \"p99_us\": {}}}",
+                c.chunk,
+                c.ps,
+                jf(c.avg_us),
+                jf(c.p99_us)
+            )
+        })
+        .collect()
+}
+
+fn fig5_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let cells = fig5::panel_with(Workload::RandWrite, scale, seed, cfg);
+    doc("fig5", seed, &latency_panel_rows(&cells))
+}
+
+fn fig6_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let cells = fig5::panel_with(Workload::RandRead, scale, seed, cfg);
+    let mut rows = latency_panel_rows(&cells);
+    rows.push(format!(
+        "{{\"max_deviation\": {}}}",
+        jf(fig6::max_deviation(&cells))
+    ));
+    doc("fig6", seed, &rows)
+}
+
+fn fig7_summary(seed: u64) -> String {
+    // Figure 7 is a pair of single-device transition traces — inherently
+    // sequential, so the golden pins its determinism rather than
+    // worker-invariance.
+    let mut evo = catalog::evo_860(seed);
+    let down = fig7::transition_trace(
+        &mut evo,
+        SimTime::from_millis(200),
+        SimDuration::from_millis(1000),
+        false,
+        seed,
+    );
+    let up = fig7::transition_trace(
+        &mut evo,
+        SimTime::from_millis(400),
+        SimDuration::from_millis(1000),
+        true,
+        seed,
+    );
+
+    let mut hdd = catalog::hdd_exos_7e2000(seed);
+    hdd.request_standby().expect("idle HDD accepts standby");
+    let t0 = hdd.now();
+    while let Some(t) = hdd.next_event() {
+        hdd.advance_to(t);
+    }
+    let spin_down = hdd.now().duration_since(t0);
+    hdd.request_wake().expect("wake accepted");
+    let t1 = hdd.now();
+    while let Some(t) = hdd.next_event() {
+        hdd.advance_to(t);
+    }
+    let spin_up = hdd.now().duration_since(t1);
+
+    let rows = vec![
+        format!("{{\"trace\": \"evo_standby\", {}}}", checksum_field(&down)),
+        format!("{{\"trace\": \"evo_wake\", {}}}", checksum_field(&up)),
+        format!(
+            "{{\"hdd_spin_down_ns\": {}, \"hdd_spin_up_ns\": {}}}",
+            spin_down.as_nanos(),
+            spin_up.as_nanos()
+        ),
+    ];
+    doc("fig7", seed, &rows)
+}
+
+fn fig8_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let rows: Vec<String> = fig8::grid_with(scale, seed, cfg)
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"device\": \"{}\", \"chunk\": {}, \"power_w\": {}, \"mibs\": {}}}",
+                c.device,
+                c.chunk,
+                jf(c.power_w),
+                jf(c.mibs)
+            )
+        })
+        .collect();
+    doc("fig8", seed, &rows)
+}
+
+fn fig9_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let rows: Vec<String> = fig9::grid_with(scale, seed, cfg)
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"device\": \"{}\", \"depth\": {}, \"power_w\": {}, \"mibs\": {}}}",
+                c.device,
+                c.depth,
+                jf(c.power_w),
+                jf(c.mibs)
+            )
+        })
+        .collect();
+    doc("fig9", seed, &rows)
+}
+
+fn fig10_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    let rows: Vec<String> = fig10::models_with(scale, seed, cfg)
+        .iter()
+        .map(|m| {
+            let coords: Vec<f64> = m
+                .points()
+                .iter()
+                .flat_map(|p| [p.throughput_bps(), p.power_w()])
+                .collect();
+            format!(
+                "{{\"device\": \"{}\", \"points\": {}, \"dynamic_range\": {}, \"min_norm_throughput\": {}, \"points_checksum\": \"{:016x}\"}}",
+                m.device(),
+                m.points().len(),
+                jf(m.power_dynamic_range()),
+                jf(m.min_normalized_throughput()),
+                f64_checksum(&coords)
+            )
+        })
+        .collect();
+    doc("fig10", seed, &rows)
+}
+
+/// Produces the canonical JSON summary of one figure under the given
+/// executor configuration. The output is byte-identical for every worker
+/// count — that invariant is what the golden suite enforces.
+///
+/// # Panics
+///
+/// Panics on an unknown figure name.
+pub fn figure_summary(name: &str, scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
+    match name {
+        "table1" => table1_summary(scale, seed, cfg),
+        "fig2" => fig2_summary(scale, seed, cfg),
+        "fig3" => fig3_summary(scale, seed, cfg),
+        "fig4" => fig4_summary(scale, seed, cfg),
+        "fig5" => fig5_summary(scale, seed, cfg),
+        "fig6" => fig6_summary(scale, seed, cfg),
+        "fig7" => fig7_summary(seed),
+        "fig8" => fig8_summary(scale, seed, cfg),
+        "fig9" => fig9_summary(scale, seed, cfg),
+        "fig10" => fig10_summary(scale, seed, cfg),
+        other => panic!("unknown figure {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert_ne!(f64_checksum(&a), f64_checksum(&b));
+        assert_eq!(f64_checksum(&a), f64_checksum(&a));
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for v in [0.0, 1.5, 13.526317, 1e-12, 1234567.891] {
+            assert_eq!(jf(v).parse::<f64>().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn doc_shape_is_valid() {
+        let d = doc("figX", 7, &["{\"a\": 1}".into(), "{\"b\": 2}".into()]);
+        assert!(d.starts_with("{\n  \"figure\": \"figX\",\n  \"seed\": 7,"));
+        assert!(d.contains("{\"a\": 1},\n"));
+        assert!(d.ends_with("{\"b\": 2}\n  ]\n}\n"));
+    }
+
+    #[test]
+    fn every_figure_name_dispatches() {
+        // A tiny scale keeps this a pure dispatch test.
+        let scale = SweepScale {
+            runtime: SimDuration::from_millis(5),
+            size_limit: 4 * powadapt_device::MIB,
+            ramp: SimDuration::ZERO,
+        };
+        for name in ["fig3", "fig7"] {
+            let s = figure_summary(name, scale, 3, &ParallelConfig::sequential());
+            assert!(s.contains(&format!("\"figure\": \"{name}\"")));
+        }
+    }
+}

@@ -9,6 +9,7 @@ use powadapt_io::SweepScale;
 use powadapt_sim::SimDuration;
 
 pub mod figures;
+pub mod golden;
 
 /// Labels of the Table 1 devices, in paper order.
 pub const TABLE1_LABELS: [&str; 4] = ["SSD1", "SSD2", "SSD3", "HDD"];
@@ -44,6 +45,32 @@ pub fn bench_scale() -> SweepScale {
             size_limit: 4 * powadapt_device::GIB,
             ramp: SimDuration::from_millis(200),
         },
+    }
+}
+
+/// Applies a `--workers N` (or `-j N`, `--workers=N`) CLI flag by setting
+/// `POWADAPT_WORKERS` for this process, so every sweep picks it up through
+/// [`powadapt_io::ParallelConfig::from_env`]. Unrelated arguments are
+/// ignored; the last occurrence wins.
+pub fn apply_cli_workers() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = match a.as_str() {
+            "--workers" | "-j" => args.next(),
+            _ => a.strip_prefix("--workers=").map(str::to_string),
+        };
+        if let Some(v) = value {
+            std::env::set_var("POWADAPT_WORKERS", v.trim());
+        }
+    }
+}
+
+/// Prints the process-wide executor counters to stderr (stdout stays
+/// byte-identical across worker counts).
+pub fn report_executor(context: &str) {
+    let s = powadapt_io::session_stats();
+    if s.sweeps > 0 {
+        eprintln!("[{context}] executor: {s}");
     }
 }
 

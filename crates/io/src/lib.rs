@@ -32,6 +32,7 @@ mod breaker;
 mod fleet;
 mod job;
 mod openloop;
+mod parallel;
 mod runner;
 mod stats;
 mod sweep;
@@ -44,7 +45,14 @@ pub use fleet::{
 };
 pub use job::{AccessPattern, JobSpec, Workload};
 pub use openloop::{Arrival, ArrivalGen, Arrivals, OpenLoopSpec};
+pub use parallel::{
+    reset_session_stats, run_cells, run_cells_stats, session_stats, ParallelConfig, SessionStats,
+    SweepStats, WorkerStats,
+};
 pub use runner::{run_experiment, ExperimentError, ExperimentResult};
 pub use stats::IoStats;
-pub use sweep::{full_sweep, run_fresh, SweepPoint, SweepScale, PAPER_CHUNKS, PAPER_DEPTHS};
+pub use sweep::{
+    enumerate_cells, full_sweep, full_sweep_with, run_fresh, SweepCell, SweepPoint, SweepScale,
+    PAPER_CHUNKS, PAPER_DEPTHS,
+};
 pub use wltrace::{ArrivalTrace, TraceError};

@@ -2,9 +2,10 @@
 //! states — the cross-product behind the paper's figures.
 
 use powadapt_device::{PowerStateId, StorageDevice, KIB};
-use powadapt_sim::SimDuration;
+use powadapt_sim::{SimDuration, SimRng};
 
 use crate::job::{JobSpec, Workload};
+use crate::parallel::{run_cells, ParallelConfig};
 use crate::runner::{run_experiment, ExperimentError, ExperimentResult};
 
 /// The paper's six chunk sizes, 4 KiB – 2 MiB.
@@ -97,12 +98,66 @@ impl SweepScale {
     }
 }
 
+/// One cell of a sweep's cross-product: the swept coordinates plus the
+/// stable index that seeds the cell's random streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Position of this cell in the sweep's enumeration order. The cell's
+    /// job seed is `SimRng::stream_seed(root_seed, index)`, making every
+    /// cell's randomness independent of which worker runs it and when.
+    pub index: u64,
+    /// Workload mode.
+    pub workload: Workload,
+    /// Chunk size in bytes.
+    pub chunk: u64,
+    /// Queue depth.
+    pub depth: usize,
+    /// Device power state.
+    pub power_state: PowerStateId,
+}
+
+/// Enumerates the cross-product `workloads × chunks × depths ×
+/// power_states` in canonical (row-major) order with stable indices.
+pub fn enumerate_cells(
+    workloads: &[Workload],
+    chunks: &[u64],
+    depths: &[usize],
+    power_states: &[PowerStateId],
+) -> Vec<SweepCell> {
+    let mut cells =
+        Vec::with_capacity(workloads.len() * chunks.len() * depths.len() * power_states.len());
+    for &workload in workloads {
+        for &chunk in chunks {
+            for &depth in depths {
+                for &ps in power_states {
+                    cells.push(SweepCell {
+                        index: cells.len() as u64,
+                        workload,
+                        chunk,
+                        depth,
+                        power_state: ps,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
 /// Runs the full cross-product of `workloads × chunks × depths ×
-/// power_states` on fresh devices from `factory`.
+/// power_states` on fresh devices from `factory`, fanning the cells across
+/// the workers configured by the environment (`POWADAPT_WORKERS`, see
+/// [`ParallelConfig::from_env`]).
+///
+/// Each cell's randomness is seeded from `(seed, cell index)` via
+/// [`SimRng::stream_seed`], so the returned points are bit-identical for
+/// every worker count.
 ///
 /// # Errors
 ///
-/// Stops at and returns the first experiment failure.
+/// Returns the first experiment failure in cell order. (Under parallel
+/// execution later cells may also have run; their results are discarded so
+/// the observable outcome matches a sequential sweep.)
 pub fn full_sweep<F>(
     factory: F,
     workloads: &[Workload],
@@ -113,32 +168,56 @@ pub fn full_sweep<F>(
     seed: u64,
 ) -> Result<Vec<SweepPoint>, ExperimentError>
 where
-    F: Fn() -> Box<dyn StorageDevice>,
+    F: Fn() -> Box<dyn StorageDevice> + Sync,
 {
-    let mut out = Vec::new();
-    for &workload in workloads {
-        for &chunk in chunks {
-            for &depth in depths {
-                for &ps in power_states {
-                    let job = scale.apply(
-                        JobSpec::new(workload)
-                            .block_size(chunk)
-                            .io_depth(depth)
-                            .seed(seed ^ (chunk << 8) ^ depth as u64),
-                    );
-                    let result = run_fresh(&factory, ps, &job)?;
-                    out.push(SweepPoint {
-                        workload,
-                        chunk,
-                        depth,
-                        power_state: ps,
-                        result,
-                    });
-                }
-            }
-        }
-    }
-    Ok(out)
+    full_sweep_with(
+        factory,
+        workloads,
+        chunks,
+        depths,
+        power_states,
+        scale,
+        seed,
+        &ParallelConfig::from_env(),
+    )
+}
+
+/// [`full_sweep`] with an explicit executor configuration.
+///
+/// # Errors
+///
+/// Same as [`full_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn full_sweep_with<F>(
+    factory: F,
+    workloads: &[Workload],
+    chunks: &[u64],
+    depths: &[usize],
+    power_states: &[PowerStateId],
+    scale: SweepScale,
+    seed: u64,
+    cfg: &ParallelConfig,
+) -> Result<Vec<SweepPoint>, ExperimentError>
+where
+    F: Fn() -> Box<dyn StorageDevice> + Sync,
+{
+    let cells = enumerate_cells(workloads, chunks, depths, power_states);
+    let results = run_cells(&cells, cfg, |_, cell| {
+        let job = scale.apply(
+            JobSpec::new(cell.workload)
+                .block_size(cell.chunk)
+                .io_depth(cell.depth)
+                .seed(SimRng::stream_seed(seed, cell.index)),
+        );
+        run_fresh(&factory, cell.power_state, &job).map(|result| SweepPoint {
+            workload: cell.workload,
+            chunk: cell.chunk,
+            depth: cell.depth,
+            power_state: cell.power_state,
+            result,
+        })
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -209,6 +288,62 @@ mod tests {
                 .throughput_mibs()
         };
         assert!(thr(4 * KIB, 8) > thr(4 * KIB, 1));
+    }
+
+    #[test]
+    fn cell_enumeration_is_stable_row_major() {
+        let cells = enumerate_cells(
+            &[Workload::RandRead, Workload::SeqWrite],
+            &[4 * KIB, 64 * KIB],
+            &[1, 8],
+            &[PowerStateId(0)],
+        );
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i as u64));
+        assert_eq!(cells[0].workload, Workload::RandRead);
+        assert_eq!(cells[4].workload, Workload::SeqWrite);
+        assert_eq!(cells[1].depth, 8, "power state is the innermost axis");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_sweep_results() {
+        let scale = SweepScale {
+            runtime: SimDuration::from_millis(30),
+            size_limit: 8 * powadapt_device::MIB,
+            ramp: SimDuration::ZERO,
+        };
+        let sweep = |workers| {
+            full_sweep_with(
+                ssd2_factory,
+                &[Workload::RandRead, Workload::RandWrite],
+                &[4 * KIB, 64 * KIB],
+                &[1, 8],
+                &[PowerStateId(0), PowerStateId(2)],
+                scale,
+                11,
+                &ParallelConfig::with_workers(workers),
+            )
+            .unwrap()
+        };
+        let seq = sweep(1);
+        for workers in [2, 8] {
+            let par = sweep(workers);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(
+                    (a.workload, a.chunk, a.depth),
+                    (b.workload, b.chunk, b.depth)
+                );
+                assert_eq!(a.result.io.ios(), b.result.io.ios());
+                assert_eq!(a.result.io.bytes(), b.result.io.bytes());
+                assert_eq!(
+                    a.result.avg_power_w().to_bits(),
+                    b.result.avg_power_w().to_bits(),
+                    "power diverged at {workers} workers for {:?}",
+                    (a.chunk, a.depth, a.power_state)
+                );
+            }
+        }
     }
 
     #[test]
