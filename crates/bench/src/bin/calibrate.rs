@@ -3,6 +3,10 @@
 //!
 //! Run with `cargo run --release -p powadapt-bench --bin calibrate`.
 
+// An interactive operator tool: panicking on a broken pipe or a missing
+// catalog entry is the desired behavior, not a fleet hazard.
+#![allow(clippy::unwrap_used)]
+
 use powadapt_bench::f2;
 use powadapt_device::{catalog, PowerStateId, KIB, MIB};
 use powadapt_io::{run_fresh, JobSpec, SweepScale, Workload};
@@ -212,6 +216,6 @@ fn main() {
         // Idle floor: a fresh device drawing no IO.
         let idle = catalog::by_label(label, 1).unwrap().power_w();
         lo = lo.min(idle);
-        println!("  {label}: {:.2} - {:.2} W (idle {idle:.2})", lo, hi);
+        println!("  {label}: {lo:.2} - {hi:.2} W (idle {idle:.2})");
     }
 }

@@ -46,7 +46,7 @@ pub fn run(scale: SweepScale, seed: u64) {
     println!("  first {n} ms of the measurement window (t_ms, watts):");
     for (i, &w) in r.power.samples().iter().take(n).enumerate() {
         if i % 40 == 0 {
-            println!("  {:>5} ms  {:>6.2} W", i, w);
+            println!("  {i:>5} ms  {w:>6.2} W");
         }
     }
     if let Some(s) = r.power.summary() {

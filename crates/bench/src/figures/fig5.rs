@@ -108,12 +108,12 @@ pub fn run(scale: SweepScale, seed: u64) {
             let v0 = cells
                 .iter()
                 .find(|c| c.chunk == ch && c.ps == 0)
-                .unwrap()
+                .expect("every (chunk, ps) cell was swept above")
                 .avg_us;
             let v2 = cells
                 .iter()
                 .find(|c| c.chunk == ch && c.ps == 2)
-                .unwrap()
+                .expect("every (chunk, ps) cell was swept above")
                 .avg_us;
             v2 / v0
         })
@@ -124,12 +124,12 @@ pub fn run(scale: SweepScale, seed: u64) {
             let v0 = cells
                 .iter()
                 .find(|c| c.chunk == ch && c.ps == 0)
-                .unwrap()
+                .expect("every (chunk, ps) cell was swept above")
                 .p99_us;
             let v2 = cells
                 .iter()
                 .find(|c| c.chunk == ch && c.ps == 2)
-                .unwrap()
+                .expect("every (chunk, ps) cell was swept above")
                 .p99_us;
             v2 / v0
         })

@@ -43,7 +43,7 @@ fn print_trace(title: &str, trace: &PowerTrace, every_ms: usize) {
     println!("{title}");
     for (i, &w) in trace.samples().iter().enumerate() {
         if i % every_ms == 0 {
-            println!("  {:>5} ms  {:>6.3} W", i, w);
+            println!("  {i:>5} ms  {w:>6.3} W");
         }
     }
     println!();

@@ -100,7 +100,10 @@ pub fn run(scale: SweepScale, seed: u64) {
             .expect("cell");
         let large = cells
             .iter()
-            .find(|c| c.device == label && c.chunk == *PAPER_CHUNKS.last().unwrap())
+            .find(|c| {
+                c.device == label
+                    && c.chunk == *PAPER_CHUNKS.last().expect("PAPER_CHUNKS is non-empty")
+            })
             .expect("cell");
         println!(
             "  {label}: power {:.0}%, throughput {:.0}%",

@@ -68,7 +68,7 @@ impl fmt::Display for AppliedPlan {
             match action {
                 DeviceAction::Operate(p) => writeln!(f, "  {label}: operate [{p}]")?,
                 DeviceAction::Standby { power_w } => {
-                    writeln!(f, "  {label}: standby ({power_w:.2} W)")?
+                    writeln!(f, "  {label}: standby ({power_w:.2} W)")?;
                 }
             }
         }
@@ -171,9 +171,8 @@ pub fn plan_budget(
                 ));
             }
             PowerThroughputModel::from_points(m.device(), points)
-                .expect("augmenting a valid model keeps it valid")
         })
-        .collect();
+        .collect::<Option<Vec<_>>>()?;
     let allocation = FleetModel::new(augmented).allocate(budget_w, 0.05)?;
     Some(
         allocation

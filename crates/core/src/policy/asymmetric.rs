@@ -112,6 +112,7 @@ pub fn plan_asymmetric(
     profile: &AsymmetricProfile,
 ) -> Option<AsymmetricPlan> {
     if let Err(e) = profile.validate() {
+        // powadapt-lint: allow(D5, reason = "documented contract: an invalid profile is a construction bug, not a runtime condition")
         panic!("invalid asymmetric profile: {e}");
     }
     assert!(

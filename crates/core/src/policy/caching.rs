@@ -2,7 +2,7 @@
 //! absorbs reads of hot blocks so devices in standby are not woken, masking
 //! read latency and extending standby residency.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use powadapt_device::IoKind;
 use powadapt_io::{Arrival, DeviceCommand, DeviceStatus, Route, Router};
@@ -16,7 +16,7 @@ struct LruBlocks {
     capacity: usize,
     order: VecDeque<(u64, u64)>,
     /// Block -> tick of its most recent touch.
-    live: HashMap<u64, u64>,
+    live: BTreeMap<u64, u64>,
     tick: u64,
 }
 
@@ -25,7 +25,7 @@ impl LruBlocks {
         LruBlocks {
             capacity,
             order: VecDeque::new(),
-            live: HashMap::new(),
+            live: BTreeMap::new(),
             tick: 0,
         }
     }

@@ -91,7 +91,7 @@ pub fn choose_mechanism(
         frontier
             .iter()
             .find(|p| p.throughput_bps() >= share_bps)
-            .map(|p| p.power_w())
+            .map(powadapt_model::ConfigPoint::power_w)
     };
 
     let cap_shape_w = cheapest_serving(demand_bps / n as f64).map(|p| p * n as f64);

@@ -20,6 +20,7 @@ fn pick_least_loaded(
         .iter()
         .map(|&i| fleet[i].inflight)
         .min()
+        // powadapt-lint: allow(D5, reason = "guarded by the assert above: candidates is non-empty")
         .expect("non-empty");
     let n = candidates.len();
     let mut pick = candidates[*cursor % n];

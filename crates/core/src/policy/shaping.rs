@@ -60,6 +60,7 @@ mod tests {
     use super::*;
     use powadapt_device::{PowerStateId, KIB};
     use powadapt_io::Workload;
+    use powadapt_sim::units::Micros;
 
     fn pt(power: f64, thr: f64, p99: f64) -> ConfigPoint {
         ConfigPoint::new(
@@ -71,7 +72,7 @@ mod tests {
             power,
             thr,
         )
-        .with_latencies(p99 / 5.0, p99)
+        .with_latencies(Micros::new(p99 / 5.0), Micros::new(p99))
     }
 
     fn model() -> PowerThroughputModel {

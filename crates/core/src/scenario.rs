@@ -84,6 +84,7 @@ impl Router for AdaptiveScenarioRouter {
                 .filter(|&i| self.operate[i])
                 .map(|i| fleet[i].inflight)
                 .min()
+                // powadapt-lint: allow(D5, reason = "any_operating just confirmed the filtered iterator is non-empty")
                 .expect("fleet non-empty");
             for off in 0..n {
                 let i = (self.cursor + off) % n;

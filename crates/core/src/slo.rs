@@ -129,6 +129,7 @@ mod tests {
     use super::*;
     use powadapt_device::{PowerStateId, KIB};
     use powadapt_io::Workload;
+    use powadapt_sim::units::Micros;
 
     fn pt(thr: f64, avg: f64, p99: f64) -> ConfigPoint {
         ConfigPoint::new(
@@ -140,7 +141,7 @@ mod tests {
             5.0,
             thr,
         )
-        .with_latencies(avg, p99)
+        .with_latencies(Micros::new(avg), Micros::new(p99))
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests of the policy layer.
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use proptest::prelude::*;
 
 use powadapt_core::{

@@ -51,6 +51,11 @@ pub enum DeviceError {
     /// The device is temporarily unreachable (link dropout, controller
     /// reset). Retrying after the dropout window may succeed.
     Unavailable,
+    /// A device configuration failed validation (see
+    /// [`SsdConfig::validate`](crate::SsdConfig::validate) and
+    /// [`HddConfig::validate`](crate::HddConfig::validate)); the message
+    /// names the offending field.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for DeviceError {
@@ -81,6 +86,9 @@ impl fmt::Display for DeviceError {
             DeviceError::Io { request: None } => write!(f, "io error"),
             DeviceError::Timeout { op } => write!(f, "{op} timed out"),
             DeviceError::Unavailable => write!(f, "device temporarily unavailable"),
+            DeviceError::InvalidConfig(detail) => {
+                write!(f, "invalid device configuration: {detail}")
+            }
         }
     }
 }

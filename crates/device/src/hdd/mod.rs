@@ -12,7 +12,7 @@ mod config;
 
 pub use config::HddConfig;
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use powadapt_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -98,7 +98,7 @@ pub struct Hdd {
     cache_used: u64,
     cache_waiters: VecDeque<Pending>,
 
-    inflight_ids: HashSet<u64>,
+    inflight_ids: BTreeSet<u64>,
     done: Vec<IoCompletion>,
 }
 
@@ -107,13 +107,24 @@ impl Hdd {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`HddConfig::validate`]).
+    /// Panics if the configuration is invalid (see [`HddConfig::validate`]);
+    /// [`Hdd::try_new`] is the fallible equivalent.
     pub fn new(spec: DeviceSpec, cfg: HddConfig, seed: u64) -> Self {
+        match Hdd::try_new(spec, cfg, seed) {
+            Ok(hdd) => hdd,
+            // powadapt-lint: allow(D5, reason = "documented panic-on-invalid-config constructor; the error path is try_new")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`DeviceError::InvalidConfig`] instead
+    /// of panicking when the configuration fails [`HddConfig::validate`].
+    pub fn try_new(spec: DeviceSpec, cfg: HddConfig, seed: u64) -> Result<Self, DeviceError> {
         if let Err(e) = cfg.validate() {
-            panic!("invalid HDD configuration: {e}");
+            return Err(DeviceError::InvalidConfig(e));
         }
         let idle = cfg.idle_w();
-        Hdd {
+        Ok(Hdd {
             spec,
             cfg,
             now: SimTime::ZERO,
@@ -131,9 +142,9 @@ impl Hdd {
             head_pos: 0,
             cache_used: 0,
             cache_waiters: VecDeque::new(),
-            inflight_ids: HashSet::new(),
+            inflight_ids: BTreeSet::new(),
             done: Vec::new(),
-        }
+        })
     }
 
     /// The configuration the device was built with.
@@ -374,11 +385,11 @@ impl Hdd {
                     MediaKind::CacheDrain => {
                         self.cache_used -= op.len;
                         while let Some(front) = self.cache_waiters.front() {
-                            if self.cache_fits(front.len) {
-                                let p = self.cache_waiters.pop_front().expect("non-empty");
-                                self.admit_write(p);
-                            } else {
+                            if !self.cache_fits(front.len) {
                                 break;
+                            }
+                            if let Some(p) = self.cache_waiters.pop_front() {
+                                self.admit_write(p);
                             }
                         }
                     }

@@ -22,7 +22,7 @@ mod config;
 
 pub use config::SsdConfig;
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime};
 
@@ -91,7 +91,7 @@ struct ReadState {
 #[derive(Debug, Default)]
 struct PageCache {
     order: VecDeque<u64>,
-    set: HashSet<u64>,
+    set: BTreeSet<u64>,
     capacity: usize,
 }
 
@@ -99,7 +99,7 @@ impl PageCache {
     fn new(capacity: usize) -> Self {
         PageCache {
             order: VecDeque::with_capacity(capacity),
-            set: HashSet::with_capacity(capacity * 2),
+            set: BTreeSet::new(),
             capacity,
         }
     }
@@ -172,10 +172,10 @@ pub struct Ssd {
     last_write_end: u64,
 
     // Read path.
-    reads: HashMap<u64, ReadState>,
+    reads: BTreeMap<u64, ReadState>,
     cache: PageCache,
 
-    inflight_ids: HashSet<u64>,
+    inflight_ids: BTreeSet<u64>,
     done: Vec<IoCompletion>,
     retry_pending: bool,
     idle_flush_pending: bool,
@@ -186,16 +186,27 @@ impl Ssd {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`SsdConfig::validate`]).
+    /// Panics if the configuration is invalid (see [`SsdConfig::validate`]);
+    /// [`Ssd::try_new`] is the fallible equivalent.
     pub fn new(spec: DeviceSpec, cfg: SsdConfig, seed: u64) -> Self {
+        match Ssd::try_new(spec, cfg, seed) {
+            Ok(ssd) => ssd,
+            // powadapt-lint: allow(D5, reason = "documented panic-on-invalid-config constructor; the error path is try_new")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`DeviceError::InvalidConfig`] instead
+    /// of panicking when the configuration fails [`SsdConfig::validate`].
+    pub fn try_new(spec: DeviceSpec, cfg: SsdConfig, seed: u64) -> Result<Self, DeviceError> {
         if let Err(e) = cfg.validate() {
-            panic!("invalid SSD configuration: {e}");
+            return Err(DeviceError::InvalidConfig(e));
         }
         let idle = cfg.idle_w;
         let window = cfg.cap_window;
         let dies = cfg.dies;
         let cache = PageCache::new(cfg.read_cache_pages);
-        Ssd {
+        Ok(Ssd {
             spec,
             cfg,
             now: SimTime::ZERO,
@@ -221,13 +232,13 @@ impl Ssd {
             flushing: false,
             buffer_waiters: VecDeque::new(),
             last_write_end: u64::MAX, // first write is never "sequential"
-            reads: HashMap::new(),
+            reads: BTreeMap::new(),
             cache,
-            inflight_ids: HashSet::new(),
+            inflight_ids: BTreeSet::new(),
             done: Vec::new(),
             retry_pending: false,
             idle_flush_pending: false,
-        }
+        })
     }
 
     /// The configuration the device was built with.
@@ -377,6 +388,7 @@ impl Ssd {
     }
 
     fn begin_enter_standby(&mut self) {
+        // powadapt-lint: allow(D5, reason = "callers transition here only after request_standby verified standby support")
         let enter = self.cfg.standby.as_ref().expect("standby config").enter;
         let until = self.now + enter;
         self.phase = StandbyPhase::Entering { until };
@@ -384,6 +396,7 @@ impl Ssd {
     }
 
     fn begin_wake(&mut self) {
+        // powadapt-lint: allow(D5, reason = "waking is only reachable from standby phases, which require standby config")
         let exit = self.cfg.standby.as_ref().expect("standby config").exit;
         let until = self.now + exit;
         self.phase = StandbyPhase::Exiting { until };
@@ -517,14 +530,15 @@ impl Ssd {
 
             // Controller: one command at a time, gated by the cap.
             if !self.ctrl_busy && !self.cmd_queue.is_empty() && self.gov_allows_cmd() {
-                let p = self.cmd_queue.pop_front().expect("checked non-empty");
-                self.ctrl_busy = true;
-                let dur = match p.kind {
-                    IoKind::Read => self.cfg.cmd_read,
-                    IoKind::Write => self.cfg.cmd_write,
-                };
-                self.events.schedule(self.now + dur, Ev::CmdDone(p));
-                progress = true;
+                if let Some(p) = self.cmd_queue.pop_front() {
+                    self.ctrl_busy = true;
+                    let dur = match p.kind {
+                        IoKind::Read => self.cfg.cmd_read,
+                        IoKind::Write => self.cfg.cmd_write,
+                    };
+                    self.events.schedule(self.now + dur, Ev::CmdDone(p));
+                    progress = true;
+                }
             }
 
             // Die reads.
@@ -535,7 +549,9 @@ impl Ssd {
                 if !self.gov_allows(self.cfg.die_read_w) {
                     break;
                 }
-                let id = self.die_q[die].pop_front().expect("checked non-empty");
+                let Some(id) = self.die_q[die].pop_front() else {
+                    continue;
+                };
                 self.die_busy[die] = true;
                 self.busy_read += 1;
                 self.events.schedule(
@@ -582,12 +598,12 @@ impl Ssd {
 
             // Admit waiting writes as buffer space frees up.
             while let Some(front) = self.buffer_waiters.front() {
-                if self.buffer_fits(front.len) {
-                    let p = self.buffer_waiters.pop_front().expect("checked non-empty");
+                if !self.buffer_fits(front.len) {
+                    break;
+                }
+                if let Some(p) = self.buffer_waiters.pop_front() {
                     self.admit_write(p);
                     progress = true;
-                } else {
-                    break;
                 }
             }
         }
@@ -663,15 +679,17 @@ impl Ssd {
                             let rs = self
                                 .reads
                                 .get_mut(&id.0)
+                                // powadapt-lint: allow(D5, reason = "every DieDone::Read was scheduled with a ReadState; losing one would silently corrupt completion accounting")
                                 .expect("read state exists for in-flight read");
                             rs.remaining -= 1;
                             rs.remaining == 0
                         };
                         if finished {
-                            let rs = self.reads.remove(&id.0).expect("present");
-                            self.iface_queue.push_back(Transfer {
-                                pending: rs.pending,
-                            });
+                            if let Some(rs) = self.reads.remove(&id.0) {
+                                self.iface_queue.push_back(Transfer {
+                                    pending: rs.pending,
+                                });
+                            }
                         }
                     }
                     DieWork::Program => {

@@ -138,8 +138,7 @@ impl<R> CircuitBreakerRouter<R> {
     pub fn state(&self, device: usize) -> BreakerState {
         self.breakers
             .get(device)
-            .map(|b| b.state)
-            .unwrap_or(BreakerState::Closed)
+            .map_or(BreakerState::Closed, |b| b.state)
     }
 
     /// The wrapped router.

@@ -126,6 +126,7 @@ impl Router for LeastLoadedRouter {
             .iter()
             .map(|d| d.inflight)
             .min()
+            // powadapt-lint: allow(D5, reason = "routers are only invoked with a non-empty fleet")
             .expect("fleet is non-empty");
         // First device at the minimum, scanning from the rotation cursor.
         let mut pick = self.next % n;

@@ -61,7 +61,7 @@ impl ParallelConfig {
             .and_then(|v| v.trim().parse::<usize>().ok())
         {
             Some(n) if n > 0 => n,
-            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            _ => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         };
         let chunk = std::env::var("POWADAPT_CHUNK")
             .ok()
@@ -302,6 +302,7 @@ where
                 loop {
                     // Claim a bite from my own block.
                     let bite = {
+                        // powadapt-lint: allow(D5, reason = "a poisoned queue lock means a worker already panicked; propagating is correct")
                         let mut q = queues[w].lock().expect("queue lock");
                         if q.lo < q.hi {
                             let lo = q.lo;
@@ -318,6 +319,7 @@ where
                         None => match steal(queues, w) {
                             Some(b) => {
                                 me.steals += 1;
+                                // powadapt-lint: allow(D5, reason = "a poisoned queue lock means a worker already panicked; propagating is correct")
                                 let mut q = queues[w].lock().expect("queue lock");
                                 *q = Block {
                                     lo: (b.lo + chunk).min(b.hi),
@@ -340,6 +342,7 @@ where
             }));
         }
         for (w, h) in handles.into_iter().enumerate() {
+            // powadapt-lint: allow(D5, reason = "join fails only when the worker panicked; re-raising preserves the original panic")
             let (done, me) = h.join().expect("worker panicked");
             stats[w] = me;
             for (i, t) in done {
@@ -351,6 +354,7 @@ where
     let out: Vec<T> = results
         .into_iter()
         .enumerate()
+        // powadapt-lint: allow(D5, reason = "executor contract: the blocks partition the index space, so every cell ran; verified by the golden equivalence tests")
         .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} never executed")))
         .collect();
     (out, stats)
@@ -368,6 +372,7 @@ fn steal(queues: &[Mutex<Block>], thief: usize) -> Option<Block> {
             if i == thief {
                 continue;
             }
+            // powadapt-lint: allow(D5, reason = "a poisoned queue lock means a worker already panicked; propagating is correct")
             let remaining = q.lock().expect("queue lock").len();
             if remaining > most {
                 most = remaining;
@@ -375,6 +380,7 @@ fn steal(queues: &[Mutex<Block>], thief: usize) -> Option<Block> {
             }
         }
         let v = victim?;
+        // powadapt-lint: allow(D5, reason = "a poisoned queue lock means a worker already panicked; propagating is correct")
         let mut q = queues[v].lock().expect("queue lock");
         let remaining = q.len();
         if remaining == 0 {

@@ -1,0 +1,25 @@
+// Good: every violation here carries a well-formed, reasoned
+// suppression, so the analyzer exits clean (and records each use in the
+// JSON report's audit trail).
+
+// powadapt-lint: allow(D2, reason = "membership-only probe set; never iterated into output")
+use std::collections::HashSet;
+
+// powadapt-lint: allow(D2, reason = "membership-only probe set; never iterated into output")
+fn seen(probes: &HashSet<u32>, id: u32) -> bool {
+    probes.contains(&id)
+}
+
+fn is_sentinel(power: f64) -> bool {
+    // powadapt-lint: allow(D3, reason = "exact zero is a sentinel written by the caller, never computed")
+    power == 0.0
+}
+
+fn take(o: Option<u8>) -> u8 {
+    // powadapt-lint: allow(D5, reason = "caller guarantees is_some(); checked one frame up")
+    o.expect("checked by caller")
+}
+
+fn progress_elapsed_nanos() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos() // powadapt-lint: allow(D1, reason = "operator progress display only; never reaches results")
+}

@@ -1,0 +1,26 @@
+// Bad: host wall clock and OS entropy in simulated code (rule D1).
+// Annotation grammar (see tests/ui_fixtures.rs): a trailing tilde marker
+// expects its rules on that line; the `v` variant targets the next line.
+
+fn elapsed_nanos() -> u128 {
+    let t0 = std::time::Instant::now(); //~ D1
+    t0.elapsed().as_nanos()
+}
+
+fn stamp_secs() -> u64 {
+    let now = std::time::SystemTime::now(); //~ D1
+    now.duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+fn jitter() -> f64 {
+    rand::random::<f64>() //~ D1
+}
+
+fn entropy_seed() -> u64 {
+    let mut rng = OsRng; //~ D1
+    0
+}
+
+fn workers() -> usize {
+    std::env::var("WORKERS").map_or(1, |v| v.len()) //~ D1
+}

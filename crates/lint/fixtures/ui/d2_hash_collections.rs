@@ -1,0 +1,18 @@
+// Bad: RandomState collections in result-producing code (rule D2).
+
+use std::collections::HashMap; //~ D2
+use std::collections::HashSet; //~ D2
+
+fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new(); //~ D2 D2
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // This iteration is exactly the hazard: per-process order.
+    counts.into_iter().collect()
+}
+
+fn distinct(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect(); //~ D2
+    seen.len()
+}

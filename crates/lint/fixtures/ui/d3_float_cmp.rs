@@ -1,0 +1,20 @@
+// Bad: NaN-unsafe float comparisons in figure/stat code (rule D3).
+
+fn sort_power(samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ D3 D5
+}
+
+fn max_latency(samples: &[f64]) -> Option<f64> {
+    samples
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite")) //~ D3 D5
+}
+
+fn is_idle(power: f64) -> bool {
+    power == 0.0 //~ D3
+}
+
+fn not_unit(scale: f64) -> bool {
+    1.0 != scale //~ D3
+}

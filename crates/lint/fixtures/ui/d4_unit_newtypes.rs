@@ -1,0 +1,22 @@
+// Bad: raw f64 unit quantities on public APIs (rule D4).
+
+pub fn record_power(true_power_watts: f64) { //~ D4
+    let _ = true_power_watts;
+}
+
+pub fn shape(delay_ms: f64, budget_joules: f64) { //~ D4 D4
+    let _ = (delay_ms, budget_joules);
+}
+
+pub struct Probe;
+
+impl Probe {
+    pub fn observe(&mut self, p99_us: &f64) -> f64 { //~ D4
+        *p99_us
+    }
+
+    // Typed params are the fix; this one is clean.
+    pub fn observe_typed(&mut self, p99_us: Micros) -> Micros {
+        p99_us
+    }
+}

@@ -1,0 +1,25 @@
+// Bad: panicking error paths in library code (rule D5).
+
+fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ D5
+}
+
+fn config_name(name: Option<&str>) -> &str {
+    name.expect("config name set") //~ D5
+}
+
+fn route(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        1 => 0,
+        _ => panic!("unknown kind {kind}"), //~ D5
+    }
+}
+
+fn later() -> u8 {
+    todo!() //~ D5
+}
+
+fn cold_path() -> u8 {
+    unreachable!("guarded by route()") //~ D5
+}

@@ -1,0 +1,7 @@
+// Bad: an empty reason does not count as a reason (rule S0).
+
+fn take(o: Option<u8>) -> u8 {
+    //~v S0
+    // powadapt-lint: allow(D5, reason = "")
+    o.unwrap() //~ D5
+}

@@ -1,0 +1,6 @@
+// Bad: a suppression without the mandatory reason is itself a
+// diagnostic (rule S0), and the violation it tried to cover still fires.
+
+//~v S0
+// powadapt-lint: allow(D2)
+use std::collections::HashMap; //~ D2

@@ -1,0 +1,8 @@
+// Bad: a suppression that matches nothing is flagged (rule S1) so stale
+// allows cannot accumulate after the code they covered is fixed.
+
+//~v S1
+// powadapt-lint: allow(D2, reason = "the HashMap this covered was replaced by a BTreeMap")
+fn count(xs: &[u32]) -> usize {
+    xs.len()
+}

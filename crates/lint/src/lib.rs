@@ -1,0 +1,217 @@
+//! `powadapt-lint` — workspace-wide determinism & unit-safety analyzer.
+//!
+//! The golden-figure fixtures (PR 2) prove every figure is bit-identical
+//! across worker counts, but only *after the fact*. This crate enforces
+//! the invariants that make that guarantee hold *by construction*, as
+//! machine-checked rules over every `.rs` file in the workspace:
+//!
+//! - **D1** — no wall-clock time or OS entropy outside the parallel
+//!   executor,
+//! - **D2** — no `HashMap`/`HashSet` in result-producing code paths,
+//! - **D3** — no NaN-unsafe float comparison in figure/stat code,
+//! - **D4** — unit quantities (`*_watts`, `*_joules`, `*_ms`, `*_us`) in
+//!   public APIs must use the typed newtypes, never raw `f64`,
+//! - **D5** — no `unwrap`/`expect`/`panic!` in `device`/`io`/`core`
+//!   library code; errors flow through `DeviceError`.
+//!
+//! Violations that are genuinely fine carry an inline, *reasoned*
+//! suppression — `// powadapt-lint: allow(D2, reason = "...")` — and the
+//! suppression mechanism is itself policed (missing reason and unknown
+//! rule ids are diagnostics, as is a suppression that matches nothing).
+//!
+//! The analyzer is `syn`-free by design: the workspace builds fully
+//! offline, so the lexer in [`lexer`] implements exactly the slice of
+//! Rust the rules need. See `DESIGN.md` § "Determinism & unit-safety
+//! invariants" for the rationale behind each rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use powadapt_lint::{analyze_source, AnalysisMode};
+//!
+//! let findings = analyze_source(
+//!     "crates/device/src/lib.rs",
+//!     "use std::collections::HashMap;\n",
+//!     AnalysisMode::Scoped,
+//! );
+//! assert_eq!(findings.diagnostics.len(), 1);
+//! assert_eq!(findings.diagnostics[0].rule.as_str(), "D2");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+// Tests assert on exact expected values: unwraps and bit-exact float
+// comparisons are the point there, not a hazard (see workspace lints).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod suppress;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use diag::{Diagnostic, Report, RuleId, UsedSuppression};
+
+/// How rule scoping is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// Normal operation: each rule applies only to the crates/paths in
+    /// [`scope::rule_applies`], minus test regions.
+    Scoped,
+    /// Fixture mode: every rule applies to every line (still minus
+    /// nothing — fixtures are plain snippets). Used by the ui self-tests
+    /// and `--all-rules`.
+    AllRules,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Active findings, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppressions that fired, for the report's audit trail.
+    pub suppressions_used: Vec<UsedSuppression>,
+}
+
+/// Analyzes one file's source text.
+///
+/// `path` must be workspace-relative with `/` separators — it drives the
+/// per-rule scoping in [`AnalysisMode::Scoped`].
+pub fn analyze_source(path: &str, src: &str, mode: AnalysisMode) -> FileAnalysis {
+    let lexed = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let regions = scope::find_test_regions(&lexed);
+    let mut suppressions = suppress::scan(&lexed.comments, path);
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for finding in rules::run_all(&lexed.tokens) {
+        if mode == AnalysisMode::Scoped && !scope::rule_applies(finding.rule, path) {
+            continue;
+        }
+        let anchor_line = lexed.tokens[finding.tok].line;
+        if mode == AnalysisMode::Scoped && regions.contains(anchor_line) {
+            continue;
+        }
+        if suppressions.try_suppress(finding.rule, anchor_line) {
+            continue;
+        }
+        diagnostics.push(rules::to_diagnostic(&finding, &lexed.tokens, path, &lines));
+    }
+
+    // Suppression hygiene: malformed comments, then unused ones.
+    diagnostics.extend(suppressions.errors.iter().cloned());
+    diagnostics.extend(suppressions.unused(path, |line| {
+        lines
+            .get(line as usize - 1)
+            .map_or(String::new(), |l| (*l).to_string())
+    }));
+
+    diagnostics.sort_by_key(|d| (d.line, d.col, d.rule));
+    let suppressions_used = suppressions
+        .entries
+        .iter()
+        .filter(|e| e.used)
+        .map(|e| UsedSuppression {
+            rules: e.rules.clone(),
+            reason: e.reason.clone(),
+            path: path.to_string(),
+            line: e.comment_line,
+        })
+        .collect();
+    FileAnalysis {
+        diagnostics,
+        suppressions_used,
+    }
+}
+
+/// Directories under the workspace root that are scanned for `.rs` files.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Paths (workspace-relative prefixes) that are never scanned: vendored
+/// third-party stand-ins, build output, and the analyzer's own
+/// intentionally-bad ui fixtures.
+const SKIP_PREFIXES: &[&str] = &["vendor/", "target/", "crates/lint/fixtures/"];
+
+/// Collects every scannable `.rs` file under `root`, workspace-relative,
+/// sorted for deterministic report order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|f| f.strip_prefix(root).ok().map(Path::to_path_buf))
+        .filter(|f| {
+            let s = path_str(f);
+            !SKIP_PREFIXES.iter().any(|p| s.starts_with(p))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A path rendered with `/` separators regardless of host OS.
+pub fn path_str(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Analyzes the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut diagnostics = Vec::new();
+    let mut suppressions_used = Vec::new();
+    let files_scanned = files.len();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let mut analysis = analyze_source(&path_str(rel), &src, AnalysisMode::Scoped);
+        diagnostics.append(&mut analysis.diagnostics);
+        suppressions_used.append(&mut analysis.suppressions_used);
+    }
+    Ok(Report {
+        root: path_str(root),
+        files_scanned,
+        diagnostics,
+        suppressions_used,
+    })
+}
+
+/// Walks up from `start` to the directory containing the workspace's
+/// top-level `Cargo.toml` (the one with a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,156 @@
+//! CLI for the determinism & unit-safety analyzer.
+//!
+//! ```text
+//! powadapt-lint                      # analyze the enclosing workspace
+//! powadapt-lint --root path/to/ws    # analyze a specific workspace
+//! powadapt-lint --json report.json   # also write the JSON report
+//! powadapt-lint --all-rules file.rs  # every rule on specific files
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use powadapt_lint::{
+    analyze_source, analyze_workspace, find_workspace_root, path_str, AnalysisMode, Report,
+};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    all_rules: bool,
+    quiet: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: powadapt-lint [--root DIR] [--json PATH] [--quiet] [--all-rules] [FILES...]\n\
+     \n\
+     With no FILES, analyzes every .rs file in the enclosing workspace\n\
+     (rules scoped per crate; see DESIGN.md). With FILES, analyzes just\n\
+     those; --all-rules applies every rule regardless of path, which is\n\
+     how the ui fixtures are checked.\n"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: None,
+        all_rules: false,
+        quiet: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--all-rules" => opts.all_rules = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<u8, String> {
+    let opts = parse_args()?;
+    let mode = if opts.all_rules {
+        AnalysisMode::AllRules
+    } else {
+        AnalysisMode::Scoped
+    };
+
+    let report = if opts.files.is_empty() {
+        let root = match &opts.root {
+            Some(r) => r.clone(),
+            None => {
+                let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+                find_workspace_root(&cwd)
+                    .ok_or("no workspace Cargo.toml above the current directory")?
+            }
+        };
+        analyze_workspace(&root).map_err(|e| e.to_string())?
+    } else {
+        let mut diagnostics = Vec::new();
+        let mut suppressions_used = Vec::new();
+        for file in &opts.files {
+            let src =
+                std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let mut analysis = analyze_source(&path_str(file), &src, mode);
+            diagnostics.append(&mut analysis.diagnostics);
+            suppressions_used.append(&mut analysis.suppressions_used);
+        }
+        Report {
+            root: String::new(),
+            files_scanned: opts.files.len(),
+            diagnostics,
+            suppressions_used,
+        }
+    };
+
+    if let Some(json_path) = &opts.json {
+        if let Some(parent) = json_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(json_path, report.to_json()).map_err(|e| e.to_string())?;
+    }
+
+    if !opts.quiet {
+        for d in &report.diagnostics {
+            eprintln!("{}", d.render());
+        }
+    }
+    let n = report.diagnostics.len();
+    if n == 0 {
+        if !opts.quiet {
+            eprintln!(
+                "powadapt-lint: {} files clean ({} suppression{} in use)",
+                report.files_scanned,
+                report.suppressions_used.len(),
+                if report.suppressions_used.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+        }
+        Ok(0)
+    } else {
+        if !opts.quiet {
+            eprintln!(
+                "powadapt-lint: {n} diagnostic{} across {} files",
+                if n == 1 { "" } else { "s" },
+                report.files_scanned,
+            );
+        }
+        Ok(1)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            if msg.is_empty() {
+                eprint!("{}", usage());
+                ExitCode::from(0)
+            } else {
+                eprintln!("powadapt-lint: {msg}");
+                eprint!("{}", usage());
+                ExitCode::from(2)
+            }
+        }
+    }
+}

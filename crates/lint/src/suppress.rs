@@ -1,0 +1,321 @@
+//! Parsing and bookkeeping for `// powadapt-lint: allow(...)` comments.
+//!
+//! The suppression grammar is deliberately rigid:
+//!
+//! ```text
+//! // powadapt-lint: allow(D2, reason = "membership-only set, never iterated")
+//! // powadapt-lint: allow(D1, D5, reason = "host clock is the executor's job")
+//! ```
+//!
+//! - one or more known rule ids, then a **mandatory, non-empty** `reason`;
+//! - a standalone comment suppresses the *next* source line, a trailing
+//!   comment suppresses *its own* line;
+//! - a malformed suppression is itself a diagnostic ([`RuleId::S0`]), and
+//!   a suppression that matches nothing is too ([`RuleId::S1`]) — the
+//!   escape hatch is audited, not free.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::LineComment;
+
+/// The comment marker that introduces a suppression.
+pub const MARKER: &str = "powadapt-lint:";
+
+/// A successfully parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules this comment allows.
+    pub rules: Vec<RuleId>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: u32,
+    /// 1-based line whose findings are suppressed.
+    pub target_line: u32,
+    /// Set when the suppression matched at least one finding.
+    pub used: bool,
+}
+
+/// Result of scanning one file's comments.
+#[derive(Debug, Default)]
+pub struct SuppressionSet {
+    /// Well-formed suppressions, by target line.
+    pub entries: Vec<Suppression>,
+    /// S0 diagnostics for malformed suppressions.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl SuppressionSet {
+    /// Attempts to suppress `d`; returns true (and marks the entry used)
+    /// when a matching suppression covers the diagnostic's line.
+    pub fn try_suppress(&mut self, rule: RuleId, line: u32) -> bool {
+        for entry in &mut self.entries {
+            if entry.target_line == line && entry.rules.contains(&rule) {
+                entry.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// S1 diagnostics for suppressions that never fired. Call after all
+    /// rules have run.
+    pub fn unused(&self, path: &str, line_text: impl Fn(u32) -> String) -> Vec<Diagnostic> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| Diagnostic {
+                rule: RuleId::S1,
+                path: path.to_string(),
+                line: e.comment_line,
+                col: 1,
+                message: format!(
+                    "suppression allows {} but nothing on line {} triggers it",
+                    e.rules
+                        .iter()
+                        .map(|r| r.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    e.target_line,
+                ),
+                snippet: line_text(e.comment_line),
+                span_len: 1,
+            })
+            .collect()
+    }
+}
+
+/// Scans a file's line comments for suppressions.
+pub fn scan(comments: &[LineComment], path: &str) -> SuppressionSet {
+    let mut set = SuppressionSet::default();
+    for c in comments {
+        // Doc comments (`///`, `//!`) never carry suppressions — they
+        // document the mechanism, including verbatim examples, without
+        // engaging it.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(idx) = c.text.find(MARKER) else {
+            continue;
+        };
+        let body = c.text[idx + MARKER.len()..].trim();
+        let target_line = if c.trailing { c.line } else { c.line + 1 };
+        match parse_body(body) {
+            Ok((rules, reason)) => set.entries.push(Suppression {
+                rules,
+                reason,
+                comment_line: c.line,
+                target_line,
+                used: false,
+            }),
+            Err(msg) => set.errors.push(Diagnostic {
+                rule: RuleId::S0,
+                path: path.to_string(),
+                line: c.line,
+                col: c.col,
+                message: msg,
+                snippet: c.text.trim_start_matches('/').trim().to_string(),
+                span_len: c.text.len() as u32,
+            }),
+        }
+    }
+    set
+}
+
+/// Parses `allow(D2, D5, reason = "...")` after the marker.
+fn parse_body(body: &str) -> Result<(Vec<RuleId>, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(...)` after `{MARKER}`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let inner = rest
+        .rfind(')')
+        .map(|i| &rest[..i])
+        .ok_or_else(|| "unclosed `allow(`".to_string())?;
+
+    let mut rules = Vec::new();
+    let mut reason: Option<String> = None;
+    for part in split_args(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(value) = part.strip_prefix("reason") {
+            let value = value.trim_start();
+            let value = value
+                .strip_prefix('=')
+                .ok_or_else(|| "expected `reason = \"...\"`".to_string())?
+                .trim();
+            let unquoted = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+            if unquoted.trim().is_empty() {
+                return Err("suppression reason must not be empty".to_string());
+            }
+            reason = Some(unquoted.to_string());
+        } else {
+            let rule = RuleId::parse_suppressible(part).ok_or_else(|| {
+                format!("unknown rule `{part}` (expected one of D1, D2, D3, D4, D5)")
+            })?;
+            rules.push(rule);
+        }
+    }
+    if rules.is_empty() {
+        return Err("suppression names no rules".to_string());
+    }
+    let reason = reason
+        .ok_or_else(|| "suppression is missing the mandatory `reason = \"...\"`".to_string())?;
+    Ok((rules, reason))
+}
+
+/// Splits on commas outside the quoted reason string.
+fn split_args(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0usize;
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => depth_quote = !depth_quote,
+            b'\\' if depth_quote => i += 1,
+            b',' if !depth_quote => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, trailing: bool) -> LineComment {
+        LineComment {
+            text: text.to_string(),
+            line: 10,
+            col: 5,
+            trailing,
+        }
+    }
+
+    #[test]
+    fn well_formed_single_rule() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D2, reason = \"never iterated\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert!(set.errors.is_empty());
+        assert_eq!(set.entries.len(), 1);
+        assert_eq!(set.entries[0].rules, vec![RuleId::D2]);
+        assert_eq!(set.entries[0].target_line, 11);
+    }
+
+    #[test]
+    fn trailing_targets_own_line() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D5, reason = \"poisoned lock is fatal\")",
+                true,
+            )],
+            "x.rs",
+        );
+        assert_eq!(set.entries[0].target_line, 10);
+    }
+
+    #[test]
+    fn multiple_rules() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D1, D5, reason = \"executor timing\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert_eq!(set.entries[0].rules, vec![RuleId::D1, RuleId::D5]);
+    }
+
+    #[test]
+    fn missing_reason_is_s0() {
+        let set = scan(&[comment("// powadapt-lint: allow(D2)", false)], "x.rs");
+        assert!(set.entries.is_empty());
+        assert_eq!(set.errors.len(), 1);
+        assert_eq!(set.errors[0].rule, RuleId::S0);
+        assert!(set.errors[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_s0() {
+        let set = scan(
+            &[comment("// powadapt-lint: allow(D2, reason = \"\")", false)],
+            "x.rs",
+        );
+        assert_eq!(set.errors.len(), 1);
+        assert!(set.errors[0].message.contains("empty"));
+    }
+
+    #[test]
+    fn unknown_rule_is_s0() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D9, reason = \"nope\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert_eq!(set.errors.len(), 1);
+        assert!(set.errors[0].message.contains("unknown rule `D9`"));
+    }
+
+    #[test]
+    fn s_rules_are_not_suppressible() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(S1, reason = \"meta\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert_eq!(set.errors.len(), 1);
+        assert!(set.errors[0].message.contains("unknown rule `S1`"));
+    }
+
+    #[test]
+    fn comma_inside_reason() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D3, reason = \"a, b, and c\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert!(set.errors.is_empty());
+        assert_eq!(set.entries[0].reason, "a, b, and c");
+    }
+
+    #[test]
+    fn unused_reports_s1() {
+        let mut set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D2, reason = \"x\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert!(!set.try_suppress(RuleId::D1, 11));
+        let unused = set.unused("x.rs", |_| String::new());
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, RuleId::S1);
+    }
+}

@@ -1,0 +1,48 @@
+//! The workspace itself must pass its own analyzer.
+//!
+//! This is the self-hosting check: `cargo test -p powadapt-lint` fails
+//! the moment anyone reintroduces a wall-clock read, a `HashMap` in a
+//! result path, a NaN-unsafe sort, a raw-`f64` unit parameter, or an
+//! unreasoned panic — without needing the CI lint job to run.
+
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use std::path::Path;
+
+use powadapt_lint::{analyze_workspace, find_workspace_root};
+
+#[test]
+fn workspace_has_zero_diagnostics() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = analyze_workspace(&root).expect("workspace readable");
+
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace lint is not clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(powadapt_lint::Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity that the walk actually visited the workspace (a wrong root
+    // would vacuously pass with zero files).
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — wrong root?",
+        report.files_scanned
+    );
+    // Every suppression in the tree fired (S1 enforces the converse).
+    assert!(
+        !report.suppressions_used.is_empty(),
+        "expected the documented allows (e.g. parallel executor D1) to be in use"
+    );
+    // The report serializes: spot-check the JSON envelope.
+    let json = report.to_json();
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"suppressions_used\""));
+}

@@ -23,10 +23,11 @@ use crate::point::ConfigPoint;
 /// use powadapt_model::{ConfigPoint, LatencyModel};
 /// use powadapt_device::{PowerStateId, KIB};
 /// use powadapt_io::Workload;
+/// use powadapt_sim::units::Micros;
 ///
-/// let mk = |ps: u8, power, p99| ConfigPoint::new(
+/// let mk = |ps: u8, power, p99: f64| ConfigPoint::new(
 ///     "D", Workload::RandWrite, PowerStateId(ps), 256 * KIB, 1, power, 1e9)
-///     .with_latencies(p99 / 5.0, p99);
+///     .with_latencies(Micros::new(p99 / 5.0), Micros::new(p99));
 /// let model = LatencyModel::from_points(vec![mk(0, 10.0, 500.0), mk(2, 7.0, 3000.0)])
 ///     .unwrap();
 /// // Capping to 7 W sextuples the tail.
@@ -70,7 +71,7 @@ impl LatencyModel {
             .filter(|p| {
                 p.p99_latency_us() <= p99_us_max && p.throughput_bps() >= throughput_floor_bps
             })
-            .min_by(|a, b| a.power_w().partial_cmp(&b.power_w()).expect("finite"))
+            .min_by(|a, b| a.power_w().total_cmp(&b.power_w()))
     }
 
     /// The best achievable p99 at or under a power budget, with a
@@ -79,11 +80,7 @@ impl LatencyModel {
         self.points
             .iter()
             .filter(|p| p.power_w() <= budget_w && p.throughput_bps() >= throughput_floor_bps)
-            .min_by(|a, b| {
-                a.p99_latency_us()
-                    .partial_cmp(&b.p99_latency_us())
-                    .expect("finite")
-            })
+            .min_by(|a, b| a.p99_latency_us().total_cmp(&b.p99_latency_us()))
     }
 
     /// The geometric-mean p99 blowup of moving from power state `from` to
@@ -128,11 +125,9 @@ impl LatencyModel {
     pub fn power_latency_frontier(&self) -> Vec<ConfigPoint> {
         let mut sorted: Vec<&ConfigPoint> = self.points.iter().collect();
         sorted.sort_by(|a, b| {
-            a.power_w().partial_cmp(&b.power_w()).expect("finite").then(
-                a.p99_latency_us()
-                    .partial_cmp(&b.p99_latency_us())
-                    .expect("finite"),
-            )
+            a.power_w()
+                .total_cmp(&b.power_w())
+                .then(a.p99_latency_us().total_cmp(&b.p99_latency_us()))
         });
         let mut frontier: Vec<ConfigPoint> = Vec::new();
         let mut best_p99 = f64::INFINITY;
@@ -151,12 +146,12 @@ impl fmt::Display for LatencyModel {
         let min = self
             .points
             .iter()
-            .map(|p| p.p99_latency_us())
+            .map(super::point::ConfigPoint::p99_latency_us)
             .fold(f64::INFINITY, f64::min);
         let max = self
             .points
             .iter()
-            .map(|p| p.p99_latency_us())
+            .map(super::point::ConfigPoint::p99_latency_us)
             .fold(0.0, f64::max);
         write!(
             f,
@@ -173,6 +168,7 @@ mod tests {
     use super::*;
     use powadapt_device::KIB;
     use powadapt_io::Workload;
+    use powadapt_sim::units::Micros;
 
     fn pt(ps: u8, chunk_kib: u64, power: f64, thr: f64, p99: f64) -> ConfigPoint {
         ConfigPoint::new(
@@ -184,7 +180,7 @@ mod tests {
             power,
             thr,
         )
-        .with_latencies(p99 / 4.0, p99)
+        .with_latencies(Micros::new(p99 / 4.0), Micros::new(p99))
     }
 
     fn model() -> LatencyModel {

@@ -26,13 +26,8 @@ pub fn pareto_frontier(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
     // representative comes first.
     sorted.sort_by(|a, b| {
         a.power_w()
-            .partial_cmp(&b.power_w())
-            .expect("finite power")
-            .then(
-                b.throughput_bps()
-                    .partial_cmp(&a.throughput_bps())
-                    .expect("finite throughput"),
-            )
+            .total_cmp(&b.power_w())
+            .then(b.throughput_bps().total_cmp(&a.throughput_bps()))
     });
     let mut frontier: Vec<ConfigPoint> = Vec::new();
     let mut best_throughput = f64::NEG_INFINITY;

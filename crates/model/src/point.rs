@@ -5,6 +5,7 @@ use std::fmt;
 
 use powadapt_device::PowerStateId;
 use powadapt_io::{SweepPoint, Workload};
+use powadapt_sim::units::Micros;
 
 /// One point of a power-throughput model: a device configuration (power
 /// state + IO shape) and the power and performance measured under it.
@@ -78,10 +79,10 @@ impl ConfigPoint {
         }
     }
 
-    /// Attaches latency coordinates.
-    pub fn with_latencies(mut self, avg_us: f64, p99_us: f64) -> Self {
-        self.avg_latency_us = avg_us;
-        self.p99_latency_us = p99_us;
+    /// Attaches latency coordinates (unit-typed; see `powadapt-lint` D4).
+    pub fn with_latencies(mut self, avg_us: Micros, p99_us: Micros) -> Self {
+        self.avg_latency_us = avg_us.get();
+        self.p99_latency_us = p99_us.get();
         self
     }
 
@@ -150,7 +151,10 @@ impl From<&SweepPoint> for ConfigPoint {
             sp.result.avg_power_w(),
             sp.result.io.throughput_bps(),
         )
-        .with_latencies(sp.result.io.avg_latency_us(), sp.result.io.p99_latency_us())
+        .with_latencies(
+            Micros::new(sp.result.io.avg_latency_us()),
+            Micros::new(sp.result.io.p99_latency_us()),
+        )
     }
 }
 
@@ -198,7 +202,7 @@ mod tests {
             7.5,
             1e9,
         )
-        .with_latencies(100.0, 900.0);
+        .with_latencies(Micros::new(100.0), Micros::new(900.0));
         assert_eq!(p.device(), "SSD1");
         assert_eq!(p.workload(), Workload::SeqRead);
         assert_eq!(p.power_state(), PowerStateId(2));

@@ -1,6 +1,10 @@
 //! Property-based tests of the model layer: frontier correctness, solver
 //! optimality against brute force, and fleet-allocation feasibility.
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use proptest::prelude::*;
 
 use powadapt_device::{PowerStateId, KIB};
@@ -64,7 +68,7 @@ proptest! {
         let brute = points
             .iter()
             .filter(|p| p.power_w() <= budget)
-            .map(|p| p.throughput_bps())
+            .map(powadapt_model::ConfigPoint::throughput_bps)
             .fold(f64::NEG_INFINITY, f64::max);
         match solver {
             Some(choice) => {
@@ -85,7 +89,7 @@ proptest! {
         let brute = points
             .iter()
             .filter(|p| p.throughput_bps() >= floor)
-            .map(|p| p.power_w())
+            .map(powadapt_model::ConfigPoint::power_w)
             .fold(f64::INFINITY, f64::min);
         match solver {
             Some(choice) => {

@@ -9,7 +9,10 @@
 //! - [`StepSignal`] — piecewise-constant signals (instantaneous device power
 //!   draw) with window integration and trailing averages,
 //! - [`Summary`] — summary statistics used for power traces and latency
-//!   samples.
+//!   samples,
+//! - [`units`] — typed newtypes ([`units::Watts`], [`units::Joules`],
+//!   [`units::Micros`], [`units::Millis`]) for the float-valued quantities
+//!   that cross public APIs; enforced by `powadapt-lint` rule D4.
 //!
 //! # Examples
 //!
@@ -31,6 +34,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Tests assert on exact expected values: unwraps and bit-exact float
+// comparisons are the point there, not a hazard (see workspace lints).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod queue;
 mod rng;
@@ -38,6 +44,7 @@ mod rolling;
 mod signal;
 mod stats;
 mod time;
+pub mod units;
 mod zipf;
 
 pub use queue::{EventId, EventQueue};

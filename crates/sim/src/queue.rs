@@ -4,8 +4,8 @@
 //! broken by insertion order so simulations are fully deterministic.
 
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
@@ -61,9 +61,9 @@ impl<E> PartialOrd for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     /// Seqs scheduled but not yet fired or cancelled.
-    live: HashSet<u64>,
+    live: BTreeSet<u64>,
     next_seq: u64,
 }
 
@@ -72,8 +72,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            cancelled: BTreeSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
         }
     }

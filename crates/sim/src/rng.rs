@@ -131,6 +131,8 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `lo > hi` or either bound is not finite.
+    // Exact equality is the degenerate-range fast path, not a tolerance.
+    #[allow(clippy::float_cmp)]
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(
             lo.is_finite() && hi.is_finite() && lo <= hi,

@@ -72,14 +72,18 @@ impl StepSignal {
     /// # Panics
     ///
     /// Panics if `at` precedes the latest recorded step.
+    // The exact `==` compactions below are deliberate: a step is a no-op
+    // only when the stored bits match, never "close enough".
+    #[allow(clippy::float_cmp)]
     pub fn step(&mut self, at: SimTime, value: f64) {
-        if let Some(&(last_t, last_v)) = self.steps.back() {
+        if let Some(last) = self.steps.back_mut() {
+            let (last_t, last_v) = *last;
             assert!(
                 at >= last_t,
                 "step at {at} precedes latest step at {last_t}"
             );
             if at == last_t {
-                self.steps.back_mut().unwrap().1 = value;
+                last.1 = value;
                 return;
             }
             if last_v == value {

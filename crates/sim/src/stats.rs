@@ -29,7 +29,7 @@ impl Summary {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let mean = sorted.iter().sum::<f64>() / n;
         let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
@@ -155,6 +155,7 @@ pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
 ///
 /// Panics if `truth` is zero.
 pub fn relative_error(measured: f64, truth: f64) -> f64 {
+    // powadapt-lint: allow(D3, reason = "exact-zero sentinel check backing the documented panic contract; NaN-safe")
     assert!(truth != 0.0, "relative error against zero truth");
     ((measured - truth) / truth).abs()
 }

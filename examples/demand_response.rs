@@ -6,6 +6,10 @@
 //!
 //! Run with: `cargo run --release --example demand_response`
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use powadapt::core::{AdaptiveController, BudgetSchedule, PowerDomain, PowerEventCause};
 use powadapt::device::{catalog, StorageDevice, KIB};
 use powadapt::io::{full_sweep, SweepScale, Workload};
@@ -104,8 +108,7 @@ fn main() {
             .events()
             .iter()
             .find(|e| e.at == at)
-            .map(|e| e.cause.to_string())
-            .unwrap_or_else(|| "initial".to_string());
+            .map_or_else(|| "initial".to_string(), |e| e.cause.to_string());
         println!("t={at} budget {budget:.0} W ({cause}):");
         match controller.apply_budget(budget) {
             Ok(plan) => print!("{plan}"),

@@ -6,6 +6,10 @@
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use powadapt::core::{AdaptiveController, RetryPolicy};
 use powadapt::device::{catalog, FaultInjector, FaultPlan, PowerStateId, StorageDevice};
 use powadapt::io::{

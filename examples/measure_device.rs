@@ -4,12 +4,17 @@
 //!
 //! Run with: `cargo run --release --example measure_device`
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use powadapt::device::{
     DeviceClass, DeviceSpec, PowerStateDesc, PowerStateId, Protocol, Ssd, SsdConfig, GIB, KIB,
 };
 use powadapt::io::{run_experiment, JobSpec, Workload, PAPER_CHUNKS};
 use powadapt::meter::MeasurementChain;
 use powadapt::model::{pareto_frontier, ConfigPoint, PowerThroughputModel};
+use powadapt::sim::units::Micros;
 use powadapt::sim::{SimDuration, SimRng};
 
 fn main() {
@@ -81,7 +86,10 @@ fn main() {
                     r.avg_power_w(),
                     r.io.throughput_bps(),
                 )
-                .with_latencies(r.io.avg_latency_us(), r.io.p99_latency_us()),
+                .with_latencies(
+                    Micros::new(r.io.avg_latency_us()),
+                    Micros::new(r.io.p99_latency_us()),
+                ),
             );
         }
     }

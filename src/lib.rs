@@ -38,6 +38,9 @@
 //! demand-response control, write segregation, and standby consolidation.
 
 #![warn(missing_docs)]
+// Tests assert on exact expected values: unwraps and bit-exact float
+// comparisons are the point there, not a hazard (see workspace lints).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 pub use powadapt_core as core;
 pub use powadapt_device as device;

@@ -2,6 +2,10 @@
 //! fio-like engine, build models, hand them to the adaptive controller, and
 //! verify the closed loop actually keeps measured fleet power within budget.
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use powadapt::core::choose_config;
 use powadapt::core::{AdaptiveController, BudgetSchedule, ControlError, PowerEventCause, Slo};
 use powadapt::device::{catalog, StandbyState, StorageDevice, GIB, KIB};
@@ -191,7 +195,7 @@ fn latency_model_from_a_real_sweep_reproduces_the_cap_blowup() {
     let base_p99 = model
         .points()
         .iter()
-        .map(|p| p.p99_latency_us())
+        .map(powadapt::model::ConfigPoint::p99_latency_us)
         .fold(f64::INFINITY, f64::min);
     assert!(model.min_power_within(base_p99 * 0.5, 0.0).is_none());
     let ok = model
@@ -200,7 +204,7 @@ fn latency_model_from_a_real_sweep_reproduces_the_cap_blowup() {
     let cheapest = model
         .points()
         .iter()
-        .map(|p| p.power_w())
+        .map(powadapt::model::ConfigPoint::power_w)
         .fold(f64::INFINITY, f64::min);
     assert!((ok.power_w() - cheapest).abs() < 1e-9);
 }

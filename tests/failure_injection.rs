@@ -7,6 +7,10 @@
 //! these tests exercise the same device models the rest of the suite
 //! measures — no bespoke mocks.
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use powadapt::core::{AdaptiveController, ControlError, RetryPolicy};
 use powadapt::device::{catalog, FaultInjector, FaultPlan, PowerStateId, StorageDevice};
 use powadapt::io::AccessPattern;

@@ -8,6 +8,10 @@
 //! the device models, the runner, or a figure, regenerate them with
 //! `cargo run -p powadapt-bench --bin regen_goldens` and commit the diff.
 
+// Tests and examples assert on exact expected values; unwraps and
+// bit-exact float comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use std::fs;
 use std::time::Instant;
 
@@ -133,7 +137,7 @@ fn fault_injection_is_deterministic_under_parallelism() {
         seq[4].is_err(),
         "dropout cell should fail the experiment deterministically"
     );
-    assert!(seq[..4].iter().all(|r| r.is_ok()));
+    assert!(seq[..4].iter().all(std::result::Result::is_ok));
     for workers in [2, 8] {
         assert_eq!(
             seq,
@@ -149,7 +153,7 @@ fn fault_injection_is_deterministic_under_parallelism() {
 /// execution is not pathologically slower.
 #[test]
 fn parallel_sweep_speedup_on_multicore_hosts() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let scale = SweepScale {
         runtime: SimDuration::from_millis(40),
         size_limit: 4 * powadapt::device::GIB,
