@@ -38,6 +38,7 @@ fn run(dev: &mut Ssd, w: Workload, chunk: u64, depth: usize) -> powadapt_io::Exp
 
 fn main() {
     apply_cli_workers();
+    let trace = powadapt_bench::start_tracing();
     let pcfg = ParallelConfig::from_env();
 
     println!("== Ablation 1: cap-governor control window (ps2, randwrite 256 KiB QD1) ==");
@@ -157,4 +158,5 @@ fn main() {
         );
     }
     report_executor("ablation");
+    powadapt_bench::finish_tracing(trace);
 }

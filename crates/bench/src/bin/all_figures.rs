@@ -6,6 +6,7 @@ use powadapt_bench::{apply_cli_workers, bench_scale, figures, report_executor};
 
 fn main() {
     apply_cli_workers();
+    let trace = powadapt_bench::start_tracing();
     let scale = bench_scale();
     let seed = 42;
     let rule = "=".repeat(72);
@@ -53,4 +54,5 @@ fn main() {
         println!();
     }
     report_executor("all_figures");
+    powadapt_bench::finish_tracing(trace);
 }

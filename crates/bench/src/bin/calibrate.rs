@@ -32,6 +32,7 @@ fn job(w: Workload, chunk: u64, depth: usize) -> JobSpec {
 }
 
 fn main() {
+    let trace = powadapt_bench::start_tracing();
     println!("== SSD2 seq write 2MiB QD64 by power state (paper: ps1=74% ps0, ps2=55% ps0; power <=15.1/12/10) ==");
     let mut ps0_thr = 0.0;
     for ps in 0..3u8 {
@@ -218,4 +219,5 @@ fn main() {
         lo = lo.min(idle);
         println!("  {label}: {lo:.2} - {hi:.2} W (idle {idle:.2})");
     }
+    powadapt_bench::finish_tracing(trace);
 }

@@ -1,5 +1,7 @@
 //! Regenerates Figure 7 (standby transitions) of the paper.
 
 fn main() {
+    let trace = powadapt_bench::start_tracing();
     powadapt_bench::figures::fig7::run(42);
+    powadapt_bench::finish_tracing(trace);
 }

@@ -1,5 +1,7 @@
 //! Regenerates fig8 of the paper. Scale via POWADAPT_SCALE=quick|full|paper.
 
 fn main() {
+    let trace = powadapt_bench::start_tracing();
     powadapt_bench::figures::fig8::run(powadapt_bench::bench_scale(), 42);
+    powadapt_bench::finish_tracing(trace);
 }

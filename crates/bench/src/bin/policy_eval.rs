@@ -350,10 +350,12 @@ fn fault_section() {
 
 fn main() {
     apply_cli_workers();
+    let trace = powadapt_bench::start_tracing();
     consolidation_section();
     segregation_section();
     mechanism_section();
     scenario_section();
     fault_section();
     report_executor("policy_eval");
+    powadapt_bench::finish_tracing(trace);
 }

@@ -7,8 +7,22 @@
 
 use std::fs;
 
-use powadapt_bench::golden::{figure_summary, golden_scale, goldens_dir, FIGURES, GOLDEN_SEED};
+use powadapt_bench::golden::{
+    figure_summary, golden_scale, goldens_dir, obs_events_summary, FIGURES, GOLDEN_SEED,
+    OBS_FIXTURE,
+};
 use powadapt_io::ParallelConfig;
+
+fn write_fixture(dir: &std::path::Path, name: &str, summary: &str) {
+    let path = dir.join(format!("{name}.json"));
+    let changed = fs::read_to_string(&path).map(|old| old != summary);
+    fs::write(&path, summary).expect("write fixture");
+    match changed {
+        Ok(false) => println!("{name}: unchanged"),
+        Ok(true) => println!("{name}: UPDATED"),
+        Err(_) => println!("{name}: created"),
+    }
+}
 
 fn main() {
     let dir = goldens_dir();
@@ -19,14 +33,8 @@ fn main() {
     let cfg = ParallelConfig::sequential();
     for name in FIGURES {
         let summary = figure_summary(name, scale, GOLDEN_SEED, &cfg);
-        let path = dir.join(format!("{name}.json"));
-        let changed = fs::read_to_string(&path).map(|old| old != summary);
-        fs::write(&path, &summary).expect("write fixture");
-        match changed {
-            Ok(false) => println!("{name}: unchanged"),
-            Ok(true) => println!("{name}: UPDATED"),
-            Err(_) => println!("{name}: created"),
-        }
+        write_fixture(&dir, name, &summary);
     }
+    write_fixture(&dir, OBS_FIXTURE, &obs_events_summary(&cfg));
     println!("fixtures written to {}", dir.display());
 }

@@ -35,6 +35,7 @@ fn measure(ps: u8, w: Workload) -> (f64, f64) {
 
 fn main() {
     apply_cli_workers();
+    let trace = powadapt_bench::start_tracing();
     println!("Sec. 2 sizing example: a 16x Samsung PM1743 storage server, measured.");
     println!();
 
@@ -109,4 +110,5 @@ fn main() {
         r.avg_power_w()
     );
     report_executor("sec2_sizing");
+    powadapt_bench::finish_tracing(trace);
 }

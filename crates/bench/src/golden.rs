@@ -12,10 +12,17 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use powadapt_device::{catalog, StorageDevice, GIB};
-use powadapt_io::{ParallelConfig, SweepScale, Workload};
+use powadapt_core::AdaptiveController;
+use powadapt_device::{catalog, FaultInjector, FaultPlan, PowerStateId, StorageDevice, GIB, KIB};
+use powadapt_io::{
+    run_fleet, AccessPattern, Arrivals, BreakerConfig, CircuitBreakerRouter, LeastLoadedRouter,
+    OpenLoopSpec, ParallelConfig, SweepScale, Workload,
+};
 use powadapt_meter::PowerTrace;
+use powadapt_model::{ConfigPoint, PowerThroughputModel};
+use powadapt_obs::TraceRecorder;
 use powadapt_sim::{SimDuration, SimTime};
 
 use crate::figures::{fig10, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1};
@@ -287,6 +294,149 @@ fn fig10_summary(scale: SweepScale, seed: u64, cfg: &ParallelConfig) -> String {
         })
         .collect();
     doc("fig10", seed, &rows)
+}
+
+/// Name of the committed observability event-count fixture
+/// (`crates/bench/goldens/obs_events.json`).
+pub const OBS_FIXTURE: &str = "obs_events";
+
+/// One cell of the canonical traced scenario: a 3-device fleet with a
+/// dropout window on device 0, ridden through behind the circuit breaker.
+/// Returns the served IO count (pinning that the cell really ran).
+fn traced_fleet_cell(cell: u64) -> u64 {
+    let spec = OpenLoopSpec {
+        arrivals: Arrivals::Poisson { rate_iops: 2_000.0 },
+        block_size: 64 * KIB,
+        read_fraction: 0.7,
+        pattern: AccessPattern::Random,
+        region: (0, GIB),
+        duration: SimDuration::from_millis(250),
+        seed: 11 + cell,
+        zipf_theta: None,
+    };
+    let outage = FaultPlan::none()
+        .io_errors(0.02)
+        .dropout(SimTime::from_millis(60), SimTime::from_millis(160));
+    let mut devices: Vec<Box<dyn StorageDevice>> = (0..3u64)
+        .map(|i| {
+            let inner = Box::new(catalog::ssd3_d3_p4510(500 + 10 * cell + i));
+            let plan = if i == 0 {
+                outage.clone()
+            } else {
+                FaultPlan::none()
+            };
+            Box::new(FaultInjector::seeded(inner, plan, 70 + cell + i)) as Box<dyn StorageDevice>
+        })
+        .collect();
+    let breaker = BreakerConfig {
+        failure_threshold: 3,
+        cooldown: SimDuration::from_millis(50),
+        probe_successes: 2,
+    };
+    let mut router = CircuitBreakerRouter::new(LeastLoadedRouter::default(), breaker);
+    let r = run_fleet(
+        &mut devices,
+        &mut router,
+        &spec,
+        SimDuration::from_millis(20),
+    )
+    .expect("traced fleet cell runs");
+    r.total.ios()
+}
+
+/// A short closed-loop budget sequence over an SSD2 + HDD pair, so the
+/// fixture also covers `controller_decision`, standby spin events, and
+/// power-state transitions.
+fn traced_controller_rounds() {
+    let mk = |device: &str, ps: u8, power_w: f64, thr_bps: f64| {
+        ConfigPoint::new(
+            device,
+            Workload::RandWrite,
+            PowerStateId(ps),
+            256 * KIB,
+            64,
+            power_w,
+            thr_bps,
+        )
+    };
+    let ssd2 = PowerThroughputModel::from_points(
+        "SSD2",
+        vec![
+            mk("SSD2", 0, 15.0, 3.3e9),
+            mk("SSD2", 1, 11.7, 2.3e9),
+            mk("SSD2", 2, 9.7, 1.6e9),
+        ],
+    )
+    .expect("SSD2 model");
+    let hdd = PowerThroughputModel::from_points("HDD", vec![mk("HDD", 0, 4.5, 130e6)])
+        .expect("HDD model");
+    let mut ctl = AdaptiveController::new(
+        vec![
+            Box::new(catalog::ssd2_d7_p5510(1)),
+            Box::new(catalog::hdd_exos_7e2000(2)),
+        ],
+        vec![ssd2, hdd],
+    )
+    .expect("matched models");
+    // Generous -> tight (HDD sleeps) -> generous (HDD wakes), draining the
+    // pending transitions between rounds so spin events land.
+    for budget_w in [30.0, 11.0, 30.0] {
+        let _ = ctl.apply_budget(budget_w).expect("feasible budget");
+        for i in 0..2 {
+            let d = ctl.device_mut(i);
+            while let Some(t) = d.next_event() {
+                d.advance_to(t);
+            }
+        }
+    }
+}
+
+/// Runs the canonical traced scenario — a parallel sweep of fault-injected
+/// fleet cells plus a closed-loop controller sequence — under a fresh
+/// recorder and returns the per-kind event counts as canonical JSON.
+///
+/// Event *counts* are pure functions of the scenario seeds: the summary is
+/// byte-identical at every worker count, even though the interleaving of
+/// events in the ring is not. That is the invariant the committed
+/// `obs_events.json` fixture enforces.
+///
+/// # Panics
+///
+/// Panics if a scenario run fails — the fixture pins a healthy pipeline.
+pub fn obs_events_summary(cfg: &ParallelConfig) -> String {
+    let rec = Arc::new(TraceRecorder::new(1 << 16));
+    let prev = powadapt_obs::install(rec.clone());
+    let cells: Vec<u64> = (0..4).collect();
+    let served = powadapt_io::run_cells(&cells, cfg, |_, &cell| traced_fleet_cell(cell));
+    traced_controller_rounds();
+    match prev {
+        Some(p) => {
+            powadapt_obs::install(p);
+        }
+        None => {
+            powadapt_obs::uninstall();
+        }
+    }
+
+    let mut rows: Vec<String> = rec
+        .log()
+        .counts()
+        .iter()
+        .map(|(kind, n)| format!("{{\"kind\": \"{kind}\", \"count\": {n}}}"))
+        .collect();
+    rows.push(format!(
+        "{{\"kind\": \"total\", \"count\": {}}}",
+        rec.log().total()
+    ));
+    rows.push(format!(
+        "{{\"served_ios\": [{}]}}",
+        served
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    doc(OBS_FIXTURE, GOLDEN_SEED, &rows)
 }
 
 /// Produces the canonical JSON summary of one figure under the given

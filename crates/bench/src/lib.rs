@@ -70,6 +70,23 @@ pub fn apply_cli_workers() {
     }
 }
 
+/// Starts the process-wide trace session configured by `POWADAPT_TRACE`
+/// and `--trace-out` (see [`powadapt_obs::TraceConfig::from_env_and_cli`]).
+/// Call first thing in `main`, before any devices are built, so every
+/// construction-time recorder capture sees the installed sink; hand the
+/// returned session to [`finish_tracing`] at the end.
+pub fn start_tracing() -> powadapt_obs::TraceSession {
+    powadapt_obs::TraceSession::from_env()
+}
+
+/// Uninstalls the recorder and writes the configured trace outputs. A
+/// failure to write is reported on stderr and never fails the figure run.
+pub fn finish_tracing(session: powadapt_obs::TraceSession) {
+    if let Err(e) = session.finish() {
+        eprintln!("powadapt-obs: could not write trace output: {e}");
+    }
+}
+
 /// Prints the process-wide executor counters to stderr (stdout stays
 /// byte-identical across worker counts).
 pub fn report_executor(context: &str) {

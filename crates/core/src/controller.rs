@@ -13,6 +13,7 @@ use std::fmt;
 
 use powadapt_device::{DeviceError, StandbyState, StorageDevice};
 use powadapt_model::{ConfigPoint, FleetModel, PowerThroughputModel};
+use powadapt_obs::{emit, EventKind, RecorderHandle};
 
 use crate::health::{Degradation, DeviceHealth, RetryPolicy};
 
@@ -218,6 +219,7 @@ pub struct AdaptiveController {
     health: Vec<DeviceHealth>,
     /// Remaining cooldown rounds per device; non-zero = quarantined.
     quarantine: Vec<u32>,
+    rec: RecorderHandle,
 }
 
 impl AdaptiveController {
@@ -247,7 +249,17 @@ impl AdaptiveController {
             retry: RetryPolicy::default(),
             health: vec![DeviceHealth::default(); n],
             quarantine: vec![0; n],
+            rec: powadapt_obs::current(),
         })
+    }
+
+    /// Attaches a telemetry recorder; each [`apply_budget`] outcome is
+    /// emitted as an [`EventKind::ControllerDecision`] on the `controller`
+    /// track. Recording is write-only — it never changes the plan.
+    ///
+    /// [`apply_budget`]: AdaptiveController::apply_budget
+    pub fn set_recorder(&mut self, rec: RecorderHandle) {
+        self.rec = rec;
     }
 
     /// Replaces the retry policy (builder style).
@@ -452,6 +464,19 @@ impl AdaptiveController {
                         .filter(|&i| excluded[i])
                         .map(|i| self.devices[i].spec().label().to_string())
                         .collect();
+                    emit!(
+                        self.rec,
+                        self.devices[0].now(),
+                        "controller",
+                        EventKind::ControllerDecision {
+                            budget_w,
+                            measured_w: self.measured_power_w(),
+                            expected_power_w,
+                            expected_throughput_bps,
+                            quarantined: quarantined.clone(),
+                            degraded: degraded.iter().map(|d| d.device.clone()).collect(),
+                        }
+                    );
                     return Ok(AppliedPlan {
                         actions,
                         expected_power_w,

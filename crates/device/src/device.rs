@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use powadapt_obs::RecorderHandle;
 use powadapt_sim::SimTime;
 
 use crate::error::DeviceError;
@@ -109,6 +110,17 @@ pub trait StorageDevice: fmt::Debug {
 
     /// Number of submitted-but-not-completed requests.
     fn inflight(&self) -> usize;
+
+    /// Attaches a telemetry recorder and names this device's event track.
+    ///
+    /// Devices capture the process-global recorder
+    /// (`powadapt_obs::current()`) at construction; runners call this to
+    /// override the sink or to assign fleet-positional track names
+    /// (`device0`, `device1`, ...). The default implementation is a no-op
+    /// so uninstrumented device types remain valid.
+    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+        let _ = (rec, track);
+    }
 }
 
 /// Runs a device until it has no pending work, returning all completions.

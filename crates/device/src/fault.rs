@@ -39,6 +39,7 @@
 
 use std::fmt;
 
+use powadapt_obs::{emit, EventKind, RecorderHandle};
 use powadapt_sim::{SimDuration, SimRng, SimTime};
 
 use crate::device::StorageDevice;
@@ -221,6 +222,8 @@ pub struct FaultInjector {
     /// with `completion.completed` already set to the release time.
     held: Vec<IoCompletion>,
     stats: FaultStats,
+    rec: RecorderHandle,
+    track: String,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -238,13 +241,27 @@ impl FaultInjector {
     /// Wraps `inner`, injecting faults per `plan`, drawing probabilistic
     /// faults from `rng`.
     pub fn new(inner: Box<dyn StorageDevice>, plan: FaultPlan, rng: SimRng) -> Self {
+        let track = inner.spec().label().to_string();
         FaultInjector {
             inner,
             plan,
             rng,
             held: Vec::new(),
             stats: FaultStats::default(),
+            rec: powadapt_obs::current(),
+            track,
         }
+    }
+
+    fn note_fault(&self, fault: &str) {
+        emit!(
+            self.rec,
+            self.inner.now(),
+            self.track.as_str(),
+            EventKind::FaultInjected {
+                fault: fault.to_string(),
+            }
+        );
     }
 
     /// Convenience constructor seeding the fault stream from `seed`.
@@ -278,18 +295,22 @@ impl FaultInjector {
         let now = self.inner.now();
         if self.plan.active(FaultWindowKind::Dropout, now) {
             self.stats.unavailable += 1;
+            self.note_fault("dropout");
             return Err(DeviceError::Unavailable);
         }
         if stuck && self.plan.active(FaultWindowKind::StuckPowerState, now) {
             self.stats.admin_failures += 1;
+            self.note_fault("stuck_power_state");
             return Err(DeviceError::Timeout { op });
         }
         if self.plan.active(FaultWindowKind::AdminOutage, now) {
             self.stats.admin_failures += 1;
+            self.note_fault("admin_outage");
             return Err(DeviceError::Io { request: None });
         }
         if self.plan.admin_failure_rate > 0.0 && self.rng.chance(self.plan.admin_failure_rate) {
             self.stats.admin_failures += 1;
+            self.note_fault("admin_failure");
             return Err(DeviceError::Io { request: None });
         }
         Ok(())
@@ -328,10 +349,12 @@ impl StorageDevice for FaultInjector {
         let now = self.inner.now();
         if self.plan.active(FaultWindowKind::Dropout, now) {
             self.stats.unavailable += 1;
+            self.note_fault("dropout");
             return Err(DeviceError::Unavailable);
         }
         if self.plan.io_error_rate > 0.0 && self.rng.chance(self.plan.io_error_rate) {
             self.stats.io_errors += 1;
+            self.note_fault("io_error");
             return Err(DeviceError::Io {
                 request: Some(req.id.0),
             });
@@ -353,6 +376,14 @@ impl StorageDevice for FaultInjector {
         for mut c in self.inner.advance_to(t) {
             if self.plan.latency_spike_rate > 0.0 && self.rng.chance(self.plan.latency_spike_rate) {
                 self.stats.latency_spikes += 1;
+                emit!(
+                    self.rec,
+                    c.completed,
+                    self.track.as_str(),
+                    EventKind::FaultInjected {
+                        fault: "latency_spike".to_string(),
+                    }
+                );
                 c.completed += self.plan.latency_spike;
                 if c.completed <= t {
                     out.push(c);
@@ -403,6 +434,12 @@ impl StorageDevice for FaultInjector {
 
     fn inflight(&self) -> usize {
         self.inner.inflight() + self.held.len()
+    }
+
+    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+        self.rec = rec.clone();
+        self.track = track.clone();
+        self.inner.set_recorder(rec, track);
     }
 }
 

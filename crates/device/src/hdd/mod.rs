@@ -14,6 +14,7 @@ pub use config::HddConfig;
 
 use std::collections::{BTreeSet, VecDeque};
 
+use powadapt_obs::{emit, span, EventKind, RecorderHandle};
 use powadapt_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::device::StorageDevice;
@@ -100,6 +101,11 @@ pub struct Hdd {
 
     inflight_ids: BTreeSet<u64>,
     done: Vec<IoCompletion>,
+
+    // Telemetry sink (captured from the global slot at construction;
+    // write-only, never feeds back into device behavior).
+    rec: RecorderHandle,
+    track: String,
 }
 
 impl Hdd {
@@ -124,6 +130,7 @@ impl Hdd {
             return Err(DeviceError::InvalidConfig(e));
         }
         let idle = cfg.idle_w();
+        let track = spec.label().to_string();
         Ok(Hdd {
             spec,
             cfg,
@@ -144,6 +151,8 @@ impl Hdd {
             cache_waiters: VecDeque::new(),
             inflight_ids: BTreeSet::new(),
             done: Vec::new(),
+            rec: powadapt_obs::current(),
+            track,
         })
     }
 
@@ -195,6 +204,17 @@ impl Hdd {
 
     fn complete(&mut self, p: Pending) {
         self.inflight_ids.remove(&p.id.0);
+        emit!(
+            self.rec,
+            self.now,
+            self.track.as_str(),
+            EventKind::IoComplete {
+                id: p.id.0,
+                dir: p.kind.obs_dir(),
+                len: p.len,
+                latency: self.now.duration_since(p.submitted),
+            }
+        );
         self.done.push(IoCompletion {
             id: p.id,
             kind: p.kind,
@@ -269,6 +289,13 @@ impl Hdd {
             self.begin_transfer(op);
         } else {
             self.media_phase = MediaPhase::Positioning;
+            span!(
+                self.rec,
+                self.now,
+                self.track.as_str(),
+                "media.seek",
+                position
+            );
             self.events
                 .schedule(self.now + position, Ev::MediaPositioned(op));
         }
@@ -278,6 +305,7 @@ impl Hdd {
         self.media_phase = MediaPhase::Transferring;
         let bw = self.cfg.media_bw_at(op.offset, self.spec.capacity());
         let dur = SimDuration::from_secs_f64(op.len as f64 / bw).max(SimDuration::from_nanos(1));
+        span!(self.rec, self.now, self.track.as_str(), "media.xfer", dur);
         self.events.schedule(self.now + dur, Ev::MediaDone(op));
     }
 
@@ -293,6 +321,7 @@ impl Hdd {
     fn begin_spin_down(&mut self) {
         let until = self.now + self.cfg.spin_down;
         self.phase = StandbyPhase::Entering { until };
+        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinDown);
         self.events.schedule(until, Ev::SpinDone);
     }
 
@@ -300,6 +329,7 @@ impl Hdd {
         let until = self.now + self.cfg.spin_up;
         self.phase = StandbyPhase::Exiting { until };
         self.standby_requested = false;
+        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinUp);
         self.events.schedule(until, Ev::SpinDone);
     }
 
@@ -458,6 +488,16 @@ impl StorageDevice for Hdd {
         if !self.inflight_ids.insert(req.id.0) {
             return Err(DeviceError::DuplicateRequest(req.id.0));
         }
+        emit!(
+            self.rec,
+            self.now,
+            self.track.as_str(),
+            EventKind::IoSubmit {
+                id: req.id.0,
+                dir: req.kind.obs_dir(),
+                len: req.len,
+            }
+        );
         self.cmd_queue.push_back(Pending {
             id: req.id,
             kind: req.kind,
@@ -541,6 +581,11 @@ impl StorageDevice for Hdd {
 
     fn inflight(&self) -> usize {
         self.inflight_ids.len()
+    }
+
+    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+        self.rec = rec;
+        self.track = track;
     }
 }
 

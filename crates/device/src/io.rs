@@ -35,6 +35,14 @@ impl IoKind {
     pub fn is_write(self) -> bool {
         matches!(self, IoKind::Write)
     }
+
+    /// The telemetry-schema direction for this kind.
+    pub fn obs_dir(self) -> powadapt_obs::IoDir {
+        match self {
+            IoKind::Read => powadapt_obs::IoDir::Read,
+            IoKind::Write => powadapt_obs::IoDir::Write,
+        }
+    }
 }
 
 impl fmt::Display for IoKind {

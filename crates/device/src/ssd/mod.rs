@@ -24,6 +24,7 @@ pub use config::SsdConfig;
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use powadapt_obs::{emit, span, EventKind, RecorderHandle};
 use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime};
 
 use crate::device::StorageDevice;
@@ -179,6 +180,11 @@ pub struct Ssd {
     done: Vec<IoCompletion>,
     retry_pending: bool,
     idle_flush_pending: bool,
+
+    // Telemetry sink (captured from the global slot at construction;
+    // write-only, never feeds back into device behavior).
+    rec: RecorderHandle,
+    track: String,
 }
 
 impl Ssd {
@@ -206,6 +212,7 @@ impl Ssd {
         let window = cfg.cap_window;
         let dies = cfg.dies;
         let cache = PageCache::new(cfg.read_cache_pages);
+        let track = spec.label().to_string();
         Ok(Ssd {
             spec,
             cfg,
@@ -238,6 +245,8 @@ impl Ssd {
             done: Vec::new(),
             retry_pending: false,
             idle_flush_pending: false,
+            rec: powadapt_obs::current(),
+            track,
         })
     }
 
@@ -263,6 +272,15 @@ impl Ssd {
     fn need_retry(&mut self) {
         if !self.retry_pending {
             self.retry_pending = true;
+            emit!(
+                self.rec,
+                self.now,
+                self.track.as_str(),
+                EventKind::CapApplied {
+                    cap_w: self.cap_w(),
+                    power_w: self.power_now,
+                }
+            );
             self.events
                 .schedule(self.now + RETRY_INTERVAL, Ev::RetryTick);
         }
@@ -392,6 +410,7 @@ impl Ssd {
         let enter = self.cfg.standby.as_ref().expect("standby config").enter;
         let until = self.now + enter;
         self.phase = StandbyPhase::Entering { until };
+        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinDown);
         self.events.schedule(until, Ev::StandbyDone);
     }
 
@@ -401,6 +420,7 @@ impl Ssd {
         let until = self.now + exit;
         self.phase = StandbyPhase::Exiting { until };
         self.standby_requested = false;
+        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinUp);
         self.events.schedule(until, Ev::StandbyDone);
     }
 
@@ -443,6 +463,13 @@ impl Ssd {
             .program_op
             .mul_f64(chunk as f64 / unit as f64)
             .max(SimDuration::from_nanos(1));
+        span!(
+            self.rec,
+            self.now,
+            self.track.as_str(),
+            format!("die{die}.program"),
+            dur
+        );
         self.events.schedule(
             self.now + dur,
             Ev::DieDone {
@@ -492,6 +519,17 @@ impl Ssd {
 
     fn finish(&mut self, p: Pending) {
         self.inflight_ids.remove(&p.id.0);
+        emit!(
+            self.rec,
+            self.now,
+            self.track.as_str(),
+            EventKind::IoComplete {
+                id: p.id.0,
+                dir: p.kind.obs_dir(),
+                len: p.len,
+                latency: self.now.duration_since(p.submitted),
+            }
+        );
         self.done.push(IoCompletion {
             id: p.id,
             kind: p.kind,
@@ -554,6 +592,13 @@ impl Ssd {
                 };
                 self.die_busy[die] = true;
                 self.busy_read += 1;
+                span!(
+                    self.rec,
+                    self.now,
+                    self.track.as_str(),
+                    format!("die{die}.read"),
+                    self.cfg.read_op
+                );
                 self.events.schedule(
                     self.now + self.cfg.read_op,
                     Ev::DieDone {
@@ -764,6 +809,16 @@ impl StorageDevice for Ssd {
         if !self.inflight_ids.insert(req.id.0) {
             return Err(DeviceError::DuplicateRequest(req.id.0));
         }
+        emit!(
+            self.rec,
+            self.now,
+            self.track.as_str(),
+            EventKind::IoSubmit {
+                id: req.id.0,
+                dir: req.kind.obs_dir(),
+                len: req.len,
+            }
+        );
         self.cmd_queue.push_back(Pending {
             id: req.id,
             kind: req.kind,
@@ -802,6 +857,17 @@ impl StorageDevice for Ssd {
     fn set_power_state(&mut self, ps: PowerStateId) -> Result<(), DeviceError> {
         match self.cfg.power_states.iter().position(|d| d.id == ps) {
             Some(i) => {
+                if i != self.ps_index {
+                    emit!(
+                        self.rec,
+                        self.now,
+                        self.track.as_str(),
+                        EventKind::PowerStateTransition {
+                            from: self.ps_index as u8,
+                            to: i as u8,
+                        }
+                    );
+                }
                 self.ps_index = i;
                 Ok(())
             }
@@ -856,6 +922,11 @@ impl StorageDevice for Ssd {
 
     fn inflight(&self) -> usize {
         self.inflight_ids.len()
+    }
+
+    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+        self.rec = rec;
+        self.track = track;
     }
 }
 

@@ -23,6 +23,7 @@
 use std::fmt;
 
 use powadapt_device::{DeviceError, IoCompletion};
+use powadapt_obs::{emit, EventKind, RecorderHandle};
 use powadapt_sim::{SimDuration, SimTime};
 
 use crate::fleet::{DeviceCommand, DeviceStatus, Route, Router};
@@ -107,6 +108,7 @@ pub struct CircuitBreakerRouter<R> {
     cfg: BreakerConfig,
     breakers: Vec<Breaker>,
     events: Vec<QuarantineEvent>,
+    rec: RecorderHandle,
 }
 
 impl<R> CircuitBreakerRouter<R> {
@@ -125,7 +127,14 @@ impl<R> CircuitBreakerRouter<R> {
             cfg,
             breakers: Vec::new(),
             events: Vec::new(),
+            rec: powadapt_obs::current(),
         }
+    }
+
+    /// Attaches a telemetry recorder; breaker transitions are emitted on
+    /// per-device `device{i}` tracks.
+    pub fn set_recorder(&mut self, rec: RecorderHandle) {
+        self.rec = rec;
     }
 
     /// The breaker transitions recorded so far, in time order.
@@ -154,6 +163,16 @@ impl<R> CircuitBreakerRouter<R> {
 
     fn transition(&mut self, device: usize, entered: BreakerState, at: SimTime) {
         self.breakers[device].state = entered;
+        emit!(
+            self.rec,
+            at,
+            format!("device{device}"),
+            match entered {
+                BreakerState::Closed => EventKind::BreakerClose,
+                BreakerState::Open => EventKind::BreakerOpen,
+                BreakerState::HalfOpen => EventKind::BreakerHalfOpen,
+            }
+        );
         self.events.push(QuarantineEvent {
             at,
             device,

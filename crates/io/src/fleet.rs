@@ -14,6 +14,7 @@ use powadapt_device::{
     DeviceError, IoCompletion, IoId, IoKind, IoRequest, PowerStateId, StandbyState, StorageDevice,
 };
 use powadapt_meter::{PowerRig, PowerTrace};
+use powadapt_obs::{emit, EventKind};
 use powadapt_sim::{SimDuration, SimRng, SimTime};
 
 use crate::openloop::{Arrival, ArrivalGen, OpenLoopSpec};
@@ -342,6 +343,15 @@ where
     let mut rig_rng = SimRng::seed_from(meter_seed ^ 0xf1ee7);
     let mut rig = PowerRig::paper_rig(12.0, &mut rig_rng);
 
+    // Re-capture the telemetry recorder at run start and put every device
+    // on a positional track: paper labels may repeat across a fleet
+    // (e.g. three SSD3s), track indices never do.
+    let rec = powadapt_obs::current();
+    for (i, d) in devices.iter_mut().enumerate() {
+        d.set_recorder(rec.clone(), format!("device{i}"));
+    }
+    rig.set_recorder(rec.clone(), "fleet".to_string());
+
     let start = devices[0].now();
     for d in devices.iter() {
         assert_eq!(d.now(), start, "devices must start at a common time");
@@ -408,6 +418,15 @@ where
                             }
                             Err(e) if e.is_transient() => {
                                 io_errors += 1;
+                                emit!(
+                                    rec,
+                                    t,
+                                    format!("device{target}"),
+                                    EventKind::IoError {
+                                        id: next_id,
+                                        error: e.to_string(),
+                                    }
+                                );
                                 router.on_device_error(target, &e, t);
                                 tried[target] = true;
                                 // Ask the router again; if it insists on a
@@ -419,6 +438,12 @@ where
                                             Some(d2) => Route::Device(d2),
                                             None => {
                                                 dropped += 1;
+                                                emit!(
+                                                    rec,
+                                                    t,
+                                                    "fleet",
+                                                    EventKind::ArrivalDropped { id: next_id }
+                                                );
                                                 break;
                                             }
                                         }
@@ -474,21 +499,31 @@ where
         .iter()
         .zip(&completions)
         .zip(&routed)
-        .map(|((d, cs), &n)| DeviceOutcome {
-            label: d.spec().label().to_string(),
-            io: IoStats::from_completions(cs, start, end),
-            routed: n,
+        .map(|((d, cs), &n)| {
+            Ok(DeviceOutcome {
+                label: d.spec().label().to_string(),
+                io: IoStats::from_completions(cs, start, end)?,
+                routed: n,
+            })
         })
-        .collect();
+        .collect::<Result<_, crate::stats::InvertedWindow>>()?;
     let all: Vec<IoCompletion> = completions.into_iter().flatten().collect();
-    let total = IoStats::from_completions(&all, start, end);
+    let total = IoStats::from_completions(&all, start, end)?;
     let (rd, wr): (Vec<IoCompletion>, Vec<IoCompletion>) =
         all.iter().partition(|c| c.kind == IoKind::Read);
-    let reads = IoStats::from_completions(&rd, start, end);
-    let writes = IoStats::from_completions(&wr, start, end);
-    let absorbed = IoStats::from_completions(&absorbed, start, end.max(start));
+    let reads = IoStats::from_completions(&rd, start, end)?;
+    let writes = IoStats::from_completions(&wr, start, end)?;
+    let absorbed = IoStats::from_completions(&absorbed, start, end.max(start))?;
     let power = rig.into_trace();
     let energy_j = power.energy_j();
+
+    // Fleet-level fault counters also feed the global metrics registry so
+    // traced runs can audit them without plumbing FleetResult around.
+    powadapt_obs::metrics().inc_many(&[
+        ("fleet.io_errors", io_errors),
+        ("fleet.dropped", dropped),
+        ("fleet.command_errors", command_errors),
+    ]);
 
     Ok(FleetResult {
         per_device,

@@ -53,7 +53,7 @@ pub use parallel::{
     SweepStats, WorkerStats,
 };
 pub use runner::{run_experiment, ExperimentError, ExperimentResult};
-pub use stats::IoStats;
+pub use stats::{InvertedWindow, IoStats};
 pub use sweep::{
     enumerate_cells, full_sweep, full_sweep_with, run_fresh, SweepCell, SweepPoint, SweepScale,
     PAPER_CHUNKS, PAPER_DEPTHS,

@@ -18,7 +18,6 @@
 //! the common case (one uncontended lock per bite) and the steal path
 //! cheap, and idle workers converge onto whatever work is left.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -131,12 +130,10 @@ impl std::fmt::Display for SweepStats {
     }
 }
 
-// Session-wide counters so binaries can report cumulative executor work
-// without threading stats through every figure function.
-static SESSION_CELLS: AtomicU64 = AtomicU64::new(0);
-static SESSION_STEALS: AtomicU64 = AtomicU64::new(0);
-static SESSION_NANOS: AtomicU64 = AtomicU64::new(0);
-static SESSION_SWEEPS: AtomicU64 = AtomicU64::new(0);
+// Session-wide counters live in the process-wide metrics registry
+// (`powadapt_obs::metrics()`) under the `executor.` prefix, so binaries can
+// report cumulative executor work without threading stats through every
+// figure function — and so the counters appear in trace snapshots for free.
 
 /// Cumulative executor activity of this process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,21 +175,26 @@ impl std::fmt::Display for SessionStats {
 }
 
 /// Snapshot of the process-wide executor counters.
+///
+/// The four counters are read from one registry snapshot, so they are
+/// mutually consistent even while sweeps run on other threads — a sweep's
+/// whole contribution is either fully visible or not visible at all.
 pub fn session_stats() -> SessionStats {
+    let snap = powadapt_obs::metrics().snapshot();
     SessionStats {
-        sweeps: SESSION_SWEEPS.load(Ordering::Relaxed),
-        cells: SESSION_CELLS.load(Ordering::Relaxed),
-        steals: SESSION_STEALS.load(Ordering::Relaxed),
-        elapsed: Duration::from_nanos(SESSION_NANOS.load(Ordering::Relaxed)),
+        sweeps: snap.counter("executor.sweeps"),
+        cells: snap.counter("executor.cells"),
+        steals: snap.counter("executor.steals"),
+        elapsed: Duration::from_nanos(snap.counter("executor.busy_nanos")),
     }
 }
 
 /// Resets the process-wide executor counters (tests, repeated benches).
+///
+/// Atomic with respect to [`session_stats`] and concurrent sweeps: the
+/// `executor.` counters are dropped in one registry operation.
 pub fn reset_session_stats() {
-    SESSION_SWEEPS.store(0, Ordering::Relaxed);
-    SESSION_CELLS.store(0, Ordering::Relaxed);
-    SESSION_STEALS.store(0, Ordering::Relaxed);
-    SESSION_NANOS.store(0, Ordering::Relaxed);
+    powadapt_obs::metrics().remove_prefix("executor.");
 }
 
 /// One worker's claim on the shared index space: the half-open range
@@ -254,10 +256,14 @@ where
         elapsed: start.elapsed(),
         per_worker,
     };
-    SESSION_SWEEPS.fetch_add(1, Ordering::Relaxed);
-    SESSION_CELLS.fetch_add(n as u64, Ordering::Relaxed);
-    SESSION_STEALS.fetch_add(stats.steals(), Ordering::Relaxed);
-    SESSION_NANOS.fetch_add(stats.elapsed.as_nanos() as u64, Ordering::Relaxed);
+    // One registry call so a concurrent session_stats() snapshot sees this
+    // sweep's counters all-or-nothing, never a torn mix.
+    powadapt_obs::metrics().inc_many(&[
+        ("executor.sweeps", 1),
+        ("executor.cells", n as u64),
+        ("executor.steals", stats.steals()),
+        ("executor.busy_nanos", stats.elapsed.as_nanos() as u64),
+    ]);
     if std::env::var_os("POWADAPT_PROGRESS").is_some() {
         eprintln!("[powadapt] sweep: {stats}");
     }

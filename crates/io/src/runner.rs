@@ -11,7 +11,7 @@ use powadapt_meter::{PowerRig, PowerTrace};
 use powadapt_sim::{SimRng, SimTime, Zipf};
 
 use crate::job::{AccessPattern, JobSpec};
-use crate::stats::IoStats;
+use crate::stats::{InvertedWindow, IoStats};
 
 /// Errors from running an experiment.
 #[derive(Debug)]
@@ -44,6 +44,12 @@ impl Error for ExperimentError {
 impl From<DeviceError> for ExperimentError {
     fn from(e: DeviceError) -> Self {
         ExperimentError::Device(e)
+    }
+}
+
+impl From<InvertedWindow> for ExperimentError {
+    fn from(e: InvertedWindow) -> Self {
+        ExperimentError::InvalidJob(e.to_string())
     }
 }
 
@@ -264,13 +270,13 @@ pub fn run_experiment(
     }
 
     let end = device.now().max(measure_from);
-    let io = IoStats::from_completions(&completions, measure_from, end);
+    let io = IoStats::from_completions(&completions, measure_from, end)?;
     let (rd, wr): (Vec<_>, Vec<_>) = completions
         .iter()
         .copied()
         .partition(|c| c.kind == IoKind::Read);
-    let reads = IoStats::from_completions(&rd, measure_from, end);
-    let writes = IoStats::from_completions(&wr, measure_from, end);
+    let reads = IoStats::from_completions(&rd, measure_from, end)?;
+    let writes = IoStats::from_completions(&wr, measure_from, end)?;
     let power = rig.into_trace().between(measure_from, end);
 
     Ok(ExperimentResult {

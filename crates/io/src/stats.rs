@@ -1,9 +1,32 @@
 //! IO statistics collected by the runner.
 
+use std::error::Error;
 use std::fmt;
 
 use powadapt_device::{IoCompletion, MIB};
 use powadapt_sim::{SimDuration, SimTime, Summary};
+
+/// Error from [`IoStats::from_completions`]: the measurement window ends
+/// before it starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvertedWindow {
+    /// Claimed start of the window.
+    pub from: SimTime,
+    /// Claimed end of the window.
+    pub to: SimTime,
+}
+
+impl fmt::Display for InvertedWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "measurement window inverted: from {} > to {}",
+            self.from, self.to
+        )
+    }
+}
+
+impl Error for InvertedWindow {}
 
 /// Aggregate statistics of the completions observed during an experiment's
 /// measurement window.
@@ -31,11 +54,17 @@ impl IoStats {
     /// window `[from, to]` (inclusive at both ends — the final completion
     /// of an experiment lands exactly on `to`); `elapsed` is `to - from`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `from > to`.
-    pub fn from_completions(completions: &[IoCompletion], from: SimTime, to: SimTime) -> Self {
-        assert!(from <= to, "measurement window inverted");
+    /// Returns [`InvertedWindow`] if `from > to`.
+    pub fn from_completions(
+        completions: &[IoCompletion],
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<Self, InvertedWindow> {
+        if from > to {
+            return Err(InvertedWindow { from, to });
+        }
         let mut bytes = 0u64;
         let mut lats = Vec::new();
         for c in completions {
@@ -44,12 +73,12 @@ impl IoStats {
                 lats.push(c.latency().as_nanos() as f64 / 1_000.0);
             }
         }
-        IoStats {
+        Ok(IoStats {
             ios: lats.len() as u64,
             bytes,
             elapsed: to.duration_since(from),
             latencies: Summary::from_samples(&lats),
-        }
+        })
     }
 
     /// Builds stats directly from a list of latencies (µs), a total byte
@@ -159,7 +188,7 @@ mod tests {
             completion(1, 1_500, 60, 4096),
             completion(2, 3_000, 70, 4096), // outside window
         ];
-        let s = IoStats::from_completions(&cs, SimTime::ZERO, SimTime::from_micros(2_999));
+        let s = IoStats::from_completions(&cs, SimTime::ZERO, SimTime::from_micros(2_999)).unwrap();
         assert_eq!(s.ios(), 2);
         assert_eq!(s.bytes(), 8192);
         let lat = s.latency_summary().unwrap();
@@ -175,8 +204,17 @@ mod tests {
     }
 
     #[test]
+    fn inverted_window_is_an_error() {
+        let err = IoStats::from_completions(&[], SimTime::from_micros(5), SimTime::ZERO)
+            .expect_err("inverted window must be rejected");
+        assert_eq!(err.from, SimTime::from_micros(5));
+        assert_eq!(err.to, SimTime::ZERO);
+        assert!(err.to_string().contains("inverted"));
+    }
+
+    #[test]
     fn empty_window_is_all_zeros() {
-        let s = IoStats::from_completions(&[], SimTime::ZERO, SimTime::ZERO);
+        let s = IoStats::from_completions(&[], SimTime::ZERO, SimTime::ZERO).unwrap();
         assert_eq!(s.ios(), 0);
         assert_eq!(s.throughput_bps(), 0.0);
         assert_eq!(s.iops(), 0.0);

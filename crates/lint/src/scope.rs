@@ -64,9 +64,11 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         RuleId::D1 => true,
         // Result-producing crates per the issue: sim/device/core/model/
         // bench (io's maps never reach output, but its stats do — close
-        // the gap by including io's stat modules).
+        // the gap by including io's stat modules). obs snapshots and
+        // exports feed committed fixtures, so its iteration order must be
+        // deterministic too.
         RuleId::D2 => {
-            in_crates(&["sim", "device", "core", "model", "bench"])
+            in_crates(&["sim", "device", "core", "model", "bench", "obs"])
                 || path == "crates/io/src/stats.rs"
         }
         // Figure/statistics code: everything that orders, ranks, or
@@ -230,6 +232,8 @@ mod tests {
     #[test]
     fn scoping_by_path() {
         assert!(rule_applies(RuleId::D2, "crates/device/src/ssd/mod.rs"));
+        assert!(rule_applies(RuleId::D2, "crates/obs/src/metrics.rs"));
+        assert!(rule_applies(RuleId::D1, "crates/obs/src/recorder.rs"));
         assert!(!rule_applies(RuleId::D2, "crates/io/src/parallel.rs"));
         assert!(!rule_applies(RuleId::D1, "crates/io/src/parallel.rs"));
         assert!(rule_applies(RuleId::D1, "crates/io/src/fleet.rs"));

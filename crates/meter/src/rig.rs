@@ -1,5 +1,6 @@
 //! The assembled measurement rig: chain + periodic sampler.
 
+use powadapt_obs::{emit, EventKind, RecorderHandle};
 use powadapt_sim::{SimDuration, SimRng, SimTime};
 
 use crate::chain::MeasurementChain;
@@ -33,6 +34,8 @@ pub struct PowerRig {
     period: SimDuration,
     next_at: SimTime,
     trace: PowerTrace,
+    rec: RecorderHandle,
+    track: String,
 }
 
 impl PowerRig {
@@ -49,7 +52,17 @@ impl PowerRig {
             period,
             next_at: SimTime::ZERO,
             trace: PowerTrace::new(SimTime::ZERO, period),
+            rec: powadapt_obs::current(),
+            track: "meter".to_string(),
         }
+    }
+
+    /// Attaches a telemetry recorder and names the rig's counter track.
+    /// Each measured sample is emitted as [`EventKind::PowerSample`] —
+    /// recording is write-only and does not affect the trace.
+    pub fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+        self.rec = rec;
+        self.track = track;
     }
 
     /// The paper's rig at 1 kHz for a rail at `bus_voltage_v`.
@@ -72,6 +85,12 @@ impl PowerRig {
     pub fn sample(&mut self, t: SimTime, true_power_w: f64) {
         assert_eq!(t, self.next_at, "sample at {t}, expected {}", self.next_at);
         let measured = self.chain.measure(true_power_w, &mut self.rng);
+        emit!(
+            self.rec,
+            t,
+            self.track.as_str(),
+            EventKind::PowerSample { watts: measured }
+        );
         self.trace.push(measured);
         self.next_at = t + self.period;
     }

@@ -1,0 +1,201 @@
+//! Typed, schema'd telemetry events.
+//!
+//! Every event carries a [`SimTime`] stamp — never wall-clock — so a
+//! recorded trace is a pure function of the run's seeds and configuration.
+//! The `track` names the emitting component (`device0`, `controller`,
+//! `meter`) and becomes a thread row in the Chrome trace export.
+
+use std::fmt;
+
+use powadapt_sim::{SimDuration, SimTime};
+
+/// Transfer direction of an IO, from the host's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDir {
+    /// Device-to-host transfer.
+    Read,
+    /// Host-to-device transfer.
+    Write,
+}
+
+impl IoDir {
+    /// Lower-case name, as used in metric keys and trace args.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoDir::Read => "read",
+            IoDir::Write => "write",
+        }
+    }
+}
+
+impl fmt::Display for IoDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One telemetry event: a sim-time stamp, the emitting track, and the
+/// typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time of the event. For [`EventKind::Span`] this is the
+    /// span's *start*; the duration lives in the payload.
+    pub at: SimTime,
+    /// Emitting component (`device3`, `controller`, `meter`, ...).
+    pub track: String,
+    /// Typed payload.
+    pub kind: EventKind,
+}
+
+/// The event schema. Variants mirror the observable edges of the
+/// simulation: IO lifecycle, power-state machinery, fault plumbing, and
+/// control decisions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// An IO request was accepted by a device.
+    IoSubmit {
+        /// Request id, unique within its device.
+        id: u64,
+        /// Transfer direction.
+        dir: IoDir,
+        /// Transfer length in bytes.
+        len: u64,
+    },
+    /// An IO request completed.
+    IoComplete {
+        /// Request id, matching the earlier [`EventKind::IoSubmit`].
+        id: u64,
+        /// Transfer direction.
+        dir: IoDir,
+        /// Transfer length in bytes.
+        len: u64,
+        /// Submit-to-complete latency in sim time.
+        latency: SimDuration,
+    },
+    /// An IO failed at submit or was rejected by the device.
+    IoError {
+        /// Request id of the failed IO.
+        id: u64,
+        /// Rendered device error.
+        error: String,
+    },
+    /// An arrival was dropped after exhausting re-route attempts.
+    ArrivalDropped {
+        /// Request id of the dropped arrival.
+        id: u64,
+    },
+    /// A device moved between power states (paper §2 P0..Pn).
+    PowerStateTransition {
+        /// Index of the state being left.
+        from: u8,
+        /// Index of the state being entered.
+        to: u8,
+    },
+    /// The cap governor deferred work to stay under the configured cap.
+    CapApplied {
+        /// The active cap in watts.
+        cap_w: f64,
+        /// Instantaneous device power when the cap bit.
+        power_w: f64,
+    },
+    /// A device began spinning up / exiting standby.
+    SpinUp,
+    /// A device began spinning down / entering standby.
+    SpinDown,
+    /// The fault injector fired.
+    FaultInjected {
+        /// Short fault label (`io_error`, `latency_spike`, `dropout`, ...).
+        fault: String,
+    },
+    /// A circuit breaker opened (device quarantined from routing).
+    BreakerOpen,
+    /// A circuit breaker moved to half-open (probe traffic allowed).
+    BreakerHalfOpen,
+    /// A circuit breaker closed (device back in service).
+    BreakerClose,
+    /// The adaptive controller applied a budget and produced a plan.
+    ControllerDecision {
+        /// The budget being applied, in watts.
+        budget_w: f64,
+        /// Measured fleet power *before* the plan, in watts.
+        measured_w: f64,
+        /// Expected fleet power after the plan, in watts.
+        expected_power_w: f64,
+        /// Expected fleet throughput after the plan, in bytes/second.
+        expected_throughput_bps: f64,
+        /// Labels of devices out of service after this round.
+        quarantined: Vec<String>,
+        /// Labels of devices that refused their action this round.
+        degraded: Vec<String>,
+    },
+    /// One reading of the power rig (becomes a counter track in Perfetto).
+    PowerSample {
+        /// The sampled (quantized, noisy) power in watts.
+        watts: f64,
+    },
+    /// A profiling span with a known sim-time duration; `Event::at` is the
+    /// start.
+    Span {
+        /// Hierarchy-free label (`die0.program`, `media.xfer`, ...).
+        label: String,
+        /// Sim-time duration of the span.
+        dur: SimDuration,
+    },
+}
+
+impl EventKind {
+    /// Stable schema name, used for event counting and metric keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::IoSubmit { .. } => "io_submit",
+            EventKind::IoComplete { .. } => "io_complete",
+            EventKind::IoError { .. } => "io_error",
+            EventKind::ArrivalDropped { .. } => "arrival_dropped",
+            EventKind::PowerStateTransition { .. } => "power_state_transition",
+            EventKind::CapApplied { .. } => "cap_applied",
+            EventKind::SpinUp => "spin_up",
+            EventKind::SpinDown => "spin_down",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::BreakerOpen => "breaker_open",
+            EventKind::BreakerHalfOpen => "breaker_half_open",
+            EventKind::BreakerClose => "breaker_close",
+            EventKind::ControllerDecision { .. } => "controller_decision",
+            EventKind::PowerSample { .. } => "power_sample",
+            EventKind::Span { .. } => "span",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            EventKind::IoSubmit {
+                id: 1,
+                dir: IoDir::Read,
+                len: 4096
+            }
+            .name(),
+            "io_submit"
+        );
+        assert_eq!(EventKind::SpinUp.name(), "spin_up");
+        assert_eq!(
+            EventKind::Span {
+                label: "x".into(),
+                dur: SimDuration::ZERO
+            }
+            .name(),
+            "span"
+        );
+    }
+
+    #[test]
+    fn dir_strings() {
+        assert_eq!(IoDir::Read.as_str(), "read");
+        assert_eq!(IoDir::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,335 @@
+//! The metrics registry: counters, gauges, and sim-time-windowed
+//! histograms, snapshotable as hand-rolled deterministic JSON.
+//!
+//! Everything lives behind one mutex, which is what makes multi-counter
+//! updates ([`MetricsRegistry::inc_many`]) and [`MetricsRegistry::
+//! snapshot`] *atomic*: a reader can never observe a torn set of totals,
+//! no matter how many sweep workers are publishing. Keys are sorted
+//! (`BTreeMap`) so snapshots and their JSON rendering are byte-stable.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use powadapt_sim::Summary;
+use powadapt_sim::{SimDuration, SimTime};
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+struct Histogram {
+    /// When set, samples older than `newest - window` are evicted on
+    /// observe, so the histogram summarizes a sliding sim-time window.
+    window: Option<SimDuration>,
+    samples: Vec<(SimTime, f64)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe registry of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Add `by` to counter `name` (created at zero on first use).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Apply several counter deltas under one lock acquisition, so readers
+    /// see either none or all of them — the executor publishes its
+    /// per-sweep totals this way to keep session stats tear-free.
+    pub fn inc_many(&self, deltas: &[(&str, u64)]) {
+        let mut inner = self.lock();
+        for (name, by) in deltas {
+            *inner.counters.entry((*name).to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Read counter `name` (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Read gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Constrain histogram `name` to a sliding sim-time window. Takes
+    /// effect for subsequent [`observe`](Self::observe) calls.
+    pub fn set_window(&self, name: &str, window: SimDuration) {
+        let mut inner = self.lock();
+        inner.histograms.entry(name.to_string()).or_default().window = Some(window);
+    }
+
+    /// Record `value` at sim time `at` into histogram `name`.
+    pub fn observe(&self, name: &str, at: SimTime, value: f64) {
+        let mut inner = self.lock();
+        let hist = inner.histograms.entry(name.to_string()).or_default();
+        hist.samples.push((at, value));
+        if let Some(window) = hist.window {
+            let cutoff = SimTime::from_nanos(at.as_nanos().saturating_sub(window.as_nanos()));
+            hist.samples.retain(|&(t, _)| t >= cutoff);
+        }
+    }
+
+    /// Atomically read every metric. Keys come out sorted; two snapshots
+    /// of identical registry state render to identical JSON.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .filter_map(|(k, h)| {
+                    let values: Vec<f64> = h.samples.iter().map(|&(_, v)| v).collect();
+                    let summary = Summary::from_samples(&values)?;
+                    Some(HistogramSnapshot {
+                        name: k.clone(),
+                        count: summary.len() as u64,
+                        min: summary.min(),
+                        max: summary.max(),
+                        mean: summary.mean(),
+                        p50: summary.percentile(50.0),
+                        p95: summary.percentile(95.0),
+                        p99: summary.percentile(99.0),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Remove every metric whose name starts with `prefix` — how a session
+    /// scope (e.g. the executor's `executor.` counters) resets without
+    /// disturbing unrelated metrics.
+    pub fn remove_prefix(&self, prefix: &str) {
+        let mut inner = self.lock();
+        inner.counters.retain(|k, _| !k.starts_with(prefix));
+        inner.gauges.retain(|k, _| !k.starts_with(prefix));
+        inner.histograms.retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// Drop every metric.
+    pub fn clear(&self) {
+        *self.lock() = Inner::default();
+    }
+}
+
+/// The process-global metrics registry.
+///
+/// Long-lived infrastructure (the parallel sweep executor) publishes here;
+/// per-run recorders keep their own [`MetricsRegistry`] instead.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+/// Exact percentile summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Samples summarized (post-windowing).
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Exact 50th percentile (linear interpolation between ranks).
+    pub p50: f64,
+    /// Exact 95th percentile.
+    pub p95: f64,
+    /// Exact 99th percentile.
+    pub p99: f64,
+}
+
+/// An atomic, sorted copy of a registry's state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name. Empty histograms are omitted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name` in this snapshot (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Hand-rolled deterministic JSON: keys in sorted order, floats via
+    /// `{:?}` (shortest round-trip form), no whitespace variability.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, &self.counters, |v| v.to_string());
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, &self.gauges, |v| format!("{v:?}"));
+        out.push_str("},\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, &h.name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"min\": {:?}, \"max\": {:?}, \"mean\": {:?}, \
+                 \"p50\": {:?}, \"p95\": {:?}, \"p99\": {:?}}}",
+                h.count, h.min, h.max, h.mean, h.p50, h.p95, h.p99
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_entries<V: Copy>(out: &mut String, entries: &[(String, V)], render: impl Fn(V) -> String) {
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, k);
+        out.push_str(": ");
+        out.push_str(&render(*v));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Append `s` as a JSON string literal, escaping the characters JSON
+/// requires (quotes, backslashes, control bytes).
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_inc_many() {
+        let m = MetricsRegistry::new();
+        m.inc("a", 2);
+        m.inc_many(&[("a", 3), ("b", 1)]);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 1);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_stable() {
+        let m = MetricsRegistry::new();
+        m.inc("z", 1);
+        m.inc("a", 2);
+        m.set_gauge("power", 11.5);
+        m.observe("lat", SimTime::from_nanos(10), 1.0);
+        m.observe("lat", SimTime::from_nanos(20), 3.0);
+        let s1 = m.snapshot();
+        let s2 = m.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert_eq!(
+            s1.counters,
+            vec![("a".to_string(), 2), ("z".to_string(), 1)]
+        );
+        let json = s1.to_json();
+        assert!(json.contains("\"a\": 2"));
+        assert!(json.contains("\"power\": 11.5"));
+        assert!(json.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn windowed_histogram_evicts() {
+        let m = MetricsRegistry::new();
+        m.set_window("w", SimDuration::from_nanos(150));
+        m.observe("w", SimTime::from_nanos(0), 1.0);
+        m.observe("w", SimTime::from_nanos(50), 2.0);
+        m.observe("w", SimTime::from_nanos(200), 3.0);
+        let snap = m.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 2); // sample at t=0 evicted by the t=200 cutoff
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn remove_prefix_scopes_reset() {
+        let m = MetricsRegistry::new();
+        m.inc("executor.sweeps", 4);
+        m.inc("other", 7);
+        m.remove_prefix("executor.");
+        assert_eq!(m.counter("executor.sweeps"), 0);
+        assert_eq!(m.counter("other"), 7);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,243 @@
+//! The [`Recorder`] sink trait, the cloneable [`RecorderHandle`] used at
+//! emit sites, the process-global recorder slot, and the ring-buffered
+//! [`EventLog`].
+//!
+//! Emit sites hold a `RecorderHandle` — a nullable `Arc` — and go through
+//! the [`emit!`](crate::emit) macro, which checks [`RecorderHandle::
+//! is_enabled`] *before* evaluating the event payload. With no recorder
+//! installed the whole emit path is a branch on an `Option`, so tracing
+//! support costs nothing when it is off.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use crate::event::Event;
+
+/// A sink for telemetry events.
+///
+/// Recorders take `&self`: they are shared across threads (the parallel
+/// sweep executor runs figure cells concurrently), so implementations
+/// synchronize internally. Determinism contract: a recorder must not feed
+/// anything back into the simulation — recording is strictly write-only
+/// from the sim's point of view.
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// Record one event. Must not panic.
+    fn record(&self, event: Event);
+}
+
+/// A cheap, cloneable, possibly-absent reference to a recorder.
+///
+/// The default handle is disabled; [`RecorderHandle::is_enabled`] is a
+/// single `Option` check, which is what makes `emit!` free when tracing
+/// is off.
+#[derive(Debug, Clone, Default)]
+pub struct RecorderHandle(Option<Arc<dyn Recorder>>);
+
+impl RecorderHandle {
+    /// A handle that records nothing.
+    pub const fn disabled() -> Self {
+        RecorderHandle(None)
+    }
+
+    /// A handle recording into `rec`.
+    pub fn new(rec: Arc<dyn Recorder>) -> Self {
+        RecorderHandle(Some(rec))
+    }
+
+    /// True when a recorder is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Forward an event to the recorder, if any.
+    #[inline]
+    pub fn record(&self, event: Event) {
+        if let Some(r) = &self.0 {
+            r.record(event);
+        }
+    }
+}
+
+/// The process-global recorder slot.
+///
+/// Devices and runners capture [`current()`] at construction, so installing
+/// a recorder *before* building a figure traces the whole run without any
+/// signature changes; explicit `set_recorder` calls override per component.
+static GLOBAL: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+fn read_global() -> Option<Arc<dyn Recorder>> {
+    match GLOBAL.read() {
+        Ok(g) => g.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
+/// Install `rec` as the process-global recorder, returning the previous
+/// one, if any.
+pub fn install(rec: Arc<dyn Recorder>) -> Option<Arc<dyn Recorder>> {
+    match GLOBAL.write() {
+        Ok(mut g) => g.replace(rec),
+        Err(poisoned) => poisoned.into_inner().replace(rec),
+    }
+}
+
+/// Remove and return the process-global recorder.
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    match GLOBAL.write() {
+        Ok(mut g) => g.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    }
+}
+
+/// A handle to the currently installed global recorder (disabled when none
+/// is installed). The handle snapshots the slot: later `install` calls do
+/// not retarget handles already captured.
+pub fn current() -> RecorderHandle {
+    RecorderHandle(read_global())
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    events: VecDeque<Event>,
+    counts: BTreeMap<&'static str, u64>,
+    total: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe event ring buffer.
+///
+/// Holds the most recent `capacity` events; older events are dropped (and
+/// counted) rather than growing without bound, so an `EventLog` can stay
+/// attached to a long fleet run. Per-kind counts cover *all* events ever
+/// recorded, including dropped ones — counting never saturates.
+pub struct EventLog {
+    inner: Mutex<LogInner>,
+    capacity: usize,
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.events.len())
+            .field("total", &inner.total)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Default ring capacity: enough for a full `policy_eval` trace.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// An event log retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(LogInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LogInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Per-kind event counts over everything ever recorded (sorted by
+    /// kind name).
+    pub fn counts(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counts
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect()
+    }
+
+    /// Total events ever recorded (including dropped).
+    pub fn total(&self) -> u64 {
+        self.lock().total
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Discard all retained events and counts.
+    pub fn clear(&self) {
+        *self.lock() = LogInner::default();
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Recorder for EventLog {
+    fn record(&self, event: Event) {
+        let mut inner = self.lock();
+        *inner.counts.entry(event.kind.name()).or_insert(0) += 1;
+        inner.total += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use powadapt_sim::SimTime;
+
+    fn ev(ns: u64) -> Event {
+        Event {
+            at: SimTime::from_nanos(ns),
+            track: "t".into(),
+            kind: EventKind::SpinUp,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = RecorderHandle::disabled();
+        assert!(!h.is_enabled());
+        h.record(ev(0)); // must not panic
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let log = EventLog::new(2);
+        log.record(ev(1));
+        log.record(ev(2));
+        log.record(ev(3));
+        let events: Vec<u64> = log.snapshot().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(events, vec![2, 3]);
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.counts(), vec![("spin_up".to_string(), 3)]);
+    }
+
+    #[test]
+    fn handle_records_through_arc() {
+        let log = Arc::new(EventLog::new(8));
+        let h = RecorderHandle::new(log.clone());
+        assert!(h.is_enabled());
+        h.record(ev(7));
+        assert_eq!(log.total(), 1);
+    }
+}

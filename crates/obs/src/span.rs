@@ -1,0 +1,230 @@
+//! Span-based sim-time profiling: per-label self/total aggregation and
+//! collapsed-stack flamegraph export.
+//!
+//! Spans are recorded as [`EventKind::Span`] events — start time plus a
+//! known sim-time duration (the simulator schedules completions up front,
+//! so durations are known at span start). Nesting is reconstructed per
+//! track from interval containment: span B is a child of span A when B
+//! lies inside A's `[start, end]` and A is the innermost such span. That
+//! keeps the hot emit path allocation-free of bookkeeping — no enter/exit
+//! pairing, no thread-local stacks — and the reconstruction is exact for
+//! a single run, where sim time never goes backwards within a track.
+//! When one track carries several concurrent runs (parallel sweep cells
+//! reuse device labels), their spans interleave; partial overlaps are
+//! treated as siblings, never as nesting, so stacks stay bounded by true
+//! containment depth.
+
+use std::collections::BTreeMap;
+
+use powadapt_sim::SimTime;
+
+use crate::event::{Event, EventKind};
+
+/// Aggregated sim-time cost of one span label within one track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Number of spans with this label.
+    pub count: u64,
+    /// Total nanoseconds, including child spans.
+    pub total_ns: u64,
+    /// Self nanoseconds: total minus direct children.
+    pub self_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SpanRec {
+    start: SimTime,
+    end: SimTime,
+    label: String,
+}
+
+/// Extracts `(track, spans)` sorted by start time (stable on ties, which
+/// preserves emit order — outer spans are emitted before inner ones that
+/// start at the same instant).
+fn spans_by_track(events: &[Event]) -> BTreeMap<String, Vec<SpanRec>> {
+    let mut by_track: BTreeMap<String, Vec<SpanRec>> = BTreeMap::new();
+    for e in events {
+        if let EventKind::Span { label, dur } = &e.kind {
+            by_track.entry(e.track.clone()).or_default().push(SpanRec {
+                start: e.at,
+                end: e.at + *dur,
+                label: label.clone(),
+            });
+        }
+    }
+    for spans in by_track.values_mut() {
+        spans.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+    }
+    by_track
+}
+
+/// Walks one track's spans with an explicit enclosure stack, invoking
+/// `visit(stack_labels, span, self_ns)` for every span once its direct
+/// children are known. `stack_labels` excludes the span itself.
+fn walk_track(spans: &[SpanRec], mut visit: impl FnMut(&[String], &SpanRec, u64)) {
+    // Stack entries: (span index, accumulated child nanos).
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+
+    let pop_top = |stack: &mut Vec<(usize, u64)>,
+                   labels: &mut Vec<String>,
+                   visit: &mut dyn FnMut(&[String], &SpanRec, u64)| {
+        if let Some((top, child_ns)) = stack.pop() {
+            labels.pop();
+            let total = spans[top].end.duration_since(spans[top].start).as_nanos();
+            let self_ns = total.saturating_sub(child_ns);
+            visit(labels, &spans[top], self_ns);
+            // Credit this span's total to its parent as child time.
+            if let Some(last) = stack.last_mut() {
+                last.1 += total;
+            }
+        }
+    };
+
+    for (i, s) in spans.iter().enumerate() {
+        // Close spans that ended before `s` starts.
+        while stack
+            .last()
+            .is_some_and(|&(top, _)| spans[top].end <= s.start)
+        {
+            pop_top(&mut stack, &mut labels, &mut visit);
+        }
+        // A span still open here is `s`'s parent only if it *fully*
+        // contains `s`. Partial overlap means interleaving, not nesting —
+        // one track can carry several concurrent runs (parallel sweep
+        // cells reuse device labels), and stacking overlaps would let the
+        // enclosure stack grow without bound. Close them as siblings.
+        while stack.last().is_some_and(|&(top, _)| spans[top].end < s.end) {
+            pop_top(&mut stack, &mut labels, &mut visit);
+        }
+        stack.push((i, 0));
+        labels.push(s.label.clone());
+    }
+    while !stack.is_empty() {
+        pop_top(&mut stack, &mut labels, &mut visit);
+    }
+}
+
+/// Per-`(track, label)` self/total aggregation over every span event.
+/// Keys are `"track/label"`, sorted.
+pub fn span_totals(events: &[Event]) -> BTreeMap<String, SpanStat> {
+    let mut totals: BTreeMap<String, SpanStat> = BTreeMap::new();
+    for (track, spans) in spans_by_track(events) {
+        walk_track(&spans, |_stack, span, self_ns| {
+            let stat = totals.entry(format!("{track}/{}", span.label)).or_default();
+            stat.count += 1;
+            stat.total_ns += span.end.duration_since(span.start).as_nanos();
+            stat.self_ns += self_ns;
+        });
+    }
+    totals
+}
+
+/// Collapsed-stack flamegraph text: one `track;label;label... self_ns`
+/// line per unique stack, sorted, weights in sim-time nanoseconds. Feed
+/// to any FlameGraph renderer (`flamegraph.pl`, speedscope, inferno).
+pub fn collapsed_stacks(events: &[Event]) -> String {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for (track, spans) in spans_by_track(events) {
+        walk_track(&spans, |stack, span, self_ns| {
+            if self_ns == 0 {
+                return;
+            }
+            let mut frame = String::from(track.as_str());
+            for s in stack {
+                frame.push(';');
+                frame.push_str(s);
+            }
+            frame.push(';');
+            frame.push_str(&span.label);
+            *weights.entry(frame).or_insert(0) += self_ns;
+        });
+    }
+    let mut out = String::new();
+    for (frame, w) in &weights {
+        out.push_str(frame);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_sim::SimDuration;
+
+    fn span(track: &str, label: &str, start_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            at: SimTime::from_nanos(start_ns),
+            track: track.into(),
+            kind: EventKind::Span {
+                label: label.into(),
+                dur: SimDuration::from_nanos(dur_ns),
+            },
+        }
+    }
+
+    #[test]
+    fn nesting_splits_self_time() {
+        // outer [0,100] contains inner [20,50]: outer self = 70.
+        let events = vec![
+            span("t", "outer", 0, 100),
+            span("t", "inner", 20, 30),
+            span("t", "outer", 200, 10),
+        ];
+        let totals = span_totals(&events);
+        let outer = totals["t/outer"];
+        assert_eq!(outer.count, 2);
+        assert_eq!(outer.total_ns, 110);
+        assert_eq!(outer.self_ns, 80);
+        let inner = totals["t/inner"];
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.self_ns, 30);
+    }
+
+    #[test]
+    fn collapsed_stacks_nest_labels() {
+        let events = vec![span("t", "outer", 0, 100), span("t", "inner", 20, 30)];
+        let text = collapsed_stacks(&events);
+        assert!(text.contains("t;outer 70\n"));
+        assert!(text.contains("t;outer;inner 30\n"));
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let events = vec![span("a", "x", 0, 10), span("b", "x", 0, 50)];
+        let totals = span_totals(&events);
+        assert_eq!(totals["a/x"].total_ns, 10);
+        assert_eq!(totals["b/x"].total_ns, 50);
+    }
+
+    #[test]
+    fn partial_overlap_is_interleaving_not_nesting() {
+        // Two concurrent runs sharing one track (parallel sweep cells
+        // reuse device labels): [0,100] and [50,150] overlap without
+        // containment. Neither may become the other's child, and the
+        // stack must not grow with each interleaved pair.
+        let events = vec![
+            span("t", "a", 0, 100),
+            span("t", "b", 50, 100),
+            span("t", "c", 120, 10),
+        ];
+        let text = collapsed_stacks(&events);
+        assert!(text.contains("t;a 100\n"), "a is not b's child: {text}");
+        assert!(text.contains("t;b 90\n"), "b is not a's child: {text}");
+        assert!(text.contains("t;b;c 10\n"), "c is truly inside b: {text}");
+        let totals = span_totals(&events);
+        assert_eq!(totals["t/a"].self_ns, 100);
+        assert_eq!(totals["t/b"].self_ns, 90);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let events = vec![span("t", "a", 0, 10), span("t", "b", 10, 10)];
+        let text = collapsed_stacks(&events);
+        assert!(text.contains("t;a 10\n"));
+        assert!(text.contains("t;b 10\n"));
+    }
+}

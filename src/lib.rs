@@ -8,6 +8,7 @@
 //! | Layer | Crate | What it models |
 //! |-------|-------|----------------|
 //! | [`sim`] | `powadapt-sim` | event queue, virtual time, deterministic RNG, rolling averages |
+//! | [`obs`] | `powadapt-obs` | sim-time event tracing, metrics registry, Perfetto/flamegraph export |
 //! | [`device`] | `powadapt-device` | the paper's SSDs and HDD: NAND dies, write buffers, power-cap governors, ALPM standby, spin-up/down |
 //! | [`meter`] | `powadapt-meter` | the shunt → amplifier → 24-bit-ADC rig sampling at 1 kHz |
 //! | [`io`] | `powadapt-io` | fio-like jobs, the experiment runner, parameter sweeps |
@@ -47,4 +48,5 @@ pub use powadapt_device as device;
 pub use powadapt_io as io;
 pub use powadapt_meter as meter;
 pub use powadapt_model as model;
+pub use powadapt_obs as obs;
 pub use powadapt_sim as sim;

@@ -1,0 +1,133 @@
+//! Observability determinism suite: recording must be strictly write-only.
+//!
+//! Two invariants are pinned here, both required by the tracing subsystem's
+//! design contract (see DESIGN.md §6):
+//!
+//! 1. **Tracing never perturbs results.** Every golden figure summary is
+//!    byte-identical with a full `TraceRecorder` installed — the same
+//!    fixtures `tests/parallel_equivalence.rs` checks with the recorder
+//!    off.
+//! 2. **Event counts are deterministic.** The canonical traced scenario
+//!    (fault-injected fleet sweep + closed-loop controller rounds) produces
+//!    the committed per-kind event counts at every worker count, even
+//!    though the interleaving of events in the ring is scheduling-
+//!    dependent.
+
+// Tests assert on exact expected values; unwraps and bit-exact float
+// comparisons are deliberate here (see workspace lints).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use std::fs;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use powadapt::io::ParallelConfig;
+use powadapt::obs::{self, TraceRecorder};
+use powadapt_bench::golden::{
+    figure_summary, golden_scale, goldens_dir, obs_events_summary, FIGURES, GOLDEN_SEED,
+    OBS_FIXTURE,
+};
+
+/// The process-global recorder slot is shared across the test threads of
+/// this binary; every test that installs a recorder serializes on this.
+static GLOBAL_SLOT: Mutex<()> = Mutex::new(());
+
+fn committed_fixture(name: &str) -> String {
+    let path = goldens_dir().join(format!("{name}.json"));
+    fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             regenerate with: cargo run -p powadapt-bench --bin regen_goldens",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn goldens_are_byte_identical_with_full_tracing_on() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Arc::new(TraceRecorder::new(1 << 16));
+    obs::install(rec.clone());
+    let scale = golden_scale();
+    for name in FIGURES {
+        let traced = figure_summary(name, scale, GOLDEN_SEED, &ParallelConfig::sequential());
+        assert_eq!(
+            traced,
+            committed_fixture(name),
+            "{name}: figure output changed while tracing was enabled — \
+             a recorder must be write-only"
+        );
+    }
+    obs::uninstall();
+    assert!(
+        rec.log().total() > 0,
+        "tracing was enabled but the figure runs recorded nothing"
+    );
+}
+
+#[test]
+fn obs_event_counts_match_fixture_at_every_worker_count() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let seq = obs_events_summary(&ParallelConfig::sequential());
+    assert_eq!(
+        seq,
+        committed_fixture(OBS_FIXTURE),
+        "{OBS_FIXTURE}: event counts drifted from the committed fixture.\n\
+         If the change is intentional, regenerate the fixtures with\n\
+         `cargo run -p powadapt-bench --bin regen_goldens` and commit them."
+    );
+    for workers in [2usize, 8] {
+        let par = obs_events_summary(&ParallelConfig::with_workers(workers));
+        assert_eq!(seq, par, "obs event counts diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn traced_scenario_exports_chrome_trace_and_flamegraph() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Arc::new(TraceRecorder::new(1 << 16));
+    obs::install(rec.clone());
+    let spec = powadapt::io::OpenLoopSpec {
+        arrivals: powadapt::io::Arrivals::Poisson { rate_iops: 1_000.0 },
+        block_size: 64 * 1024,
+        read_fraction: 0.5,
+        pattern: powadapt::io::AccessPattern::Random,
+        region: (0, powadapt::device::GIB),
+        duration: powadapt::sim::SimDuration::from_millis(100),
+        seed: 5,
+        zipf_theta: None,
+    };
+    let mut devices: Vec<Box<dyn powadapt::device::StorageDevice>> = (0..2)
+        .map(|i| {
+            Box::new(powadapt::device::catalog::ssd3_d3_p4510(300 + i))
+                as Box<dyn powadapt::device::StorageDevice>
+        })
+        .collect();
+    let mut router = powadapt::io::LeastLoadedRouter::default();
+    powadapt::io::run_fleet(
+        &mut devices,
+        &mut router,
+        &spec,
+        powadapt::sim::SimDuration::from_millis(20),
+    )
+    .expect("traced fleet runs");
+    obs::uninstall();
+
+    let events = rec.log().snapshot();
+    assert!(!events.is_empty());
+    let json = obs::chrome_trace(&events);
+    assert!(json.starts_with('{'), "chrome trace must be a JSON object");
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\": \"X\""), "expected complete spans");
+    assert!(
+        json.contains("\"ph\": \"C\""),
+        "expected power counter track"
+    );
+    let folded = obs::collapsed_stacks(&events);
+    assert!(
+        folded.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, n)| n.parse::<u64>().is_ok())),
+        "collapsed stacks must end in an integer self-time"
+    );
+    assert!(!folded.is_empty(), "die spans should fold into stacks");
+}
