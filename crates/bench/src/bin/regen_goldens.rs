@@ -8,8 +8,8 @@
 use std::fs;
 
 use powadapt_bench::golden::{
-    figure_summary, golden_scale, goldens_dir, obs_events_summary, FIGURES, GOLDEN_SEED,
-    OBS_FIXTURE,
+    cluster_eval_summary, figure_summary, golden_scale, goldens_dir, obs_events_summary,
+    CLUSTER_FIXTURE, FIGURES, GOLDEN_SEED, OBS_FIXTURE,
 };
 use powadapt_io::ParallelConfig;
 
@@ -36,5 +36,6 @@ fn main() {
         write_fixture(&dir, name, &summary);
     }
     write_fixture(&dir, OBS_FIXTURE, &obs_events_summary(&cfg));
+    write_fixture(&dir, CLUSTER_FIXTURE, &cluster_eval_summary(&cfg));
     println!("fixtures written to {}", dir.display());
 }

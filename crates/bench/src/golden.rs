@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use powadapt_cluster::ClusterReport;
 use powadapt_core::AdaptiveController;
 use powadapt_device::{catalog, FaultInjector, FaultPlan, PowerStateId, StorageDevice, GIB, KIB};
 use powadapt_io::{
@@ -437,6 +438,114 @@ pub fn obs_events_summary(cfg: &ParallelConfig) -> String {
             .join(", ")
     ));
     doc(OBS_FIXTURE, GOLDEN_SEED, &rows)
+}
+
+/// Name of the committed cluster-evaluation fixture
+/// (`crates/bench/goldens/cluster_eval.json`).
+pub const CLUSTER_FIXTURE: &str = "cluster_eval";
+
+fn cluster_cell(policy: powadapt_cluster::SelectionPolicy, seed: u64) -> ClusterReport {
+    powadapt_cluster::run_cluster(powadapt_cluster::oversubscribed_cluster(policy, seed))
+        .expect("cluster cell runs")
+}
+
+fn cluster_report_row(r: &ClusterReport) -> String {
+    format!(
+        "{{\"policy\": \"{}\", \"bytes\": {}, \"served\": {}, \"dropped\": {}, \"replans\": {}, \"infeasible\": {}, \"throughput_bps\": {}, \"caps_respected\": {}, \"peak_cap_utilization\": {}}}",
+        r.policy,
+        r.total_bytes,
+        r.served_ios,
+        r.dropped,
+        r.replans,
+        r.infeasible_rounds,
+        jf(r.aggregate_throughput_bps()),
+        r.caps_respected(),
+        jf(r.peak_cap_utilization())
+    )
+}
+
+/// Runs the canonical oversubscribed-cluster scenario — both selection
+/// policies at two seeds, as a parallel cell sweep under a fresh recorder —
+/// and returns the canonical JSON summary: per-cell service/power
+/// accounting, per-node peaks and grants, the model-vs-uniform win ratio
+/// per seed, and the per-kind trace event counts.
+///
+/// Every value is a pure function of the cell `(policy, seed)`: the
+/// summary is byte-identical at every worker count.
+///
+/// # Panics
+///
+/// Panics if a cluster run fails — the fixture pins a healthy pipeline.
+pub fn cluster_eval_summary(cfg: &ParallelConfig) -> String {
+    use powadapt_cluster::SelectionPolicy;
+
+    let rec = Arc::new(TraceRecorder::new(1 << 16));
+    let prev = powadapt_obs::install(rec.clone());
+    let seeds = [GOLDEN_SEED, GOLDEN_SEED + 1];
+    let cells: Vec<(SelectionPolicy, u64)> = seeds
+        .iter()
+        .flat_map(|&s| {
+            [
+                (SelectionPolicy::ModelDriven, s),
+                (SelectionPolicy::UniformStatic, s),
+            ]
+        })
+        .collect();
+    let reports =
+        powadapt_io::run_cells(&cells, cfg, |_, &(policy, seed)| cluster_cell(policy, seed));
+    match prev {
+        Some(p) => {
+            powadapt_obs::install(p);
+        }
+        None => {
+            powadapt_obs::uninstall();
+        }
+    }
+
+    let mut rows = Vec::new();
+    for ((_, seed), report) in cells.iter().zip(&reports) {
+        rows.push(format!(
+            "{{\"seed\": {seed}, \"report\": {}}}",
+            cluster_report_row(report)
+        ));
+        for n in &report.nodes {
+            rows.push(format!(
+                "{{\"seed\": {seed}, \"policy\": \"{}\", \"node\": \"{}\", \"cap_w\": {}, \"max_w\": {}, \"mean_w\": {}, \"granted_w\": {}}}",
+                report.policy,
+                n.path,
+                jf(n.cap_w),
+                jf(n.max_power_w),
+                jf(n.mean_power_w),
+                jf(n.granted_w)
+            ));
+        }
+        for t in &report.tenants {
+            rows.push(format!(
+                "{{\"seed\": {seed}, \"policy\": \"{}\", \"tenant\": \"{}\", \"served\": {}, \"bytes\": {}, \"p99_us\": {}, \"slo_ok\": {}}}",
+                report.policy, t.name, t.served, t.bytes, jf(t.p99_latency_us), t.slo_ok
+            ));
+        }
+    }
+    for (i, &seed) in seeds.iter().enumerate() {
+        let model = &reports[2 * i];
+        let uniform = &reports[2 * i + 1];
+        rows.push(format!(
+            "{{\"seed\": {seed}, \"win_ratio\": {}}}",
+            jf(model.aggregate_throughput_bps() / uniform.aggregate_throughput_bps())
+        ));
+    }
+    let mut counts: Vec<String> = rec
+        .log()
+        .counts()
+        .iter()
+        .map(|(kind, n)| format!("{{\"kind\": \"{kind}\", \"count\": {n}}}"))
+        .collect();
+    counts.push(format!(
+        "{{\"kind\": \"total\", \"count\": {}}}",
+        rec.log().total()
+    ));
+    rows.extend(counts);
+    doc(CLUSTER_FIXTURE, GOLDEN_SEED, &rows)
 }
 
 /// Produces the canonical JSON summary of one figure under the given

@@ -1,0 +1,136 @@
+//! Online configuration selection: turning a granted budget into device
+//! power states.
+//!
+//! Two policies, deliberately asymmetric in sophistication:
+//!
+//! - [`SelectionPolicy::ModelDriven`] queries the measured Fig 10
+//!   power-throughput models through the enclosure's
+//!   [`AdaptiveController`](powadapt_core::AdaptiveController): every time
+//!   the tree revises the enclosure's budget, the controller re-solves the
+//!   knapsack and re-plans device power states.
+//! - [`SelectionPolicy::UniformStatic`] is the naive baseline the paper's
+//!   oversubscription argument is made against: split the cluster cap
+//!   uniformly across devices once, pin each device to the best
+//!   configuration under its share, and park devices whose cheapest
+//!   configuration does not fit — exactly how a heterogeneous fleet
+//!   strands its fastest drives.
+
+use powadapt_model::{ConfigPoint, PowerThroughputModel};
+
+/// How the cluster turns budgets into device configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Re-plan through each enclosure's adaptive controller on every
+    /// budget revision.
+    ModelDriven,
+    /// One uniform per-device share of the cluster cap, chosen once.
+    UniformStatic,
+}
+
+impl SelectionPolicy {
+    /// Stable name, used in reports and golden fixtures.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SelectionPolicy::ModelDriven => "model_driven",
+            SelectionPolicy::UniformStatic => "uniform_static",
+        }
+    }
+}
+
+impl std::fmt::Display for SelectionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Sum of the models' minimum powers: the lowest budget the enclosure can
+/// operate every device at.
+pub fn fleet_floor_w(models: &[PowerThroughputModel]) -> f64 {
+    models.iter().map(PowerThroughputModel::min_power_w).sum()
+}
+
+/// Sum of the models' maximum powers: the budget the enclosure could use
+/// fully.
+pub fn fleet_max_w(models: &[PowerThroughputModel]) -> f64 {
+    models.iter().map(PowerThroughputModel::max_power_w).sum()
+}
+
+/// The uniform-share baseline: for each device, the throughput-best
+/// configuration point whose power fits `share_w`, or `None` when even the
+/// cheapest configuration does not fit (the device sits idle, stranded).
+pub fn uniform_choices(models: &[PowerThroughputModel], share_w: f64) -> Vec<Option<ConfigPoint>> {
+    models
+        .iter()
+        .map(|m| {
+            m.points()
+                .iter()
+                .filter(|p| p.power_w() <= share_w)
+                .max_by(|a, b| a.throughput_bps().total_cmp(&b.throughput_bps()))
+                .cloned()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powadapt_device::{PowerStateId, KIB};
+    use powadapt_io::Workload;
+
+    fn pt(device: &str, ps: u8, power: f64, thr: f64) -> ConfigPoint {
+        ConfigPoint::new(
+            device,
+            Workload::RandWrite,
+            PowerStateId(ps),
+            256 * KIB,
+            64,
+            power,
+            thr,
+        )
+    }
+
+    fn models() -> Vec<PowerThroughputModel> {
+        vec![
+            PowerThroughputModel::from_points(
+                "A",
+                vec![pt("A", 1, 6.5, 1.9e9), pt("A", 2, 5.4, 1.1e9)],
+            )
+            .unwrap(),
+            PowerThroughputModel::from_points(
+                "B",
+                vec![pt("B", 1, 12.0, 2.3e9), pt("B", 2, 10.0, 1.6e9)],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn floors_and_maxima_sum() {
+        let m = models();
+        assert_eq!(fleet_floor_w(&m), 15.4);
+        assert_eq!(fleet_max_w(&m), 18.5);
+    }
+
+    #[test]
+    fn uniform_share_strands_devices_that_cannot_fit() {
+        let m = models();
+        let choices = uniform_choices(&m, 7.0);
+        // A fits at its ps1 best; B's cheapest point needs 10 W > 7 W.
+        assert_eq!(choices[0].as_ref().unwrap().power_w(), 6.5);
+        assert!(choices[1].is_none());
+    }
+
+    #[test]
+    fn generous_share_picks_peaks() {
+        let m = models();
+        let choices = uniform_choices(&m, 20.0);
+        assert_eq!(choices[0].as_ref().unwrap().throughput_bps(), 1.9e9);
+        assert_eq!(choices[1].as_ref().unwrap().throughput_bps(), 2.3e9);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(SelectionPolicy::ModelDriven.as_str(), "model_driven");
+        assert_eq!(SelectionPolicy::UniformStatic.to_string(), "uniform_static");
+    }
+}

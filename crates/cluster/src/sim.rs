@@ -1,0 +1,792 @@
+//! The cluster simulation: a power tree over per-enclosure adaptive
+//! controllers, driven by multi-tenant open-loop workloads.
+//!
+//! One lockstep event loop advances every device in the cluster together
+//! (so node-level power sums are coherent), merges the tenants' arrival
+//! streams in time order, and runs a control round on a fixed interval:
+//! enclosures report demands, the tree rebalances, and revised budgets
+//! cascade into [`AdaptiveController::apply_budget`] re-plans. Per-tenant
+//! latencies land in [`SloWindow`]s; per-node power is sampled on its own
+//! interval, tracked against the node's physical cap, and emitted as
+//! Perfetto counter tracks for rack-level nodes.
+//!
+//! Everything is a pure function of `ClusterSpec` (tree shape, device
+//! seeds, tenant seeds derived from the cluster seed): re-running a spec
+//! reproduces the report bit for bit at any worker count.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use powadapt_core::{AdaptiveController, ControlError, DeviceAction, Slo, SloWindow};
+use powadapt_device::{DeviceError, IoId, IoRequest, StorageDevice};
+use powadapt_io::Arrival;
+use powadapt_model::PowerThroughputModel;
+use powadapt_obs::{emit, EventKind};
+use powadapt_sim::units::Micros;
+use powadapt_sim::{SimDuration, SimTime};
+
+use crate::selector::{fleet_floor_w, fleet_max_w, uniform_choices, SelectionPolicy};
+use crate::tenant::{TenantSpec, TenantStream};
+use crate::tree::{Demand, NodeKind, PowerTree, TreeError};
+
+/// One leaf enclosure: its devices and their measured power-throughput
+/// models (same label pairing [`AdaptiveController::new`] requires).
+#[derive(Debug)]
+pub struct EnclosureSpec {
+    /// Enclosure name, used for device trace tracks.
+    pub name: String,
+    /// The enclosure's devices.
+    pub devices: Vec<Box<dyn StorageDevice>>,
+    /// Model for each device, in device order.
+    pub models: Vec<PowerThroughputModel>,
+}
+
+/// Full specification of a cluster run.
+#[derive(Debug)]
+pub struct ClusterSpec {
+    /// The power-distribution tree.
+    pub tree: PowerTree,
+    /// One enclosure per tree leaf, parallel to [`PowerTree::leaves`].
+    pub enclosures: Vec<EnclosureSpec>,
+    /// The tenants sharing the cluster.
+    pub tenants: Vec<TenantSpec>,
+    /// Budget-to-configuration policy.
+    pub policy: SelectionPolicy,
+    /// Control-round interval (demand → rebalance → re-plan).
+    pub control_interval: SimDuration,
+    /// Node power sampling interval.
+    pub sample_interval: SimDuration,
+    /// Planning fraction of each physical cap, in `(0, 1]`; the headroom
+    /// left absorbs device-level power noise above the plan.
+    pub planning_margin: f64,
+    /// Run duration.
+    pub duration: SimDuration,
+    /// Root seed; tenant stream seeds derive from it.
+    pub seed: u64,
+}
+
+/// Errors from a cluster run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The spec failed validation; the message names the problem.
+    InvalidSpec(String),
+    /// The power tree rejected its configuration or a rebalance round.
+    Tree(TreeError),
+    /// An enclosure controller failed (mismatched models, or every device
+    /// refused its action).
+    Control(ControlError),
+    /// A device rejected an operation with a non-transient error.
+    Device(DeviceError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidSpec(m) => write!(f, "invalid cluster spec: {m}"),
+            ClusterError::Tree(e) => write!(f, "power tree error: {e}"),
+            ClusterError::Control(e) => write!(f, "controller error: {e}"),
+            ClusterError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Tree(e) => Some(e),
+            ClusterError::Control(e) => Some(e),
+            ClusterError::Device(e) => Some(e),
+            ClusterError::InvalidSpec(_) => None,
+        }
+    }
+}
+
+impl From<TreeError> for ClusterError {
+    fn from(e: TreeError) -> Self {
+        ClusterError::Tree(e)
+    }
+}
+
+impl From<ControlError> for ClusterError {
+    fn from(e: ControlError) -> Self {
+        ClusterError::Control(e)
+    }
+}
+
+impl From<DeviceError> for ClusterError {
+    fn from(e: DeviceError) -> Self {
+        ClusterError::Device(e)
+    }
+}
+
+/// Power accounting for one tree node over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Slash-separated path from the root.
+    pub path: String,
+    /// Level of the node.
+    pub kind: NodeKind,
+    /// Physical cap, in watts.
+    pub cap_w: f64,
+    /// Highest sampled subtree power, in watts.
+    pub max_power_w: f64,
+    /// Mean sampled subtree power, in watts.
+    pub mean_power_w: f64,
+    /// Budget granted in the final control round, in watts (the static
+    /// uniform share totals under [`SelectionPolicy::UniformStatic`]).
+    pub granted_w: f64,
+}
+
+impl NodeReport {
+    /// True while the node never exceeded its physical cap.
+    pub fn within_cap(&self) -> bool {
+        self.max_power_w <= self.cap_w + 1e-9
+    }
+}
+
+/// Service accounting for one tenant over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Arrivals submitted to a device.
+    pub submitted: u64,
+    /// IOs completed within the run.
+    pub served: u64,
+    /// Bytes completed within the run.
+    pub bytes: u64,
+    /// Arrivals dropped because no routable device accepted them.
+    pub dropped: u64,
+    /// Mean completion latency, in microseconds (0 when nothing served).
+    pub mean_latency_us: f64,
+    /// P99 completion latency, in microseconds (0 when nothing served).
+    pub p99_latency_us: f64,
+    /// Whether the tenant's [`Slo`] held over the run.
+    pub slo_ok: bool,
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// The policy that produced this run.
+    pub policy: SelectionPolicy,
+    /// Per-node power accounting, indexed like the tree's nodes.
+    pub nodes: Vec<NodeReport>,
+    /// Per-tenant service accounting, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Run duration.
+    pub duration: SimDuration,
+    /// Total bytes completed across tenants.
+    pub total_bytes: u64,
+    /// Total IOs completed across tenants.
+    pub served_ios: u64,
+    /// Control rounds executed (0 under the static baseline).
+    pub rebalance_rounds: u64,
+    /// Budget revisions that reached a controller re-plan.
+    pub replans: u64,
+    /// Control rounds where a grant was below an enclosure's floor and the
+    /// previous configuration was kept.
+    pub infeasible_rounds: u64,
+    /// Arrivals dropped across tenants.
+    pub dropped: u64,
+}
+
+impl ClusterReport {
+    /// Aggregate goodput over the run, in bytes per second.
+    pub fn aggregate_throughput_bps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / secs
+        }
+    }
+
+    /// True while no node ever exceeded its physical cap.
+    pub fn caps_respected(&self) -> bool {
+        self.nodes.iter().all(NodeReport::within_cap)
+    }
+
+    /// The tightest node: highest `max_power_w / cap_w` across the tree.
+    pub fn peak_cap_utilization(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.max_power_w / n.cap_w)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1} MiB/s aggregate, {} IOs served, {} dropped, {} re-plans ({} rounds)",
+            self.policy,
+            self.aggregate_throughput_bps() / (1024.0 * 1024.0),
+            self.served_ios,
+            self.dropped,
+            self.replans,
+            self.rebalance_rounds,
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  [{:9}] {:24} {:6.2} W max / {:6.2} W cap ({})",
+                n.kind.as_str(),
+                n.path,
+                n.max_power_w,
+                n.cap_w,
+                if n.within_cap() { "ok" } else { "VIOLATED" }
+            )?;
+        }
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  tenant {:12} {:6} served, {:4} dropped, p99 {:8.0} us, slo {}",
+                t.name,
+                t.served,
+                t.dropped,
+                t.p99_latency_us,
+                if t.slo_ok { "met" } else { "MISSED" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+struct TenantAccount {
+    window: SloWindow,
+    slo: Slo,
+    submitted: u64,
+    dropped: u64,
+}
+
+/// Runs a cluster to completion.
+///
+/// # Errors
+///
+/// [`ClusterError::InvalidSpec`] for shape problems (enclosure/leaf
+/// mismatch, empty tenants, zero intervals), [`ClusterError::Tree`] for
+/// tree misconfiguration, [`ClusterError::Control`]/
+/// [`ClusterError::Device`] when a controller or device fails
+/// non-transiently.
+#[allow(clippy::too_many_lines)]
+pub fn run_cluster(spec: ClusterSpec) -> Result<ClusterReport, ClusterError> {
+    let ClusterSpec {
+        tree,
+        enclosures,
+        tenants,
+        policy,
+        control_interval,
+        sample_interval,
+        planning_margin,
+        duration,
+        seed,
+    } = spec;
+
+    let leaves = tree.leaves();
+    if enclosures.len() != leaves.len() {
+        return Err(ClusterError::InvalidSpec(format!(
+            "{} enclosures for {} tree leaves",
+            enclosures.len(),
+            leaves.len()
+        )));
+    }
+    if tenants.is_empty() {
+        return Err(ClusterError::InvalidSpec("no tenants".into()));
+    }
+    if control_interval.is_zero() || sample_interval.is_zero() {
+        return Err(ClusterError::InvalidSpec(
+            "control and sample intervals must be non-zero".into(),
+        ));
+    }
+    if !(planning_margin > 0.0 && planning_margin <= 1.0) {
+        return Err(ClusterError::InvalidSpec(
+            "planning margin must be in (0, 1]".into(),
+        ));
+    }
+    if duration.is_zero() {
+        return Err(ClusterError::InvalidSpec(
+            "duration must be non-zero".into(),
+        ));
+    }
+    tree.validate()?;
+
+    let rec = powadapt_obs::current();
+
+    // Build controllers; keep a model copy per enclosure for demand and
+    // baseline math (the controller owns its own).
+    let mut controllers: Vec<AdaptiveController> = Vec::with_capacity(enclosures.len());
+    let mut enc_models: Vec<Vec<PowerThroughputModel>> = Vec::with_capacity(enclosures.len());
+    let mut enc_names: Vec<String> = Vec::with_capacity(enclosures.len());
+    let mut flat: Vec<(usize, usize)> = Vec::new();
+    for (e, enc) in enclosures.into_iter().enumerate() {
+        if enc.devices.is_empty() {
+            return Err(ClusterError::InvalidSpec(format!(
+                "enclosure {} has no devices",
+                enc.name
+            )));
+        }
+        for d in 0..enc.devices.len() {
+            flat.push((e, d));
+        }
+        enc_models.push(enc.models.clone());
+        enc_names.push(enc.name);
+        let mut ctl = AdaptiveController::new(enc.devices, enc.models)?;
+        for d in 0..ctl.devices().len() {
+            let track = format!("{}.dev{d}", enc_names[e]);
+            ctl.device_mut(d).set_recorder(rec.clone(), track);
+        }
+        controllers.push(ctl);
+    }
+    let n_devices = flat.len();
+
+    let start = controllers[0].devices()[0].now();
+    for ctl in &controllers {
+        for d in ctl.devices() {
+            if d.now() != start {
+                return Err(ClusterError::InvalidSpec(
+                    "devices must start at a common time".into(),
+                ));
+            }
+        }
+    }
+    let t_end = start + duration;
+
+    // Tenant streams and accounts, seeded per tenant.
+    let mut streams: Vec<TenantStream> = Vec::with_capacity(tenants.len());
+    let mut accounts: Vec<TenantAccount> = Vec::with_capacity(tenants.len());
+    for (i, t) in tenants.iter().enumerate() {
+        let stream_seed = powadapt_sim::SimRng::stream_seed(seed, i as u64);
+        let stream =
+            TenantStream::new(t, duration, stream_seed).map_err(ClusterError::InvalidSpec)?;
+        streams.push(stream);
+        accounts.push(TenantAccount {
+            window: SloWindow::new(),
+            slo: t.slo.clone(),
+            submitted: 0,
+            dropped: 0,
+        });
+    }
+    let mut pending: Vec<Option<Arrival>> = streams.iter_mut().map(Iterator::next).collect();
+
+    // Which devices the router may target, per the active plan.
+    let mut routable: Vec<bool> = vec![false; n_devices];
+
+    // Bookkeeping for control rounds and node power accounting.
+    let n_nodes = tree.len();
+    let mut node_max = vec![0.0f64; n_nodes];
+    let mut node_sum = vec![0.0f64; n_nodes];
+    let mut node_samples = 0u64;
+    let mut last_grants = vec![0.0f64; n_nodes];
+    let mut last_applied: Vec<Option<f64>> = vec![None; controllers.len()];
+    let mut rebalance_rounds = 0u64;
+    let mut replans = 0u64;
+    let mut infeasible_rounds = 0u64;
+
+    // In-flight IO ownership: global request id -> tenant index.
+    let mut owners: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut next_id = 0u64;
+
+    // Initial configuration.
+    match policy {
+        SelectionPolicy::UniformStatic => {
+            // The naive contract: every device gets an equal slice of the
+            // cluster's physical cap, decided once, never revisited.
+            let share_w = tree.cap_w(tree.root_id()) / n_devices as f64;
+            for (e, ctl) in controllers.iter_mut().enumerate() {
+                let choices = uniform_choices(&enc_models[e], share_w);
+                for (d, choice) in choices.iter().enumerate() {
+                    let Some(gi) = flat.iter().position(|&(fe, fd)| fe == e && fd == d) else {
+                        continue;
+                    };
+                    match choice {
+                        Some(point) => {
+                            ctl.device_mut(d).set_power_state(point.power_state())?;
+                            routable[gi] = true;
+                        }
+                        None => routable[gi] = false,
+                    }
+                }
+            }
+            // Report the share totals as the tree's static "grants".
+            for (leaf, ctl) in leaves.iter().zip(&controllers) {
+                last_grants[leaf.0] = share_w * ctl.devices().len() as f64;
+            }
+            for id in tree.node_ids() {
+                let descendants_sum: f64 = leaves
+                    .iter()
+                    .filter(|l| tree.ancestors(**l).contains(&id))
+                    .map(|l| last_grants[l.0])
+                    .sum();
+                if descendants_sum > 0.0 {
+                    last_grants[id.0] = descendants_sum;
+                }
+            }
+        }
+        SelectionPolicy::ModelDriven => {
+            control_round(
+                &tree,
+                &leaves,
+                &mut controllers,
+                &enc_models,
+                &flat,
+                planning_margin,
+                start,
+                &mut routable,
+                &mut last_grants,
+                &mut last_applied,
+                &mut replans,
+                &mut infeasible_rounds,
+            )?;
+            rebalance_rounds += 1;
+        }
+    }
+
+    let mut next_control = start + control_interval;
+    let mut next_sample = start;
+
+    loop {
+        // Next event time across arrivals, devices, and the two tickers.
+        let mut t = next_sample.min(next_control);
+        for a in pending.iter().flatten() {
+            t = t.min(start.max(a.at));
+        }
+        for ctl in &mut controllers {
+            for d in 0..ctl.devices().len() {
+                if let Some(dt) = ctl.device_mut(d).next_event() {
+                    t = t.min(dt);
+                }
+            }
+        }
+        if t >= t_end {
+            break;
+        }
+
+        // Advance the whole cluster in lockstep; account completions.
+        for ctl in &mut controllers {
+            for d in 0..ctl.devices().len() {
+                for c in ctl.device_mut(d).advance_to(t) {
+                    if let Some(tenant) = owners.remove(&c.id.0) {
+                        let latency_us =
+                            c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
+                        accounts[tenant]
+                            .window
+                            .observe(Micros::new(latency_us), c.len);
+                    }
+                }
+            }
+        }
+
+        // Admit arrivals due at or before t, merged across tenants in
+        // (time, tenant index) order.
+        loop {
+            let due = pending
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| a.map(|a| (start.max(a.at), i)))
+                .min();
+            let Some((at, tenant)) = due else { break };
+            if at > t {
+                break;
+            }
+            let Some(arrival) = pending[tenant].take() else {
+                break;
+            };
+            pending[tenant] = streams[tenant].next();
+            submit_arrival(
+                &mut controllers,
+                &flat,
+                &routable,
+                &arrival,
+                tenant,
+                &mut next_id,
+                &mut owners,
+                &mut accounts,
+                t,
+            )?;
+        }
+
+        // Control round.
+        if t >= next_control {
+            if policy == SelectionPolicy::ModelDriven {
+                control_round(
+                    &tree,
+                    &leaves,
+                    &mut controllers,
+                    &enc_models,
+                    &flat,
+                    planning_margin,
+                    t,
+                    &mut routable,
+                    &mut last_grants,
+                    &mut last_applied,
+                    &mut replans,
+                    &mut infeasible_rounds,
+                )?;
+                rebalance_rounds += 1;
+            }
+            next_control = t + control_interval;
+        }
+
+        // Node power sampling.
+        if t >= next_sample {
+            sample_nodes(
+                &tree,
+                &leaves,
+                &controllers,
+                t,
+                &mut node_max,
+                &mut node_sum,
+            );
+            node_samples += 1;
+            next_sample = t + sample_interval;
+        }
+    }
+
+    // Close the run at exactly t_end: drain-by-advance and a final sample.
+    for ctl in &mut controllers {
+        for d in 0..ctl.devices().len() {
+            for c in ctl.device_mut(d).advance_to(t_end) {
+                if let Some(tenant) = owners.remove(&c.id.0) {
+                    let latency_us = c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
+                    accounts[tenant]
+                        .window
+                        .observe(Micros::new(latency_us), c.len);
+                }
+            }
+        }
+    }
+    sample_nodes(
+        &tree,
+        &leaves,
+        &controllers,
+        t_end,
+        &mut node_max,
+        &mut node_sum,
+    );
+    node_samples += 1;
+
+    let nodes: Vec<NodeReport> = tree
+        .node_ids()
+        .map(|id| NodeReport {
+            path: tree.path(id),
+            kind: tree.kind(id),
+            cap_w: tree.cap_w(id),
+            max_power_w: node_max[id.0],
+            mean_power_w: node_sum[id.0] / node_samples as f64,
+            granted_w: last_grants[id.0],
+        })
+        .collect();
+    let tenant_reports: Vec<TenantReport> = tenants
+        .iter()
+        .zip(&accounts)
+        .map(|(t, a)| TenantReport {
+            name: t.name.clone(),
+            submitted: a.submitted,
+            served: a.window.len() as u64,
+            bytes: a.window.bytes(),
+            dropped: a.dropped,
+            mean_latency_us: a.window.mean_latency().map_or(0.0, Micros::get),
+            p99_latency_us: a.window.p99_latency().map_or(0.0, Micros::get),
+            slo_ok: a.window.satisfies(&a.slo, duration),
+        })
+        .collect();
+    let total_bytes: u64 = tenant_reports.iter().map(|t| t.bytes).sum();
+    let served_ios: u64 = tenant_reports.iter().map(|t| t.served).sum();
+    let dropped: u64 = tenant_reports.iter().map(|t| t.dropped).sum();
+
+    Ok(ClusterReport {
+        policy,
+        nodes,
+        tenants: tenant_reports,
+        duration,
+        total_bytes,
+        served_ios,
+        rebalance_rounds,
+        replans,
+        infeasible_rounds,
+        dropped,
+    })
+}
+
+/// Marks devices routable per the enclosure's applied plan: `Operate`
+/// actions route, `Standby` (and quarantined devices absent from the
+/// plan) do not. Actions match devices by label, first unclaimed wins.
+fn set_routable_from_plan(
+    routable: &mut [bool],
+    flat: &[(usize, usize)],
+    e: usize,
+    actions: &[(String, DeviceAction)],
+    ctl: &AdaptiveController,
+) {
+    for (gi, &(fe, _)) in flat.iter().enumerate() {
+        if fe == e {
+            routable[gi] = false;
+        }
+    }
+    let mut assigned = vec![false; ctl.devices().len()];
+    for (label, action) in actions {
+        let slot = ctl
+            .devices()
+            .iter()
+            .enumerate()
+            .position(|(d, dev)| !assigned[d] && dev.spec().label() == label);
+        if let Some(d) = slot {
+            assigned[d] = true;
+            if let Some(gi) = flat.iter().position(|&(fe, fd)| fe == e && fd == d) {
+                routable[gi] = matches!(action, DeviceAction::Operate(_));
+            }
+        }
+    }
+}
+
+/// One demand → rebalance → re-plan round of the model-driven policy.
+#[allow(clippy::too_many_arguments)]
+fn control_round(
+    tree: &PowerTree,
+    leaves: &[crate::tree::NodeId],
+    controllers: &mut [AdaptiveController],
+    enc_models: &[Vec<PowerThroughputModel>],
+    flat: &[(usize, usize)],
+    planning_margin: f64,
+    now: SimTime,
+    routable: &mut [bool],
+    last_grants: &mut [f64],
+    last_applied: &mut [Option<f64>],
+    replans: &mut u64,
+    infeasible_rounds: &mut u64,
+) -> Result<(), ClusterError> {
+    let rec = powadapt_obs::current();
+
+    // Demands: the floor is structural; the want tracks backlog — a busy
+    // enclosure asks for its ceiling, an idle one releases everything
+    // above its floor back to the tree.
+    let demands: Vec<Demand> = controllers
+        .iter()
+        .zip(enc_models)
+        .map(|(ctl, models)| {
+            let busy = ctl.devices().iter().any(|d| d.inflight() > 0);
+            let floor_w = fleet_floor_w(models);
+            Demand {
+                floor_w,
+                want_w: if busy { fleet_max_w(models) } else { floor_w },
+            }
+        })
+        .collect();
+
+    let grants = tree.rebalance(&demands, planning_margin)?;
+    for id in tree.node_ids() {
+        let g = grants[id.0];
+        last_grants[id.0] = g.granted_w;
+        emit!(
+            rec,
+            now,
+            "tree",
+            EventKind::RebalanceDecision {
+                node: tree.path(id),
+                cap_w: g.cap_w,
+                granted_w: g.granted_w,
+                demand_w: g.demand_w,
+            }
+        );
+    }
+
+    for (e, leaf) in leaves.iter().enumerate() {
+        let granted_w = grants[leaf.0].granted_w;
+        let unchanged = last_applied[e].is_some_and(|prev| (prev - granted_w).abs() <= 0.05);
+        if unchanged {
+            continue;
+        }
+        match controllers[e].apply_budget(granted_w) {
+            Ok(plan) => {
+                set_routable_from_plan(routable, flat, e, &plan.actions, &controllers[e]);
+                last_applied[e] = Some(granted_w);
+                *replans += 1;
+            }
+            // A grant below the enclosure floor keeps the previous
+            // configuration: the tree guarantees floors when feasible, so
+            // this only happens under pathological margins.
+            Err(ControlError::Infeasible { .. }) => *infeasible_rounds += 1,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Routes and submits one arrival to the least-loaded routable device.
+#[allow(clippy::too_many_arguments)]
+fn submit_arrival(
+    controllers: &mut [AdaptiveController],
+    flat: &[(usize, usize)],
+    routable: &[bool],
+    arrival: &Arrival,
+    tenant: usize,
+    next_id: &mut u64,
+    owners: &mut BTreeMap<u64, usize>,
+    accounts: &mut [TenantAccount],
+    now: SimTime,
+) -> Result<(), ClusterError> {
+    let rec = powadapt_obs::current();
+    let id = *next_id;
+    *next_id += 1;
+
+    // Least-loaded routable device; ties break to the lowest index. A
+    // transient refusal moves on to the next candidate; exhausting all of
+    // them drops the arrival (open loop does not retry later).
+    let mut candidates: Vec<usize> = (0..flat.len()).filter(|&i| routable[i]).collect();
+    candidates.sort_by_key(|&i| {
+        let (e, d) = flat[i];
+        (controllers[e].devices()[d].inflight(), i)
+    });
+    for &gi in &candidates {
+        let (e, d) = flat[gi];
+        let dev = controllers[e].device_mut(d);
+        let cap = dev.spec().capacity();
+        let len = arrival.len.min(cap);
+        let offset = arrival.offset.min(cap - len);
+        match dev.submit(IoRequest::new(IoId(id), arrival.kind, offset, len)) {
+            Ok(()) => {
+                owners.insert(id, tenant);
+                accounts[tenant].submitted += 1;
+                return Ok(());
+            }
+            Err(e) if e.is_transient() => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    accounts[tenant].dropped += 1;
+    emit!(rec, now, "cluster", EventKind::ArrivalDropped { id });
+    Ok(())
+}
+
+/// Samples every node's subtree power and records max/mean, emitting
+/// Perfetto counter tracks for rack-level nodes.
+fn sample_nodes(
+    tree: &PowerTree,
+    leaves: &[crate::tree::NodeId],
+    controllers: &[AdaptiveController],
+    now: SimTime,
+    node_max: &mut [f64],
+    node_sum: &mut [f64],
+) {
+    let rec = powadapt_obs::current();
+    let mut power = vec![0.0f64; tree.len()];
+    for (leaf, ctl) in leaves.iter().zip(controllers) {
+        let p = ctl.measured_power_w();
+        power[leaf.0] += p;
+        for anc in tree.ancestors(*leaf) {
+            power[anc.0] += p;
+        }
+    }
+    for id in tree.node_ids() {
+        let p = power[id.0];
+        node_max[id.0] = node_max[id.0].max(p);
+        node_sum[id.0] += p;
+        if tree.kind(id) == NodeKind::Rack {
+            emit!(rec, now, tree.path(id), EventKind::PowerSample { watts: p });
+        }
+    }
+}

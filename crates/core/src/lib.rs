@@ -55,4 +55,4 @@ pub use policy::routing::{ConsolidatingRouter, WriteSegregationRouter};
 pub use policy::shaping::{choose_config, required_curtailment_bps};
 pub use policy::tiering::{AbsorptionProfile, SpinProfile, TieringPolicy};
 pub use scenario::AdaptiveScenarioRouter;
-pub use slo::Slo;
+pub use slo::{Slo, SloWindow};

@@ -64,6 +64,7 @@ pub fn ssd1_pm9a3(seed: u64) -> Ssd {
         cap_window: SimDuration::from_millis(50),
         burst_factor: 1.1,
         standby: None, // enterprise NVMe: no host-visible standby (§3.2.2)
+        partial: None,
     };
     Ssd::new(spec, cfg, seed)
 }
@@ -109,6 +110,7 @@ pub fn ssd2_d7_p5510(seed: u64) -> Ssd {
         cap_window: SimDuration::from_millis(25),
         burst_factor: 1.1,
         standby: None,
+        partial: None,
     };
     Ssd::new(spec, cfg, seed)
 }
@@ -152,6 +154,7 @@ pub fn ssd3_d3_p4510(seed: u64) -> Ssd {
         cap_window: SimDuration::from_millis(50),
         burst_factor: 1.05,
         standby: None,
+        partial: None,
     };
     Ssd::new(spec, cfg, seed)
 }
@@ -234,6 +237,15 @@ pub fn evo_860(seed: u64) -> Ssd {
             transition_w: 0.55,
             wake_spike_w: 1.25,
         }),
+        // ALPM PARTIAL: modest savings below idle, but a microsecond-scale
+        // exit — the shallow rung of the ladder (§3.2.2).
+        partial: Some(StandbyConfig {
+            standby_w: 0.26,
+            enter: SimDuration::from_micros(30),
+            exit: SimDuration::from_micros(120),
+            transition_w: 0.4,
+            wake_spike_w: 0.7,
+        }),
     };
     Ssd::new(spec, cfg, seed)
 }
@@ -280,6 +292,7 @@ pub fn pm1743(seed: u64) -> Ssd {
         cap_window: SimDuration::from_millis(25),
         burst_factor: 1.1,
         standby: None,
+        partial: None,
     };
     Ssd::new(spec, cfg, seed)
 }
@@ -372,5 +385,24 @@ mod tests {
         assert!(evo_860(1).config().standby.is_some());
         let mut hdd = hdd_exos_7e2000(1);
         assert!(hdd.request_standby().is_ok());
+    }
+
+    #[test]
+    fn only_evo_implements_the_full_alpm_ladder() {
+        use crate::power::StandbyDepth;
+        let evo = evo_860(1);
+        let ladder = evo.config().partial.as_ref().expect("EVO has PARTIAL");
+        let slumber = evo.config().standby.as_ref().expect("EVO has SLUMBER");
+        // The ladder is ordered: PARTIAL saves less but exits far faster.
+        assert!(ladder.standby_w > slumber.standby_w);
+        assert!(ladder.exit < slumber.exit);
+        assert!(ssd1_pm9a3(1).config().partial.is_none());
+        assert!(ssd3_d3_p4510(1).config().partial.is_none());
+        // HDDs expose only the deep (spin-down) rung via the default.
+        let mut hdd = hdd_exos_7e2000(1);
+        assert_eq!(
+            hdd.request_standby_depth(StandbyDepth::Partial),
+            Err(crate::DeviceError::StandbyUnsupported)
+        );
     }
 }

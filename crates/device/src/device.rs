@@ -7,7 +7,7 @@ use powadapt_sim::SimTime;
 
 use crate::error::DeviceError;
 use crate::io::{IoCompletion, IoRequest};
-use crate::power::{PowerStateDesc, PowerStateId, StandbyState};
+use crate::power::{PowerStateDesc, PowerStateId, StandbyDepth, StandbyState};
 use crate::spec::DeviceSpec;
 
 /// A simulated storage device driven by an external event loop.
@@ -99,6 +99,34 @@ pub trait StorageDevice: fmt::Debug {
     /// Returns [`DeviceError::StandbyUnsupported`] if the device has no
     /// standby mode.
     fn request_wake(&mut self) -> Result<(), DeviceError>;
+
+    /// Requests a transition into low-power standby at the given depth.
+    ///
+    /// Devices with a single standby mode map it to
+    /// [`StandbyDepth::Slumber`] and reject [`StandbyDepth::Partial`]; the
+    /// default implementation encodes exactly that, so only devices with a
+    /// genuine PARTIAL/SLUMBER ladder (SATA ALPM) need to override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::StandbyUnsupported`] if the device does not
+    /// implement the requested depth, or
+    /// [`DeviceError::StandbyTransitionInProgress`] if a transition is
+    /// already underway.
+    fn request_standby_depth(&mut self, depth: StandbyDepth) -> Result<(), DeviceError> {
+        match depth {
+            StandbyDepth::Slumber => self.request_standby(),
+            StandbyDepth::Partial => Err(DeviceError::StandbyUnsupported),
+        }
+    }
+
+    /// Depth of the standby state the device is in or transitioning
+    /// toward. Meaningful only while [`StorageDevice::standby_state`] is
+    /// not [`StandbyState::Active`]; single-mode devices always report
+    /// [`StandbyDepth::Slumber`].
+    fn standby_depth(&self) -> StandbyDepth {
+        StandbyDepth::Slumber
+    }
 
     /// Current standby status.
     fn standby_state(&self) -> StandbyState;

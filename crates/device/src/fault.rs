@@ -45,7 +45,7 @@ use powadapt_sim::{SimDuration, SimRng, SimTime};
 use crate::device::StorageDevice;
 use crate::error::DeviceError;
 use crate::io::{IoCompletion, IoRequest};
-use crate::power::{PowerStateDesc, PowerStateId, StandbyState};
+use crate::power::{PowerStateDesc, PowerStateId, StandbyDepth, StandbyState};
 use crate::spec::DeviceSpec;
 
 /// What a scheduled [`FaultWindow`] does while it is active.
@@ -417,6 +417,15 @@ impl StorageDevice for FaultInjector {
     fn request_standby(&mut self) -> Result<(), DeviceError> {
         self.admin_gate("request_standby", false)?;
         self.inner.request_standby()
+    }
+
+    fn request_standby_depth(&mut self, depth: StandbyDepth) -> Result<(), DeviceError> {
+        self.admin_gate("request_standby_depth", false)?;
+        self.inner.request_standby_depth(depth)
+    }
+
+    fn standby_depth(&self) -> StandbyDepth {
+        self.inner.standby_depth()
     }
 
     fn request_wake(&mut self) -> Result<(), DeviceError> {

@@ -7,8 +7,9 @@
 //!
 //! - **NVMe power states** ([`StorageDevice::set_power_state`]) that cap
 //!   average power, throttling writes far more than reads,
-//! - **low-power standby** ([`StorageDevice::request_standby`]) — SATA ALPM
-//!   SLUMBER on the 860 EVO model, spin-down on the HDD model,
+//! - **low-power standby** ([`StorageDevice::request_standby`]) — the full
+//!   SATA ALPM PARTIAL/SLUMBER ladder on the 860 EVO model, spin-down on
+//!   the HDD model,
 //! - **IO shaping** — chunk size and queue depth modulate how many NAND
 //!   dies (or how much seek activity) is live, and with it the power draw.
 //!
@@ -51,7 +52,7 @@ pub use fault::{FaultInjector, FaultPlan, FaultStats, FaultWindow, FaultWindowKi
 pub use hdd::{Hdd, HddConfig};
 pub use io::{IoCompletion, IoId, IoKind, IoRequest, GIB, KIB, MIB};
 pub use nvme::{IdentifyController, NvmeAdmin, NvmePowerStateDescriptor, FEATURE_POWER_MANAGEMENT};
-pub use power::{PowerStateDesc, PowerStateId, StandbyConfig, StandbyState};
+pub use power::{PowerStateDesc, PowerStateId, StandbyConfig, StandbyDepth, StandbyState};
 pub use sata::{AhciLink, LinkPowerState};
 pub use spec::{DeviceClass, DeviceSpec, Protocol};
 pub use ssd::{Ssd, SsdConfig};

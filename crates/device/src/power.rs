@@ -55,6 +55,30 @@ impl PowerStateDesc {
     }
 }
 
+/// Depth of a low-power link/standby state, mirroring the SATA ALPM
+/// ladder: PARTIAL is shallow (fast exit, modest savings), SLUMBER is deep
+/// (slow exit, maximal savings). Devices with a single standby mode (HDD
+/// spin-down, NVMe autonomous power states modeled as standby) treat it as
+/// [`StandbyDepth::Slumber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StandbyDepth {
+    /// Shallow low-power state (SATA PARTIAL): microsecond-scale exit.
+    Partial,
+    /// Deep low-power state (SATA SLUMBER / HDD spin-down): millisecond-
+    /// to-second-scale exit.
+    Slumber,
+}
+
+impl fmt::Display for StandbyDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StandbyDepth::Partial => "partial",
+            StandbyDepth::Slumber => "slumber",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// Externally visible standby status of a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StandbyState {
@@ -169,6 +193,13 @@ mod tests {
             StandbyPhase::Exiting { until: t }.state(),
             StandbyState::ExitingStandby
         );
+    }
+
+    #[test]
+    fn standby_depth_display_and_order() {
+        assert_eq!(StandbyDepth::Partial.to_string(), "partial");
+        assert_eq!(StandbyDepth::Slumber.to_string(), "slumber");
+        assert!(StandbyDepth::Partial < StandbyDepth::Slumber);
     }
 
     #[test]

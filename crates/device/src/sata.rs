@@ -1,9 +1,11 @@
 //! SATA Aggressive Link Power Management (ALPM) facade — the mechanism the
-//! paper uses to put the 860 EVO into SLUMBER (§3.2.2, Figure 7).
+//! paper uses to put the 860 EVO into SLUMBER (§3.2.2, Figure 7), extended
+//! with the shallow PARTIAL rung so standby policies can trade savings
+//! against exit latency across the full ladder.
 
 use crate::device::StorageDevice;
 use crate::error::DeviceError;
-use crate::power::StandbyState;
+use crate::power::{StandbyDepth, StandbyState};
 use crate::spec::Protocol;
 
 /// SATA link power states (AHCI/ALPM).
@@ -11,8 +13,8 @@ use crate::spec::Protocol;
 pub enum LinkPowerState {
     /// Full-power link.
     Active,
-    /// Intermediate low-power link state (~µs exit). The modeled devices
-    /// implement only SLUMBER, like the paper's measurements.
+    /// Intermediate low-power link state (~µs exit): small savings, fast
+    /// recovery — the shallow rung of the ALPM ladder.
     Partial,
     /// Deepest link state — the paper's 0.17 W EVO measurement.
     Slumber,
@@ -64,28 +66,34 @@ impl<'a> AhciLink<'a> {
 
     /// Requests a link power state.
     ///
-    /// `Slumber` maps to the device's standby mode; `Active` wakes it.
+    /// `Partial` and `Slumber` map to the corresponding
+    /// [`StandbyDepth`](crate::StandbyDepth) of the device's standby
+    /// machinery; `Active` wakes it.
     ///
     /// # Errors
     ///
     /// Returns [`DeviceError::StandbyUnsupported`] if the device does not
-    /// implement the requested low-power state (`Partial` is unimplemented
-    /// on the modeled drives, like most data-center SATA SSDs the paper
-    /// surveyed).
+    /// implement the requested low-power state (data-center SATA SSDs like
+    /// SSD3 implement neither, per the paper's §3.2.2 survey).
     pub fn set_link_pm(&mut self, state: LinkPowerState) -> Result<(), DeviceError> {
         match state {
             LinkPowerState::Active => self.device.request_wake(),
-            LinkPowerState::Partial => Err(DeviceError::StandbyUnsupported),
-            LinkPowerState::Slumber => self.device.request_standby(),
+            LinkPowerState::Partial => self.device.request_standby_depth(StandbyDepth::Partial),
+            LinkPowerState::Slumber => self.device.request_standby_depth(StandbyDepth::Slumber),
         }
     }
 
     /// The current link power state, derived from the device's standby
-    /// status (transitions report the state being entered).
+    /// status and depth (transitions report the state being entered).
     pub fn link_state(&self) -> LinkPowerState {
         match self.device.standby_state() {
             StandbyState::Active | StandbyState::ExitingStandby => LinkPowerState::Active,
-            StandbyState::Standby | StandbyState::EnteringStandby => LinkPowerState::Slumber,
+            StandbyState::Standby | StandbyState::EnteringStandby => {
+                match self.device.standby_depth() {
+                    StandbyDepth::Partial => LinkPowerState::Partial,
+                    StandbyDepth::Slumber => LinkPowerState::Slumber,
+                }
+            }
         }
     }
 }
@@ -115,8 +123,27 @@ mod tests {
     }
 
     #[test]
-    fn partial_is_unsupported_like_real_dc_drives() {
+    fn partial_round_trip_on_the_evo() {
         let mut dev = catalog::evo_860(2);
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        link.set_link_pm(LinkPowerState::Partial)
+            .expect("EVO supports PARTIAL");
+        assert_eq!(link.link_state(), LinkPowerState::Partial);
+        drain(&mut dev);
+        assert!((dev.power_w() - 0.26).abs() < 1e-9);
+
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        link.set_link_pm(LinkPowerState::Active)
+            .expect("wake accepted");
+        drain(&mut dev);
+        assert!((dev.power_w() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_is_unsupported_on_dc_drives() {
+        // SSD3 implements neither rung of the ladder, like most
+        // data-center SATA SSDs the paper surveyed.
+        let mut dev = catalog::ssd3_d3_p4510(2);
         let mut link = AhciLink::new(&mut dev).expect("SATA device");
         assert_eq!(
             link.set_link_pm(LinkPowerState::Partial),

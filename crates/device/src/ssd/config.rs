@@ -77,6 +77,9 @@ pub struct SsdConfig {
     pub burst_factor: f64,
     /// Low-power standby (SATA ALPM SLUMBER style), if supported.
     pub standby: Option<StandbyConfig>,
+    /// Shallow low-power state (SATA ALPM PARTIAL style), if supported:
+    /// smaller savings than [`SsdConfig::standby`] but a much faster exit.
+    pub partial: Option<StandbyConfig>,
 }
 
 impl SsdConfig {
@@ -131,10 +134,13 @@ impl SsdConfig {
         if self.burst_factor < 1.0 {
             return Err("burst factor must be at least 1".into());
         }
-        if let Some(sb) = &self.standby {
+        for sb in self.standby.iter().chain(self.partial.iter()) {
             if sb.standby_w < 0.0 || sb.transition_w < 0.0 || sb.wake_spike_w < 0.0 {
                 return Err("standby power levels must be non-negative".into());
             }
+        }
+        if self.partial.is_some() && self.standby.is_none() {
+            return Err("partial (shallow) requires a standby (deep) mode".into());
         }
         Ok(())
     }
@@ -179,6 +185,7 @@ impl Default for SsdConfig {
             cap_window: SimDuration::from_millis(50),
             burst_factor: 1.1,
             standby: None,
+            partial: None,
         }
     }
 }
@@ -232,6 +239,19 @@ mod tests {
         let mut c = base.clone();
         c.burst_factor = 0.9;
         assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.partial = Some(crate::power::StandbyConfig {
+            standby_w: 0.25,
+            enter: SimDuration::from_micros(50),
+            exit: SimDuration::from_micros(100),
+            transition_w: 0.4,
+            wake_spike_w: 0.8,
+        });
+        assert!(
+            c.validate().is_err(),
+            "partial without standby must be rejected"
+        );
 
         let mut c = base;
         c.die_prog_w = -0.1;

@@ -30,7 +30,9 @@ use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime};
 use crate::device::StorageDevice;
 use crate::error::DeviceError;
 use crate::io::{IoCompletion, IoId, IoKind, IoRequest, MIB};
-use crate::power::{PowerStateDesc, PowerStateId, StandbyPhase, StandbyState};
+use crate::power::{
+    PowerStateDesc, PowerStateId, StandbyConfig, StandbyDepth, StandbyPhase, StandbyState,
+};
 use crate::spec::DeviceSpec;
 
 /// Governor retry cadence when starts are blocked by a power cap.
@@ -147,6 +149,9 @@ pub struct Ssd {
     rolling: RollingMean,
     ps_index: usize,
     phase: StandbyPhase,
+    /// Depth of the standby state in force or most recently requested;
+    /// meaningful only while `phase` is not `Active`.
+    depth: StandbyDepth,
     standby_requested: bool,
     noise_w: f64,
     noise_scheduled: bool,
@@ -223,6 +228,7 @@ impl Ssd {
             rolling: RollingMean::new(window, idle),
             ps_index: 0,
             phase: StandbyPhase::Active,
+            depth: StandbyDepth::Slumber,
             standby_requested: false,
             noise_w: 0.0,
             noise_scheduled: false,
@@ -347,22 +353,22 @@ impl Ssd {
             && self.nand_debt == 0
     }
 
+    /// Standby parameters for the depth in force.
+    fn standby_cfg(&self) -> Option<&StandbyConfig> {
+        match self.depth {
+            StandbyDepth::Partial => self.cfg.partial.as_ref(),
+            StandbyDepth::Slumber => self.cfg.standby.as_ref(),
+        }
+    }
+
     fn compute_power(&self) -> f64 {
         match self.phase {
             StandbyPhase::Entering { .. } => self
-                .cfg
-                .standby
-                .as_ref()
+                .standby_cfg()
                 .map_or(self.cfg.idle_w, |s| s.transition_w),
-            StandbyPhase::Standby => self
-                .cfg
-                .standby
-                .as_ref()
-                .map_or(self.cfg.idle_w, |s| s.standby_w),
+            StandbyPhase::Standby => self.standby_cfg().map_or(self.cfg.idle_w, |s| s.standby_w),
             StandbyPhase::Exiting { .. } => self
-                .cfg
-                .standby
-                .as_ref()
+                .standby_cfg()
                 .map_or(self.cfg.idle_w, |s| s.wake_spike_w),
             StandbyPhase::Active => {
                 let mut p = self.cfg.idle_w;
@@ -407,7 +413,7 @@ impl Ssd {
 
     fn begin_enter_standby(&mut self) {
         // powadapt-lint: allow(D5, reason = "callers transition here only after request_standby verified standby support")
-        let enter = self.cfg.standby.as_ref().expect("standby config").enter;
+        let enter = self.standby_cfg().expect("standby config").enter;
         let until = self.now + enter;
         self.phase = StandbyPhase::Entering { until };
         emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinDown);
@@ -416,7 +422,7 @@ impl Ssd {
 
     fn begin_wake(&mut self) {
         // powadapt-lint: allow(D5, reason = "waking is only reachable from standby phases, which require standby config")
-        let exit = self.cfg.standby.as_ref().expect("standby config").exit;
+        let exit = self.standby_cfg().expect("standby config").exit;
         let until = self.now + exit;
         self.phase = StandbyPhase::Exiting { until };
         self.standby_requested = false;
@@ -884,20 +890,38 @@ impl StorageDevice for Ssd {
     }
 
     fn request_standby(&mut self) -> Result<(), DeviceError> {
-        if self.cfg.standby.is_none() {
+        self.request_standby_depth(StandbyDepth::Slumber)
+    }
+
+    fn request_standby_depth(&mut self, depth: StandbyDepth) -> Result<(), DeviceError> {
+        let supported = match depth {
+            StandbyDepth::Partial => self.cfg.partial.is_some(),
+            StandbyDepth::Slumber => self.cfg.standby.is_some(),
+        };
+        if !supported {
             return Err(DeviceError::StandbyUnsupported);
         }
         match self.phase {
             StandbyPhase::Entering { .. } | StandbyPhase::Exiting { .. } => {
                 Err(DeviceError::StandbyTransitionInProgress)
             }
+            // Changing depth while asleep would need a wake + re-enter
+            // cycle; callers do that explicitly via request_wake.
+            StandbyPhase::Standby if self.depth != depth => {
+                Err(DeviceError::StandbyTransitionInProgress)
+            }
             StandbyPhase::Standby => Ok(()),
             StandbyPhase::Active => {
+                self.depth = depth;
                 self.standby_requested = true;
                 self.pump();
                 Ok(())
             }
         }
+    }
+
+    fn standby_depth(&self) -> StandbyDepth {
+        self.depth
     }
 
     fn request_wake(&mut self) -> Result<(), DeviceError> {
@@ -1238,6 +1262,74 @@ mod tests {
         let done = drain(&mut dev);
         assert_eq!(done.len(), 1);
         assert_eq!(dev.standby_state(), StandbyState::Standby);
+    }
+
+    #[test]
+    fn partial_depth_uses_its_own_parameters() {
+        use crate::power::StandbyConfig;
+        let spec = DeviceSpec::new("E", "EVO", Protocol::Sata, DeviceClass::Ssd, GIB);
+        let mut cfg = SsdConfig::default();
+        cfg.idle_w = 0.35;
+        cfg.noise_sd_w = 0.0;
+        cfg.standby = Some(StandbyConfig {
+            standby_w: 0.17,
+            enter: SimDuration::from_millis(300),
+            exit: SimDuration::from_millis(400),
+            transition_w: 0.6,
+            wake_spike_w: 1.2,
+        });
+        cfg.partial = Some(StandbyConfig {
+            standby_w: 0.25,
+            enter: SimDuration::from_micros(100),
+            exit: SimDuration::from_micros(200),
+            transition_w: 0.3,
+            wake_spike_w: 0.5,
+        });
+        let mut dev = Ssd::new(spec, cfg, 3);
+
+        dev.request_standby_depth(StandbyDepth::Partial).unwrap();
+        assert_eq!(dev.standby_state(), StandbyState::EnteringStandby);
+        assert_eq!(dev.standby_depth(), StandbyDepth::Partial);
+        assert_eq!(dev.power_w(), 0.3);
+        let t = dev.next_event().unwrap();
+        dev.advance_to(t);
+        assert_eq!(dev.standby_state(), StandbyState::Standby);
+        assert_eq!(dev.power_w(), 0.25);
+
+        // A deeper request while parked at PARTIAL needs an explicit wake.
+        assert_eq!(
+            dev.request_standby_depth(StandbyDepth::Slumber),
+            Err(DeviceError::StandbyTransitionInProgress)
+        );
+
+        // Auto-wake on submit pays the (short) PARTIAL exit latency.
+        submit(&mut dev, 0, IoKind::Read, 0, 4 * KIB);
+        assert_eq!(dev.power_w(), 0.5);
+        let done = drain(&mut dev);
+        assert_eq!(done.len(), 1);
+        let lat = done[0].latency();
+        assert!(lat.as_micros() >= 200 && lat.as_millis() < 5, "{lat}");
+    }
+
+    #[test]
+    fn partial_unsupported_without_partial_config() {
+        use crate::power::StandbyConfig;
+        let spec = DeviceSpec::new("E", "EVO", Protocol::Sata, DeviceClass::Ssd, GIB);
+        let mut cfg = SsdConfig::default();
+        cfg.standby = Some(StandbyConfig {
+            standby_w: 0.17,
+            enter: SimDuration::from_millis(100),
+            exit: SimDuration::from_millis(100),
+            transition_w: 0.6,
+            wake_spike_w: 1.2,
+        });
+        cfg.noise_sd_w = 0.0;
+        let mut dev = Ssd::new(spec, cfg, 3);
+        assert_eq!(
+            dev.request_standby_depth(StandbyDepth::Partial),
+            Err(DeviceError::StandbyUnsupported)
+        );
+        dev.request_standby_depth(StandbyDepth::Slumber).unwrap();
     }
 
     #[test]

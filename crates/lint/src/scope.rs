@@ -66,9 +66,10 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         // bench (io's maps never reach output, but its stats do — close
         // the gap by including io's stat modules). obs snapshots and
         // exports feed committed fixtures, so its iteration order must be
-        // deterministic too.
+        // deterministic too, and cluster reports feed the cluster_eval
+        // golden.
         RuleId::D2 => {
-            in_crates(&["sim", "device", "core", "model", "bench", "obs"])
+            in_crates(&["sim", "device", "core", "model", "bench", "obs", "cluster"])
                 || path == "crates/io/src/stats.rs"
         }
         // Figure/statistics code: everything that orders, ranks, or
@@ -86,8 +87,9 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         // crates.
         RuleId::D4 => in_crates(&["meter", "model", "core"]),
         // Error flow in the crates that own DeviceError and its
-        // propagation.
-        RuleId::D5 => in_crates(&["device", "io", "core"]),
+        // propagation (the cluster layer propagates it through
+        // ClusterError).
+        RuleId::D5 => in_crates(&["device", "io", "core", "cluster"]),
         // Suppression hygiene follows the file, not a crate list.
         RuleId::S0 | RuleId::S1 => true,
     }
@@ -243,5 +245,13 @@ mod tests {
         ));
         assert!(rule_applies(RuleId::D4, "crates/meter/src/rig.rs"));
         assert!(!rule_applies(RuleId::D4, "crates/device/src/device.rs"));
+        assert!(rule_applies(RuleId::D1, "crates/cluster/src/sim.rs"));
+        assert!(rule_applies(RuleId::D2, "crates/cluster/src/tree.rs"));
+        assert!(rule_applies(RuleId::D5, "crates/cluster/src/sim.rs"));
+        assert!(!rule_applies(RuleId::D4, "crates/cluster/src/tree.rs"));
+        assert!(!rule_applies(
+            RuleId::D5,
+            "crates/cluster/tests/oversubscription.rs"
+        ));
     }
 }

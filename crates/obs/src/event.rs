@@ -129,6 +129,17 @@ pub enum EventKind {
         /// Labels of devices that refused their action this round.
         degraded: Vec<String>,
     },
+    /// The power tree granted a node a revised budget (cluster layer).
+    RebalanceDecision {
+        /// Path of the tree node (`cluster/row0/rack1/enc0`).
+        node: String,
+        /// The node's physical cap in watts.
+        cap_w: f64,
+        /// Budget granted to the node this round, in watts.
+        granted_w: f64,
+        /// Aggregate demand the node reported, in watts.
+        demand_w: f64,
+    },
     /// One reading of the power rig (becomes a counter track in Perfetto).
     PowerSample {
         /// The sampled (quantized, noisy) power in watts.
@@ -161,6 +172,7 @@ impl EventKind {
             EventKind::BreakerHalfOpen => "breaker_half_open",
             EventKind::BreakerClose => "breaker_close",
             EventKind::ControllerDecision { .. } => "controller_decision",
+            EventKind::RebalanceDecision { .. } => "rebalance_decision",
             EventKind::PowerSample { .. } => "power_sample",
             EventKind::Span { .. } => "span",
         }

@@ -172,6 +172,17 @@ fn instant_args(kind: &EventKind) -> Vec<(&'static str, String)> {
             ("quarantined", jstr_list(quarantined)),
             ("degraded", jstr_list(degraded)),
         ],
+        EventKind::RebalanceDecision {
+            node,
+            cap_w,
+            granted_w,
+            demand_w,
+        } => vec![
+            ("node", jstr(node)),
+            ("cap_w", format!("{cap_w:?}")),
+            ("granted_w", format!("{granted_w:?}")),
+            ("demand_w", format!("{demand_w:?}")),
+        ],
         _ => Vec::new(),
     }
 }

@@ -14,6 +14,7 @@
 //! | [`io`] | `powadapt-io` | fio-like jobs, the experiment runner, parameter sweeps |
 //! | [`model`] | `powadapt-model` | power-throughput models, Pareto frontiers, budget solvers |
 //! | [`core`] | `powadapt-core` | the §4 policies and the adaptive control loop |
+//! | [`cluster`] | `powadapt-cluster` | the power tree: oversubscribed caps, multi-tenant workloads, budget rebalancing |
 //!
 //! # Quick start
 //!
@@ -43,6 +44,7 @@
 // comparisons are the point there, not a hazard (see workspace lints).
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+pub use powadapt_cluster as cluster;
 pub use powadapt_core as core;
 pub use powadapt_device as device;
 pub use powadapt_io as io;

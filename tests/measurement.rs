@@ -103,6 +103,49 @@ fn calibration_survives_device_level_noise() {
 }
 
 #[test]
+fn alpm_ladder_partial_and_slumber_are_both_measurable() {
+    use powadapt::device::{AhciLink, LinkPowerState};
+
+    // Measure each rung of the EVO's ALPM ladder through the metering rig:
+    // PARTIAL saves less than SLUMBER but recovers orders of magnitude
+    // faster — the trade the paper's §3.2.2 ladder exists to offer.
+    let measure_floor = |state: LinkPowerState, rig_seed: u64| {
+        let mut dev = catalog::evo_860(5);
+        let mut link = AhciLink::new(&mut dev).expect("SATA device");
+        link.set_link_pm(state).expect("EVO implements the ladder");
+        assert_eq!(link.link_state(), state);
+        let mut rng = SimRng::seed_from(rig_seed);
+        let mut rig = PowerRig::paper_rig(5.0, &mut rng);
+        // Floor levels sit at the bottom of the ADC range, so calibrate
+        // against a known load first, as the rig tests do (§3.1).
+        rig.calibrate(0.25, 400);
+        // Let the transition finish (SLUMBER entry takes 300 ms), then
+        // sample the settled floor.
+        dev.advance_to(SimTime::from_millis(500));
+        assert_eq!(dev.standby_state(), powadapt::device::StandbyState::Standby);
+        rig.restart_at(dev.now());
+        for _ in 0..300 {
+            let t = rig.next_sample();
+            dev.advance_to(t);
+            rig.sample(t, dev.power_w());
+        }
+        rig.trace().mean()
+    };
+
+    let partial = measure_floor(LinkPowerState::Partial, 21);
+    let slumber = measure_floor(LinkPowerState::Slumber, 22);
+    assert!(
+        relative_error(partial, 0.26) < 0.01,
+        "PARTIAL floor read as {partial:.4} W"
+    );
+    assert!(
+        relative_error(slumber, 0.17) < 0.01,
+        "SLUMBER floor read as {slumber:.4} W"
+    );
+    assert!(slumber < partial, "SLUMBER is the deeper rung");
+}
+
+#[test]
 fn dynamic_range_of_a_trace_matches_device_behaviour() {
     use powadapt::device::{IoId, IoKind, IoRequest, MIB};
     let mut dev = catalog::ssd2_d7_p5510(4);

@@ -23,8 +23,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use powadapt::io::ParallelConfig;
 use powadapt::obs::{self, TraceRecorder};
 use powadapt_bench::golden::{
-    figure_summary, golden_scale, goldens_dir, obs_events_summary, FIGURES, GOLDEN_SEED,
-    OBS_FIXTURE,
+    cluster_eval_summary, figure_summary, golden_scale, goldens_dir, obs_events_summary,
+    CLUSTER_FIXTURE, FIGURES, GOLDEN_SEED, OBS_FIXTURE,
 };
 
 /// The process-global recorder slot is shared across the test threads of
@@ -78,6 +78,31 @@ fn obs_event_counts_match_fixture_at_every_worker_count() {
     for workers in [2usize, 8] {
         let par = obs_events_summary(&ParallelConfig::with_workers(workers));
         assert_eq!(seq, par, "obs event counts diverged at {workers} workers");
+    }
+}
+
+/// The cluster evaluation — power-tree rebalancing, multi-tenant routing,
+/// per-rack counter tracks and rebalance-decision events all enabled — is
+/// byte-identical to its committed golden at every worker count. This test
+/// lives in this binary (not `parallel_equivalence.rs`) because the summary
+/// installs the process-global recorder and must serialize on the slot.
+#[test]
+fn cluster_eval_matches_golden_at_every_worker_count() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let seq = cluster_eval_summary(&ParallelConfig::sequential());
+    assert_eq!(
+        seq,
+        committed_fixture(CLUSTER_FIXTURE),
+        "{CLUSTER_FIXTURE}: summary drifted from the committed fixture.\n\
+         If the change is intentional, regenerate the fixtures with\n\
+         `cargo run -p powadapt-bench --bin regen_goldens` and commit them."
+    );
+    for workers in [2usize, 8] {
+        let par = cluster_eval_summary(&ParallelConfig::with_workers(workers));
+        assert_eq!(
+            seq, par,
+            "cluster_eval summary diverged at {workers} workers"
+        );
     }
 }
 
