@@ -449,6 +449,28 @@ fn cluster_cell(policy: powadapt_cluster::SelectionPolicy, seed: u64) -> Cluster
         .expect("cluster cell runs")
 }
 
+/// The same cell, but interrupted: run to the midpoint, serialize the
+/// complete simulation state to a sealed snapshot, drop the simulation,
+/// rebuild from the spec + snapshot, and run the rest. The report must be
+/// bit-identical to [`cluster_cell`]'s — that equality (checked against
+/// the same committed fixture) is the checkpoint/restore contract.
+fn cluster_cell_checkpointed(
+    policy: powadapt_cluster::SelectionPolicy,
+    seed: u64,
+) -> ClusterReport {
+    use powadapt_cluster::{oversubscribed_cluster, ClusterSim};
+    let mut sim =
+        ClusterSim::new(oversubscribed_cluster(policy, seed)).expect("cluster cell builds");
+    let mid = sim.start_time()
+        + SimDuration::from_nanos(sim.end_time().duration_since(sim.start_time()).as_nanos() / 2);
+    sim.run_to(mid).expect("first half runs");
+    let snap = sim.snapshot().expect("snapshot serializes");
+    drop(sim);
+    let resumed =
+        ClusterSim::resume(oversubscribed_cluster(policy, seed), &snap).expect("snapshot resumes");
+    resumed.finish().expect("second half runs")
+}
+
 fn cluster_report_row(r: &ClusterReport) -> String {
     format!(
         "{{\"policy\": \"{}\", \"bytes\": {}, \"served\": {}, \"dropped\": {}, \"replans\": {}, \"infeasible\": {}, \"throughput_bps\": {}, \"caps_respected\": {}, \"peak_cap_utilization\": {}}}",
@@ -477,6 +499,27 @@ fn cluster_report_row(r: &ClusterReport) -> String {
 ///
 /// Panics if a cluster run fails — the fixture pins a healthy pipeline.
 pub fn cluster_eval_summary(cfg: &ParallelConfig) -> String {
+    cluster_eval_summary_with(cfg, cluster_cell)
+}
+
+/// [`cluster_eval_summary`] with every cell checkpointed mid-run:
+/// snapshot at the midpoint, drop the simulation, resume from the sealed
+/// bytes, and finish. Byte-equality with the *same* committed
+/// `cluster_eval` fixture — at every worker count — is the acceptance
+/// proof that checkpoint/restore is invisible to results, traces, and
+/// event counts.
+///
+/// # Panics
+///
+/// Panics if a cluster run, snapshot, or resume fails.
+pub fn cluster_eval_summary_checkpointed(cfg: &ParallelConfig) -> String {
+    cluster_eval_summary_with(cfg, cluster_cell_checkpointed)
+}
+
+fn cluster_eval_summary_with(
+    cfg: &ParallelConfig,
+    cell: fn(powadapt_cluster::SelectionPolicy, u64) -> ClusterReport,
+) -> String {
     use powadapt_cluster::SelectionPolicy;
 
     let rec = Arc::new(TraceRecorder::new(1 << 16));
@@ -491,8 +534,7 @@ pub fn cluster_eval_summary(cfg: &ParallelConfig) -> String {
             ]
         })
         .collect();
-    let reports =
-        powadapt_io::run_cells(&cells, cfg, |_, &(policy, seed)| cluster_cell(policy, seed));
+    let reports = powadapt_io::run_cells(&cells, cfg, |_, &(policy, seed)| cell(policy, seed));
     match prev {
         Some(p) => {
             powadapt_obs::install(p);

@@ -70,6 +70,23 @@ pub fn apply_cli_workers() {
     }
 }
 
+/// Returns the value of a `--name VALUE` or `--name=VALUE` CLI flag, if
+/// present (last occurrence wins). Used by the checkpoint-aware binaries
+/// for `--snapshot-out` / `--resume`.
+pub fn cli_flag_value(name: &str) -> Option<String> {
+    let mut found = None;
+    let mut args = std::env::args().skip(1);
+    let prefix = format!("{name}=");
+    while let Some(a) = args.next() {
+        if a == name {
+            found = args.next();
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            found = Some(v.to_string());
+        }
+    }
+    found
+}
+
 /// Starts the process-wide trace session configured by `POWADAPT_TRACE`
 /// and `--trace-out` (see [`powadapt_obs::TraceConfig::from_env_and_cli`]).
 /// Call first thing in `main`, before any devices are built, so every

@@ -21,21 +21,31 @@
 //!   streams, byte-identical reports at any worker count).
 //! - [`scenario`] — the canonical two-rack oversubscribed scenario used
 //!   by `cluster_eval`, the golden fixture, and the examples.
+//! - [`treefault`] — scheduled breaker trips at power-tree node scope
+//!   (rack, row, region), the fail-closed counterpart to the device-level
+//!   [`FaultInjector`](powadapt_device::FaultInjector).
+//! - [`longhaul`] — the long-horizon failure scenario library (regional
+//!   failover, rolling firmware power-state changes, multi-day diurnal
+//!   churn) built on [`sim::ClusterSim`] checkpoint/restore.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+pub mod longhaul;
 pub mod scenario;
 pub mod selector;
 pub mod sim;
 pub mod tenant;
 pub mod tree;
+pub mod treefault;
 
 pub use scenario::{fig10_model, oversubscribed_cluster};
 pub use selector::{fleet_floor_w, fleet_max_w, uniform_choices, SelectionPolicy};
 pub use sim::{
-    run_cluster, ClusterError, ClusterReport, ClusterSpec, EnclosureSpec, NodeReport, TenantReport,
+    run_cluster, ClusterError, ClusterReport, ClusterSim, ClusterSpec, EnclosureSpec, NodeReport,
+    TenantReport,
 };
 pub use tenant::{TenantArrivals, TenantSpec, TenantStream};
 pub use tree::{Demand, Grant, NodeId, NodeKind, PowerTree, TreeError};
+pub use treefault::{TreeFaultEvent, TreeFaultSchedule, TreeFaultWindow};

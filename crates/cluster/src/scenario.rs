@@ -155,6 +155,7 @@ pub fn oversubscribed_cluster(policy: SelectionPolicy, seed: u64) -> ClusterSpec
         planning_margin: 0.875,
         duration: SimDuration::from_millis(120),
         seed,
+        tree_faults: Vec::new(),
     }
 }
 

@@ -19,16 +19,19 @@ use std::error::Error;
 use std::fmt;
 
 use powadapt_core::{AdaptiveController, ControlError, DeviceAction, Slo, SloWindow};
-use powadapt_device::{DeviceError, IoId, IoRequest, StorageDevice};
+use powadapt_device::{DeviceError, IoId, IoKind, IoRequest, StorageDevice};
 use powadapt_io::Arrival;
 use powadapt_model::PowerThroughputModel;
 use powadapt_obs::{emit, EventKind};
+use powadapt_sim::snapshot::{read_time, write_time};
 use powadapt_sim::units::Micros;
 use powadapt_sim::{SimDuration, SimTime};
+use powadapt_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::selector::{fleet_floor_w, fleet_max_w, uniform_choices, SelectionPolicy};
 use crate::tenant::{TenantSpec, TenantStream};
-use crate::tree::{Demand, NodeKind, PowerTree, TreeError};
+use crate::tree::{Demand, NodeId, NodeKind, PowerTree, TreeError};
+use crate::treefault::{TreeFaultEvent, TreeFaultSchedule, TreeFaultWindow};
 
 /// One leaf enclosure: its devices and their measured power-throughput
 /// models (same label pairing [`AdaptiveController::new`] requires).
@@ -64,6 +67,9 @@ pub struct ClusterSpec {
     pub duration: SimDuration,
     /// Root seed; tenant stream seeds derive from it.
     pub seed: u64,
+    /// Scheduled power-tree outages: breaker trips at node scope. Empty
+    /// for a healthy run.
+    pub tree_faults: Vec<TreeFaultWindow>,
 }
 
 /// Errors from a cluster run.
@@ -79,6 +85,9 @@ pub enum ClusterError {
     Control(ControlError),
     /// A device rejected an operation with a non-transient error.
     Device(DeviceError),
+    /// A checkpoint could not be decoded (corruption, truncation, version
+    /// skew, or state inconsistent with the spec).
+    Snapshot(SnapError),
 }
 
 impl fmt::Display for ClusterError {
@@ -88,6 +97,7 @@ impl fmt::Display for ClusterError {
             ClusterError::Tree(e) => write!(f, "power tree error: {e}"),
             ClusterError::Control(e) => write!(f, "controller error: {e}"),
             ClusterError::Device(e) => write!(f, "device error: {e}"),
+            ClusterError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -98,8 +108,15 @@ impl Error for ClusterError {
             ClusterError::Tree(e) => Some(e),
             ClusterError::Control(e) => Some(e),
             ClusterError::Device(e) => Some(e),
+            ClusterError::Snapshot(e) => Some(e),
             ClusterError::InvalidSpec(_) => None,
         }
+    }
+}
+
+impl From<SnapError> for ClusterError {
+    fn from(e: SnapError) -> Self {
+        ClusterError::Snapshot(e)
     }
 }
 
@@ -263,7 +280,987 @@ struct TenantAccount {
     dropped: u64,
 }
 
+fn write_arrival(w: &mut SnapWriter, a: &Arrival) {
+    write_time(w, a.at);
+    w.u8(match a.kind {
+        IoKind::Read => 0,
+        IoKind::Write => 1,
+    });
+    w.u64(a.offset);
+    w.u64(a.len);
+}
+
+fn read_arrival(r: &mut SnapReader<'_>) -> Result<Arrival, SnapError> {
+    let at = read_time(r)?;
+    let kind = match r.u8()? {
+        0 => IoKind::Read,
+        1 => IoKind::Write,
+        other => {
+            return Err(SnapError::InvalidValue(format!(
+                "arrival kind {other} out of range"
+            )))
+        }
+    };
+    let offset = r.u64()?;
+    let len = r.u64()?;
+    Ok(Arrival {
+        at,
+        kind,
+        offset,
+        len,
+    })
+}
+
+fn write_f64s(w: &mut SnapWriter, vs: &[f64]) {
+    w.seq_len(vs.len());
+    for &v in vs {
+        w.f64(v);
+    }
+}
+
+fn read_f64s_into(r: &mut SnapReader<'_>, dst: &mut [f64], what: &str) -> Result<(), SnapError> {
+    let n = r.seq_len()?;
+    if n != dst.len() {
+        return Err(SnapError::InvalidValue(format!(
+            "snapshot has {n} {what} entries, cluster has {}",
+            dst.len()
+        )));
+    }
+    for v in dst {
+        *v = r.f64()?;
+    }
+    Ok(())
+}
+
+/// The cluster simulation as a steppable object.
+///
+/// [`run_cluster`] drives a `ClusterSim` from construction straight to its
+/// report; holding the object instead lets a caller stop at any simulated
+/// time, serialize the complete dynamic state with
+/// [`snapshot`](ClusterSim::snapshot), and continue — in this process or a
+/// later one via [`resume`](ClusterSim::resume) — with bit-exact results:
+/// a run that checkpoints and resumes produces byte-identical reports and
+/// traces to one that never stopped.
+///
+/// Construction ([`new`](ClusterSim::new)) applies the initial policy and
+/// may emit trace events; [`resume`](ClusterSim::resume) rebuilds the
+/// object graph from the spec and overlays the checkpointed state without
+/// emitting anything, so restored runs do not double-count events.
+pub struct ClusterSim {
+    // Configuration, rebuilt from the spec on construction and resume.
+    tree: PowerTree,
+    leaves: Vec<NodeId>,
+    tenants: Vec<TenantSpec>,
+    policy: SelectionPolicy,
+    control_interval: SimDuration,
+    sample_interval: SimDuration,
+    planning_margin: f64,
+    duration: SimDuration,
+    enc_models: Vec<Vec<PowerThroughputModel>>,
+    /// Global device index → (enclosure, device-in-enclosure).
+    flat: Vec<(usize, usize)>,
+    start: SimTime,
+    t_end: SimTime,
+    // Dynamic state, carried by `write_state`/`read_state`.
+    controllers: Vec<AdaptiveController>,
+    streams: Vec<TenantStream>,
+    pending: Vec<Option<Arrival>>,
+    accounts: Vec<TenantAccount>,
+    /// Which devices the router may target, per the active plan.
+    routable: Vec<bool>,
+    node_max: Vec<f64>,
+    node_sum: Vec<f64>,
+    node_samples: u64,
+    last_grants: Vec<f64>,
+    last_applied: Vec<Option<f64>>,
+    rebalance_rounds: u64,
+    replans: u64,
+    infeasible_rounds: u64,
+    /// In-flight IO ownership: global request id → tenant index.
+    owners: BTreeMap<u64, usize>,
+    next_id: u64,
+    next_control: SimTime,
+    next_sample: SimTime,
+    faults: TreeFaultSchedule,
+    /// Last processed event time.
+    now: SimTime,
+}
+
+impl fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("policy", &self.policy)
+            .field("now", &self.now)
+            .field("t_end", &self.t_end)
+            .field("devices", &self.flat.len())
+            .field("tenants", &self.tenants.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterSim {
+    /// Builds the simulation and applies the initial policy configuration
+    /// (which may emit trace events, exactly as the start of a
+    /// [`run_cluster`] run does).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidSpec`] for shape problems (enclosure/leaf
+    /// mismatch, empty tenants, zero intervals, unknown fault-window
+    /// nodes), [`ClusterError::Tree`] for tree misconfiguration,
+    /// [`ClusterError::Control`]/[`ClusterError::Device`] when the initial
+    /// configuration fails.
+    pub fn new(spec: ClusterSpec) -> Result<Self, ClusterError> {
+        let mut sim = Self::build(spec)?;
+        sim.apply_initial_policy()?;
+        Ok(sim)
+    }
+
+    /// Rebuilds a simulation from `spec` and a sealed snapshot produced by
+    /// [`snapshot`](ClusterSim::snapshot). The spec must be the same one
+    /// the checkpointed run was built from (same topology, tenants, seed);
+    /// every mismatch the codec can detect fails closed. The resume path
+    /// emits no trace events.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Snapshot`] when the envelope or payload is corrupt,
+    /// truncated, version-skewed, or inconsistent with the spec; the
+    /// construction errors of [`ClusterSim::new`] otherwise.
+    pub fn resume(spec: ClusterSpec, snapshot: &[u8]) -> Result<Self, ClusterError> {
+        let payload = powadapt_snap::open(snapshot)?;
+        let mut sim = Self::build(spec)?;
+        let mut r = SnapReader::new(payload);
+        powadapt_snap::Restore::read_state(&mut sim, &mut r)?;
+        r.finish()?;
+        Ok(sim)
+    }
+
+    /// Serializes the complete dynamic state into a sealed snapshot
+    /// (magic, format version, checksum).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-layer serialization failures.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapWriter::new();
+        powadapt_snap::Snapshot::write_state(self, &mut w)?;
+        Ok(powadapt_snap::seal(&w.into_payload()))
+    }
+
+    /// The common start time of the run's devices.
+    pub fn start_time(&self) -> SimTime {
+        self.start
+    }
+
+    /// The end of the run (`start + duration`).
+    pub fn end_time(&self) -> SimTime {
+        self.t_end
+    }
+
+    /// The last processed event time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// IOs completed and credited to tenants so far. Monotone over the
+    /// run; the final report's `served_ios` also includes the end-of-run
+    /// drain, so it can exceed the last mid-run reading.
+    pub fn served_ios_so_far(&self) -> u64 {
+        self.accounts.iter().map(|a| a.window.len() as u64).sum()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build(spec: ClusterSpec) -> Result<Self, ClusterError> {
+        let ClusterSpec {
+            tree,
+            enclosures,
+            tenants,
+            policy,
+            control_interval,
+            sample_interval,
+            planning_margin,
+            duration,
+            seed,
+            tree_faults,
+        } = spec;
+
+        let leaves = tree.leaves();
+        if enclosures.len() != leaves.len() {
+            return Err(ClusterError::InvalidSpec(format!(
+                "{} enclosures for {} tree leaves",
+                enclosures.len(),
+                leaves.len()
+            )));
+        }
+        if tenants.is_empty() {
+            return Err(ClusterError::InvalidSpec("no tenants".into()));
+        }
+        if control_interval.is_zero() || sample_interval.is_zero() {
+            return Err(ClusterError::InvalidSpec(
+                "control and sample intervals must be non-zero".into(),
+            ));
+        }
+        if !(planning_margin > 0.0 && planning_margin <= 1.0) {
+            return Err(ClusterError::InvalidSpec(
+                "planning margin must be in (0, 1]".into(),
+            ));
+        }
+        if duration.is_zero() {
+            return Err(ClusterError::InvalidSpec(
+                "duration must be non-zero".into(),
+            ));
+        }
+        tree.validate()?;
+        let faults =
+            TreeFaultSchedule::resolve(&tree, tree_faults).map_err(ClusterError::InvalidSpec)?;
+
+        let rec = powadapt_obs::current();
+
+        // Build controllers; keep a model copy per enclosure for demand and
+        // baseline math (the controller owns its own).
+        let mut controllers: Vec<AdaptiveController> = Vec::with_capacity(enclosures.len());
+        let mut enc_models: Vec<Vec<PowerThroughputModel>> = Vec::with_capacity(enclosures.len());
+        let mut enc_names: Vec<String> = Vec::with_capacity(enclosures.len());
+        let mut flat: Vec<(usize, usize)> = Vec::new();
+        for (e, enc) in enclosures.into_iter().enumerate() {
+            if enc.devices.is_empty() {
+                return Err(ClusterError::InvalidSpec(format!(
+                    "enclosure {} has no devices",
+                    enc.name
+                )));
+            }
+            for d in 0..enc.devices.len() {
+                flat.push((e, d));
+            }
+            enc_models.push(enc.models.clone());
+            enc_names.push(enc.name);
+            let mut ctl = AdaptiveController::new(enc.devices, enc.models)?;
+            for d in 0..ctl.devices().len() {
+                let track = format!("{}.dev{d}", enc_names[e]);
+                ctl.device_mut(d).set_recorder(rec.clone(), track);
+            }
+            controllers.push(ctl);
+        }
+        let n_devices = flat.len();
+        let n_controllers = controllers.len();
+
+        let start = controllers[0].devices()[0].now();
+        for ctl in &controllers {
+            for d in ctl.devices() {
+                if d.now() != start {
+                    return Err(ClusterError::InvalidSpec(
+                        "devices must start at a common time".into(),
+                    ));
+                }
+            }
+        }
+        let t_end = start + duration;
+
+        // Tenant streams and accounts, seeded per tenant.
+        let mut streams: Vec<TenantStream> = Vec::with_capacity(tenants.len());
+        let mut accounts: Vec<TenantAccount> = Vec::with_capacity(tenants.len());
+        for (i, t) in tenants.iter().enumerate() {
+            let stream_seed = powadapt_sim::SimRng::stream_seed(seed, i as u64);
+            let stream =
+                TenantStream::new(t, duration, stream_seed).map_err(ClusterError::InvalidSpec)?;
+            streams.push(stream);
+            accounts.push(TenantAccount {
+                window: SloWindow::new(),
+                slo: t.slo.clone(),
+                submitted: 0,
+                dropped: 0,
+            });
+        }
+        let pending: Vec<Option<Arrival>> = streams.iter_mut().map(Iterator::next).collect();
+
+        let n_nodes = tree.len();
+        Ok(ClusterSim {
+            tree,
+            leaves,
+            tenants,
+            policy,
+            control_interval,
+            sample_interval,
+            planning_margin,
+            duration,
+            enc_models,
+            flat,
+            start,
+            t_end,
+            controllers,
+            streams,
+            pending,
+            accounts,
+            routable: vec![false; n_devices],
+            node_max: vec![0.0; n_nodes],
+            node_sum: vec![0.0; n_nodes],
+            node_samples: 0,
+            last_grants: vec![0.0; n_nodes],
+            last_applied: vec![None; n_controllers],
+            rebalance_rounds: 0,
+            replans: 0,
+            infeasible_rounds: 0,
+            owners: BTreeMap::new(),
+            next_id: 0,
+            next_control: start + control_interval,
+            next_sample: start,
+            faults,
+            now: start,
+        })
+    }
+
+    fn apply_initial_policy(&mut self) -> Result<(), ClusterError> {
+        match self.policy {
+            SelectionPolicy::UniformStatic => {
+                // The naive contract: every device gets an equal slice of
+                // the cluster's physical cap, decided once, never revisited.
+                let share_w = self.tree.cap_w(self.tree.root_id()) / self.flat.len() as f64;
+                for e in 0..self.controllers.len() {
+                    let choices = uniform_choices(&self.enc_models[e], share_w);
+                    for (d, choice) in choices.iter().enumerate() {
+                        let Some(gi) = self.flat.iter().position(|&(fe, fd)| fe == e && fd == d)
+                        else {
+                            continue;
+                        };
+                        match choice {
+                            Some(point) => {
+                                self.controllers[e]
+                                    .device_mut(d)
+                                    .set_power_state(point.power_state())?;
+                                self.routable[gi] = true;
+                            }
+                            None => self.routable[gi] = false,
+                        }
+                    }
+                }
+                // Report the share totals as the tree's static "grants".
+                for (leaf, ctl) in self.leaves.iter().zip(&self.controllers) {
+                    self.last_grants[leaf.0] = share_w * ctl.devices().len() as f64;
+                }
+                for id in self.tree.node_ids() {
+                    let descendants_sum: f64 = self
+                        .leaves
+                        .iter()
+                        .filter(|l| self.tree.ancestors(**l).contains(&id))
+                        .map(|l| self.last_grants[l.0])
+                        .sum();
+                    if descendants_sum > 0.0 {
+                        self.last_grants[id.0] = descendants_sum;
+                    }
+                }
+            }
+            SelectionPolicy::ModelDriven => {
+                self.control_round(self.start)?;
+                self.rebalance_rounds += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the simulation until the next event would land at or past
+    /// `limit` (clamped to the run's end). The state after `run_to` is
+    /// exactly the state mid-loop of an uninterrupted run: snapshotting
+    /// here and resuming continues bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller, device, and tree failures.
+    pub fn run_to(&mut self, limit: SimTime) -> Result<(), ClusterError> {
+        let limit = limit.min(self.t_end);
+        loop {
+            // Next event time across arrivals, devices, the two tickers,
+            // and scheduled tree-fault transitions.
+            let mut t = self.next_sample.min(self.next_control);
+            if let Some(ft) = self.faults.next_transition() {
+                t = t.min(self.now.max(ft));
+            }
+            for a in self.pending.iter().flatten() {
+                t = t.min(self.start.max(a.at));
+            }
+            for ctl in &mut self.controllers {
+                for d in 0..ctl.devices().len() {
+                    if let Some(dt) = ctl.device_mut(d).next_event() {
+                        t = t.min(dt);
+                    }
+                }
+            }
+            if t >= limit {
+                break;
+            }
+            self.step_at(t)?;
+            self.now = t;
+        }
+        Ok(())
+    }
+
+    /// Runs to the end of the configured duration and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller, device, and tree failures.
+    pub fn finish(mut self) -> Result<ClusterReport, ClusterError> {
+        self.run_to(self.t_end)?;
+
+        // Close the run at exactly t_end: drain-by-advance, final sample.
+        self.drain_completions(self.t_end);
+        self.sample_nodes(self.t_end);
+        self.node_samples += 1;
+
+        let nodes: Vec<NodeReport> = self
+            .tree
+            .node_ids()
+            .map(|id| NodeReport {
+                path: self.tree.path(id),
+                kind: self.tree.kind(id),
+                cap_w: self.tree.cap_w(id),
+                max_power_w: self.node_max[id.0],
+                mean_power_w: self.node_sum[id.0] / self.node_samples as f64,
+                granted_w: self.last_grants[id.0],
+            })
+            .collect();
+        let tenant_reports: Vec<TenantReport> = self
+            .tenants
+            .iter()
+            .zip(&self.accounts)
+            .map(|(t, a)| TenantReport {
+                name: t.name.clone(),
+                submitted: a.submitted,
+                served: a.window.len() as u64,
+                bytes: a.window.bytes(),
+                dropped: a.dropped,
+                mean_latency_us: a.window.mean_latency().map_or(0.0, Micros::get),
+                p99_latency_us: a.window.p99_latency().map_or(0.0, Micros::get),
+                slo_ok: a.window.satisfies(&a.slo, self.duration),
+            })
+            .collect();
+        let total_bytes: u64 = tenant_reports.iter().map(|t| t.bytes).sum();
+        let served_ios: u64 = tenant_reports.iter().map(|t| t.served).sum();
+        let dropped: u64 = tenant_reports.iter().map(|t| t.dropped).sum();
+
+        Ok(ClusterReport {
+            policy: self.policy,
+            nodes,
+            tenants: tenant_reports,
+            duration: self.duration,
+            total_bytes,
+            served_ios,
+            rebalance_rounds: self.rebalance_rounds,
+            replans: self.replans,
+            infeasible_rounds: self.infeasible_rounds,
+            dropped,
+        })
+    }
+
+    /// One loop-body iteration at event time `t`: advance devices, admit
+    /// arrivals, process tree-fault transitions, run the control round and
+    /// power sampling when due.
+    fn step_at(&mut self, t: SimTime) -> Result<(), ClusterError> {
+        self.drain_completions(t);
+        self.admit_arrivals(t)?;
+
+        // A breaker trip or restore forces an immediate control round so
+        // the surviving subtree is re-planned on the spot instead of
+        // waiting out the control interval.
+        let forced = self.process_tree_faults(t);
+        if t >= self.next_control || forced {
+            if self.policy == SelectionPolicy::ModelDriven {
+                self.control_round(t)?;
+                self.rebalance_rounds += 1;
+            }
+            self.next_control = t + self.control_interval;
+        }
+
+        if t >= self.next_sample {
+            self.sample_nodes(t);
+            self.node_samples += 1;
+            self.next_sample = t + self.sample_interval;
+        }
+        Ok(())
+    }
+
+    /// Advances the whole cluster in lockstep to `t`, crediting
+    /// completions to their tenants' SLO windows.
+    fn drain_completions(&mut self, t: SimTime) {
+        for ctl in &mut self.controllers {
+            for d in 0..ctl.devices().len() {
+                for c in ctl.device_mut(d).advance_to(t) {
+                    if let Some(tenant) = self.owners.remove(&c.id.0) {
+                        let latency_us =
+                            c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
+                        self.accounts[tenant]
+                            .window
+                            .observe(Micros::new(latency_us), c.len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admits arrivals due at or before `t`, merged across tenants in
+    /// (time, tenant index) order.
+    fn admit_arrivals(&mut self, t: SimTime) -> Result<(), ClusterError> {
+        loop {
+            let due = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| a.map(|a| (self.start.max(a.at), i)))
+                .min();
+            let Some((at, tenant)) = due else { break };
+            if at > t {
+                break;
+            }
+            let Some(arrival) = self.pending[tenant].take() else {
+                break;
+            };
+            self.pending[tenant] = self.streams[tenant].next();
+            self.submit_arrival(&arrival, tenant, t)?;
+        }
+        Ok(())
+    }
+
+    /// Routes and submits one arrival to the least-loaded routable device.
+    fn submit_arrival(
+        &mut self,
+        arrival: &Arrival,
+        tenant: usize,
+        now: SimTime,
+    ) -> Result<(), ClusterError> {
+        let rec = powadapt_obs::current();
+        let id = self.next_id;
+        self.next_id += 1;
+
+        // Least-loaded routable device; ties break to the lowest index. A
+        // transient refusal moves on to the next candidate; exhausting all
+        // of them drops the arrival (open loop does not retry later).
+        let mut candidates: Vec<usize> =
+            (0..self.flat.len()).filter(|&i| self.routable[i]).collect();
+        candidates.sort_by_key(|&i| {
+            let (e, d) = self.flat[i];
+            (self.controllers[e].devices()[d].inflight(), i)
+        });
+        for &gi in &candidates {
+            let (e, d) = self.flat[gi];
+            let dev = self.controllers[e].device_mut(d);
+            let cap = dev.spec().capacity();
+            let len = arrival.len.min(cap);
+            let offset = arrival.offset.min(cap - len);
+            match dev.submit(IoRequest::new(IoId(id), arrival.kind, offset, len)) {
+                Ok(()) => {
+                    self.owners.insert(id, tenant);
+                    self.accounts[tenant].submitted += 1;
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.accounts[tenant].dropped += 1;
+        emit!(rec, now, "cluster", EventKind::ArrivalDropped { id });
+        Ok(())
+    }
+
+    /// Fires every due tree-fault transition: a trip takes the subtree's
+    /// enclosures dark (unroutable, devices asked into standby), a restore
+    /// brings them back. Returns whether anything fired, which forces an
+    /// immediate control round.
+    fn process_tree_faults(&mut self, t: SimTime) -> bool {
+        if self.faults.is_empty() {
+            return false;
+        }
+        let events = self.faults.due(t);
+        if events.is_empty() {
+            return false;
+        }
+        let rec = powadapt_obs::current();
+        for ev in events {
+            match ev {
+                TreeFaultEvent::Trip(node) => {
+                    emit!(
+                        rec,
+                        t,
+                        "tree",
+                        EventKind::BreakerTrip {
+                            node: self.tree.path(node)
+                        }
+                    );
+                    for e in self.enclosures_under(node) {
+                        for (gi, &(fe, _)) in self.flat.iter().enumerate() {
+                            if fe == e {
+                                self.routable[gi] = false;
+                            }
+                        }
+                        // Fail closed: the feed is gone, so the subtree
+                        // sheds its load. Standby is best effort — a
+                        // refusal mid-transition still leaves the
+                        // enclosure unroutable and demand-less.
+                        for d in 0..self.controllers[e].devices().len() {
+                            let _ = self.controllers[e].device_mut(d).request_standby();
+                        }
+                        self.last_applied[e] = None;
+                    }
+                }
+                TreeFaultEvent::Restore(node) => {
+                    emit!(
+                        rec,
+                        t,
+                        "tree",
+                        EventKind::BreakerRestore {
+                            node: self.tree.path(node)
+                        }
+                    );
+                    for e in self.enclosures_under(node) {
+                        // Another window may still hold this leaf down.
+                        if self.faults.is_down(&self.tree, self.leaves[e]) {
+                            continue;
+                        }
+                        for d in 0..self.controllers[e].devices().len() {
+                            let _ = self.controllers[e].device_mut(d).request_wake();
+                        }
+                        self.last_applied[e] = None;
+                        if self.policy == SelectionPolicy::UniformStatic {
+                            self.reapply_uniform_share(e);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Enclosure indices whose leaf sits at or under `node`.
+    fn enclosures_under(&self, node: NodeId) -> Vec<usize> {
+        self.leaves
+            .iter()
+            .enumerate()
+            .filter(|&(_, &leaf)| leaf == node || self.tree.ancestors(leaf).contains(&node))
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// Re-applies the uniform static share to enclosure `e` after its feed
+    /// returns (the static policy has no control rounds to recover with).
+    fn reapply_uniform_share(&mut self, e: usize) {
+        let share_w = self.tree.cap_w(self.tree.root_id()) / self.flat.len() as f64;
+        let choices = uniform_choices(&self.enc_models[e], share_w);
+        for (d, choice) in choices.iter().enumerate() {
+            let Some(gi) = self.flat.iter().position(|&(fe, fd)| fe == e && fd == d) else {
+                continue;
+            };
+            match choice {
+                Some(point) => {
+                    // Best effort: the device may still be mid-wake; it
+                    // serves at whatever state it exits standby into.
+                    let _ = self.controllers[e]
+                        .device_mut(d)
+                        .set_power_state(point.power_state());
+                    self.routable[gi] = true;
+                }
+                None => self.routable[gi] = false,
+            }
+        }
+    }
+
+    /// One demand → rebalance → re-plan round of the model-driven policy.
+    fn control_round(&mut self, now: SimTime) -> Result<(), ClusterError> {
+        let rec = powadapt_obs::current();
+        let down: Vec<bool> = self
+            .leaves
+            .iter()
+            .map(|&leaf| self.faults.is_down(&self.tree, leaf))
+            .collect();
+
+        // Demands: the floor is structural; the want tracks backlog — a
+        // busy enclosure asks for its ceiling, an idle one releases
+        // everything above its floor back to the tree. A dark enclosure
+        // (tripped feed) demands nothing at all: its budget flows to the
+        // survivors.
+        let demands: Vec<Demand> = self
+            .controllers
+            .iter()
+            .zip(&self.enc_models)
+            .zip(&down)
+            .map(|((ctl, models), &is_down)| {
+                if is_down {
+                    return Demand {
+                        floor_w: 0.0,
+                        want_w: 0.0,
+                    };
+                }
+                let busy = ctl.devices().iter().any(|d| d.inflight() > 0);
+                let floor_w = fleet_floor_w(models);
+                Demand {
+                    floor_w,
+                    want_w: if busy { fleet_max_w(models) } else { floor_w },
+                }
+            })
+            .collect();
+
+        let grants = self.tree.rebalance(&demands, self.planning_margin)?;
+        for id in self.tree.node_ids() {
+            let g = grants[id.0];
+            self.last_grants[id.0] = g.granted_w;
+            emit!(
+                rec,
+                now,
+                "tree",
+                EventKind::RebalanceDecision {
+                    node: self.tree.path(id),
+                    cap_w: g.cap_w,
+                    granted_w: g.granted_w,
+                    demand_w: g.demand_w,
+                }
+            );
+        }
+
+        for (e, leaf) in self.leaves.iter().enumerate() {
+            // A dark enclosure keeps its zero grant; nothing to apply.
+            if down[e] {
+                continue;
+            }
+            let granted_w = grants[leaf.0].granted_w;
+            let unchanged =
+                self.last_applied[e].is_some_and(|prev| (prev - granted_w).abs() <= 0.05);
+            if unchanged {
+                continue;
+            }
+            match self.controllers[e].apply_budget(granted_w) {
+                Ok(plan) => {
+                    set_routable_from_plan(
+                        &mut self.routable,
+                        &self.flat,
+                        e,
+                        &plan.actions,
+                        &self.controllers[e],
+                    );
+                    self.last_applied[e] = Some(granted_w);
+                    self.replans += 1;
+                }
+                // A grant below the enclosure floor keeps the previous
+                // configuration: the tree guarantees floors when feasible,
+                // so this only happens under pathological margins.
+                Err(ControlError::Infeasible { .. }) => self.infeasible_rounds += 1,
+                Err(err) => return Err(err.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples every node's subtree power and records max/mean, emitting
+    /// Perfetto counter tracks for rack-level nodes.
+    fn sample_nodes(&mut self, now: SimTime) {
+        let rec = powadapt_obs::current();
+        let mut power = vec![0.0f64; self.tree.len()];
+        for (leaf, ctl) in self.leaves.iter().zip(&self.controllers) {
+            let p = ctl.measured_power_w();
+            power[leaf.0] += p;
+            for anc in self.tree.ancestors(*leaf) {
+                power[anc.0] += p;
+            }
+        }
+        for id in self.tree.node_ids() {
+            let p = power[id.0];
+            self.node_max[id.0] = self.node_max[id.0].max(p);
+            self.node_sum[id.0] += p;
+            if self.tree.kind(id) == NodeKind::Rack {
+                emit!(
+                    rec,
+                    now,
+                    self.tree.path(id),
+                    EventKind::PowerSample { watts: p }
+                );
+            }
+        }
+    }
+}
+
+impl powadapt_snap::Snapshot for ClusterSim {
+    /// Serializes the cluster's complete dynamic state: the event-loop
+    /// cursors, routing and accounting vectors, in-flight ownership,
+    /// tenant streams and SLO windows, every controller (devices, health,
+    /// quarantine), and the tree-fault phases. Configuration — topology,
+    /// models, tenants, intervals — is rebuilt from the spec on resume.
+    fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        write_time(w, self.now);
+        w.u64(self.next_id);
+        write_time(w, self.next_control);
+        write_time(w, self.next_sample);
+        w.u64(self.rebalance_rounds);
+        w.u64(self.replans);
+        w.u64(self.infeasible_rounds);
+        w.u64(self.node_samples);
+
+        w.seq_len(self.routable.len());
+        for &v in &self.routable {
+            w.bool(v);
+        }
+        write_f64s(w, &self.node_max);
+        write_f64s(w, &self.node_sum);
+        write_f64s(w, &self.last_grants);
+        w.seq_len(self.last_applied.len());
+        for &v in &self.last_applied {
+            w.opt_f64(v);
+        }
+
+        w.seq_len(self.owners.len());
+        for (&id, &tenant) in &self.owners {
+            w.u64(id);
+            w.usize(tenant);
+        }
+
+        w.seq_len(self.streams.len());
+        for s in &self.streams {
+            powadapt_snap::Snapshot::write_state(s, w)?;
+        }
+        w.seq_len(self.pending.len());
+        for p in &self.pending {
+            match p {
+                Some(a) => {
+                    w.bool(true);
+                    write_arrival(w, a);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.seq_len(self.accounts.len());
+        for a in &self.accounts {
+            powadapt_snap::Snapshot::write_state(&a.window, w)?;
+            w.u64(a.submitted);
+            w.u64(a.dropped);
+        }
+
+        w.seq_len(self.controllers.len());
+        for ctl in &self.controllers {
+            ctl.write_state(w)?;
+        }
+        powadapt_snap::Snapshot::write_state(&self.faults, w)
+    }
+}
+
+impl powadapt_snap::Restore for ClusterSim {
+    #[allow(clippy::too_many_lines)]
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = read_time(r)?;
+        if self.now < self.start || self.now > self.t_end {
+            return Err(SnapError::InvalidValue(format!(
+                "checkpoint time {:?} outside the run [{:?}, {:?}]",
+                self.now, self.start, self.t_end
+            )));
+        }
+        self.next_id = r.u64()?;
+        self.next_control = read_time(r)?;
+        self.next_sample = read_time(r)?;
+        self.rebalance_rounds = r.u64()?;
+        self.replans = r.u64()?;
+        self.infeasible_rounds = r.u64()?;
+        self.node_samples = r.u64()?;
+
+        let n = r.seq_len()?;
+        if n != self.routable.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot has {n} routable flags, cluster has {}",
+                self.routable.len()
+            )));
+        }
+        for v in &mut self.routable {
+            *v = r.bool()?;
+        }
+        read_f64s_into(r, &mut self.node_max, "node max")?;
+        read_f64s_into(r, &mut self.node_sum, "node sum")?;
+        read_f64s_into(r, &mut self.last_grants, "grant")?;
+        let n = r.seq_len()?;
+        if n != self.last_applied.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot has {n} applied budgets, cluster has {}",
+                self.last_applied.len()
+            )));
+        }
+        for v in &mut self.last_applied {
+            *v = r.opt_f64()?;
+        }
+
+        let n = r.seq_len()?;
+        let mut owners = BTreeMap::new();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let tenant = r.usize()?;
+            if tenant >= self.tenants.len() {
+                return Err(SnapError::InvalidValue(format!(
+                    "in-flight IO {id} owned by tenant {tenant}, cluster has {}",
+                    self.tenants.len()
+                )));
+            }
+            if id >= self.next_id {
+                return Err(SnapError::InvalidValue(format!(
+                    "in-flight IO {id} at or past the next request id {}",
+                    self.next_id
+                )));
+            }
+            if owners.insert(id, tenant).is_some() {
+                return Err(SnapError::InvalidValue(format!(
+                    "duplicate in-flight IO id {id}"
+                )));
+            }
+        }
+        self.owners = owners;
+
+        let n = r.seq_len()?;
+        if n != self.streams.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot has {n} tenant streams, cluster has {}",
+                self.streams.len()
+            )));
+        }
+        for s in &mut self.streams {
+            powadapt_snap::Restore::read_state(s, r)?;
+        }
+        let n = r.seq_len()?;
+        if n != self.pending.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot has {n} pending arrivals, cluster has {}",
+                self.pending.len()
+            )));
+        }
+        for p in &mut self.pending {
+            *p = if r.bool()? {
+                Some(read_arrival(r)?)
+            } else {
+                None
+            };
+        }
+        let n = r.seq_len()?;
+        if n != self.accounts.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot has {n} tenant accounts, cluster has {}",
+                self.accounts.len()
+            )));
+        }
+        for a in &mut self.accounts {
+            powadapt_snap::Restore::read_state(&mut a.window, r)?;
+            a.submitted = r.u64()?;
+            a.dropped = r.u64()?;
+        }
+
+        let n = r.seq_len()?;
+        if n != self.controllers.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot has {n} controllers, cluster has {}",
+                self.controllers.len()
+            )));
+        }
+        for ctl in &mut self.controllers {
+            ctl.read_state(r)?;
+        }
+        powadapt_snap::Restore::read_state(&mut self.faults, r)
+    }
+}
+
 /// Runs a cluster to completion.
+///
+/// Equivalent to driving a [`ClusterSim`] from [`ClusterSim::new`]
+/// straight through [`ClusterSim::finish`] — checkpoint/resume flows hold
+/// the object instead.
 ///
 /// # Errors
 ///
@@ -272,344 +1269,8 @@ struct TenantAccount {
 /// tree misconfiguration, [`ClusterError::Control`]/
 /// [`ClusterError::Device`] when a controller or device fails
 /// non-transiently.
-#[allow(clippy::too_many_lines)]
 pub fn run_cluster(spec: ClusterSpec) -> Result<ClusterReport, ClusterError> {
-    let ClusterSpec {
-        tree,
-        enclosures,
-        tenants,
-        policy,
-        control_interval,
-        sample_interval,
-        planning_margin,
-        duration,
-        seed,
-    } = spec;
-
-    let leaves = tree.leaves();
-    if enclosures.len() != leaves.len() {
-        return Err(ClusterError::InvalidSpec(format!(
-            "{} enclosures for {} tree leaves",
-            enclosures.len(),
-            leaves.len()
-        )));
-    }
-    if tenants.is_empty() {
-        return Err(ClusterError::InvalidSpec("no tenants".into()));
-    }
-    if control_interval.is_zero() || sample_interval.is_zero() {
-        return Err(ClusterError::InvalidSpec(
-            "control and sample intervals must be non-zero".into(),
-        ));
-    }
-    if !(planning_margin > 0.0 && planning_margin <= 1.0) {
-        return Err(ClusterError::InvalidSpec(
-            "planning margin must be in (0, 1]".into(),
-        ));
-    }
-    if duration.is_zero() {
-        return Err(ClusterError::InvalidSpec(
-            "duration must be non-zero".into(),
-        ));
-    }
-    tree.validate()?;
-
-    let rec = powadapt_obs::current();
-
-    // Build controllers; keep a model copy per enclosure for demand and
-    // baseline math (the controller owns its own).
-    let mut controllers: Vec<AdaptiveController> = Vec::with_capacity(enclosures.len());
-    let mut enc_models: Vec<Vec<PowerThroughputModel>> = Vec::with_capacity(enclosures.len());
-    let mut enc_names: Vec<String> = Vec::with_capacity(enclosures.len());
-    let mut flat: Vec<(usize, usize)> = Vec::new();
-    for (e, enc) in enclosures.into_iter().enumerate() {
-        if enc.devices.is_empty() {
-            return Err(ClusterError::InvalidSpec(format!(
-                "enclosure {} has no devices",
-                enc.name
-            )));
-        }
-        for d in 0..enc.devices.len() {
-            flat.push((e, d));
-        }
-        enc_models.push(enc.models.clone());
-        enc_names.push(enc.name);
-        let mut ctl = AdaptiveController::new(enc.devices, enc.models)?;
-        for d in 0..ctl.devices().len() {
-            let track = format!("{}.dev{d}", enc_names[e]);
-            ctl.device_mut(d).set_recorder(rec.clone(), track);
-        }
-        controllers.push(ctl);
-    }
-    let n_devices = flat.len();
-
-    let start = controllers[0].devices()[0].now();
-    for ctl in &controllers {
-        for d in ctl.devices() {
-            if d.now() != start {
-                return Err(ClusterError::InvalidSpec(
-                    "devices must start at a common time".into(),
-                ));
-            }
-        }
-    }
-    let t_end = start + duration;
-
-    // Tenant streams and accounts, seeded per tenant.
-    let mut streams: Vec<TenantStream> = Vec::with_capacity(tenants.len());
-    let mut accounts: Vec<TenantAccount> = Vec::with_capacity(tenants.len());
-    for (i, t) in tenants.iter().enumerate() {
-        let stream_seed = powadapt_sim::SimRng::stream_seed(seed, i as u64);
-        let stream =
-            TenantStream::new(t, duration, stream_seed).map_err(ClusterError::InvalidSpec)?;
-        streams.push(stream);
-        accounts.push(TenantAccount {
-            window: SloWindow::new(),
-            slo: t.slo.clone(),
-            submitted: 0,
-            dropped: 0,
-        });
-    }
-    let mut pending: Vec<Option<Arrival>> = streams.iter_mut().map(Iterator::next).collect();
-
-    // Which devices the router may target, per the active plan.
-    let mut routable: Vec<bool> = vec![false; n_devices];
-
-    // Bookkeeping for control rounds and node power accounting.
-    let n_nodes = tree.len();
-    let mut node_max = vec![0.0f64; n_nodes];
-    let mut node_sum = vec![0.0f64; n_nodes];
-    let mut node_samples = 0u64;
-    let mut last_grants = vec![0.0f64; n_nodes];
-    let mut last_applied: Vec<Option<f64>> = vec![None; controllers.len()];
-    let mut rebalance_rounds = 0u64;
-    let mut replans = 0u64;
-    let mut infeasible_rounds = 0u64;
-
-    // In-flight IO ownership: global request id -> tenant index.
-    let mut owners: BTreeMap<u64, usize> = BTreeMap::new();
-    let mut next_id = 0u64;
-
-    // Initial configuration.
-    match policy {
-        SelectionPolicy::UniformStatic => {
-            // The naive contract: every device gets an equal slice of the
-            // cluster's physical cap, decided once, never revisited.
-            let share_w = tree.cap_w(tree.root_id()) / n_devices as f64;
-            for (e, ctl) in controllers.iter_mut().enumerate() {
-                let choices = uniform_choices(&enc_models[e], share_w);
-                for (d, choice) in choices.iter().enumerate() {
-                    let Some(gi) = flat.iter().position(|&(fe, fd)| fe == e && fd == d) else {
-                        continue;
-                    };
-                    match choice {
-                        Some(point) => {
-                            ctl.device_mut(d).set_power_state(point.power_state())?;
-                            routable[gi] = true;
-                        }
-                        None => routable[gi] = false,
-                    }
-                }
-            }
-            // Report the share totals as the tree's static "grants".
-            for (leaf, ctl) in leaves.iter().zip(&controllers) {
-                last_grants[leaf.0] = share_w * ctl.devices().len() as f64;
-            }
-            for id in tree.node_ids() {
-                let descendants_sum: f64 = leaves
-                    .iter()
-                    .filter(|l| tree.ancestors(**l).contains(&id))
-                    .map(|l| last_grants[l.0])
-                    .sum();
-                if descendants_sum > 0.0 {
-                    last_grants[id.0] = descendants_sum;
-                }
-            }
-        }
-        SelectionPolicy::ModelDriven => {
-            control_round(
-                &tree,
-                &leaves,
-                &mut controllers,
-                &enc_models,
-                &flat,
-                planning_margin,
-                start,
-                &mut routable,
-                &mut last_grants,
-                &mut last_applied,
-                &mut replans,
-                &mut infeasible_rounds,
-            )?;
-            rebalance_rounds += 1;
-        }
-    }
-
-    let mut next_control = start + control_interval;
-    let mut next_sample = start;
-
-    loop {
-        // Next event time across arrivals, devices, and the two tickers.
-        let mut t = next_sample.min(next_control);
-        for a in pending.iter().flatten() {
-            t = t.min(start.max(a.at));
-        }
-        for ctl in &mut controllers {
-            for d in 0..ctl.devices().len() {
-                if let Some(dt) = ctl.device_mut(d).next_event() {
-                    t = t.min(dt);
-                }
-            }
-        }
-        if t >= t_end {
-            break;
-        }
-
-        // Advance the whole cluster in lockstep; account completions.
-        for ctl in &mut controllers {
-            for d in 0..ctl.devices().len() {
-                for c in ctl.device_mut(d).advance_to(t) {
-                    if let Some(tenant) = owners.remove(&c.id.0) {
-                        let latency_us =
-                            c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
-                        accounts[tenant]
-                            .window
-                            .observe(Micros::new(latency_us), c.len);
-                    }
-                }
-            }
-        }
-
-        // Admit arrivals due at or before t, merged across tenants in
-        // (time, tenant index) order.
-        loop {
-            let due = pending
-                .iter()
-                .enumerate()
-                .filter_map(|(i, a)| a.map(|a| (start.max(a.at), i)))
-                .min();
-            let Some((at, tenant)) = due else { break };
-            if at > t {
-                break;
-            }
-            let Some(arrival) = pending[tenant].take() else {
-                break;
-            };
-            pending[tenant] = streams[tenant].next();
-            submit_arrival(
-                &mut controllers,
-                &flat,
-                &routable,
-                &arrival,
-                tenant,
-                &mut next_id,
-                &mut owners,
-                &mut accounts,
-                t,
-            )?;
-        }
-
-        // Control round.
-        if t >= next_control {
-            if policy == SelectionPolicy::ModelDriven {
-                control_round(
-                    &tree,
-                    &leaves,
-                    &mut controllers,
-                    &enc_models,
-                    &flat,
-                    planning_margin,
-                    t,
-                    &mut routable,
-                    &mut last_grants,
-                    &mut last_applied,
-                    &mut replans,
-                    &mut infeasible_rounds,
-                )?;
-                rebalance_rounds += 1;
-            }
-            next_control = t + control_interval;
-        }
-
-        // Node power sampling.
-        if t >= next_sample {
-            sample_nodes(
-                &tree,
-                &leaves,
-                &controllers,
-                t,
-                &mut node_max,
-                &mut node_sum,
-            );
-            node_samples += 1;
-            next_sample = t + sample_interval;
-        }
-    }
-
-    // Close the run at exactly t_end: drain-by-advance and a final sample.
-    for ctl in &mut controllers {
-        for d in 0..ctl.devices().len() {
-            for c in ctl.device_mut(d).advance_to(t_end) {
-                if let Some(tenant) = owners.remove(&c.id.0) {
-                    let latency_us = c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
-                    accounts[tenant]
-                        .window
-                        .observe(Micros::new(latency_us), c.len);
-                }
-            }
-        }
-    }
-    sample_nodes(
-        &tree,
-        &leaves,
-        &controllers,
-        t_end,
-        &mut node_max,
-        &mut node_sum,
-    );
-    node_samples += 1;
-
-    let nodes: Vec<NodeReport> = tree
-        .node_ids()
-        .map(|id| NodeReport {
-            path: tree.path(id),
-            kind: tree.kind(id),
-            cap_w: tree.cap_w(id),
-            max_power_w: node_max[id.0],
-            mean_power_w: node_sum[id.0] / node_samples as f64,
-            granted_w: last_grants[id.0],
-        })
-        .collect();
-    let tenant_reports: Vec<TenantReport> = tenants
-        .iter()
-        .zip(&accounts)
-        .map(|(t, a)| TenantReport {
-            name: t.name.clone(),
-            submitted: a.submitted,
-            served: a.window.len() as u64,
-            bytes: a.window.bytes(),
-            dropped: a.dropped,
-            mean_latency_us: a.window.mean_latency().map_or(0.0, Micros::get),
-            p99_latency_us: a.window.p99_latency().map_or(0.0, Micros::get),
-            slo_ok: a.window.satisfies(&a.slo, duration),
-        })
-        .collect();
-    let total_bytes: u64 = tenant_reports.iter().map(|t| t.bytes).sum();
-    let served_ios: u64 = tenant_reports.iter().map(|t| t.served).sum();
-    let dropped: u64 = tenant_reports.iter().map(|t| t.dropped).sum();
-
-    Ok(ClusterReport {
-        policy,
-        nodes,
-        tenants: tenant_reports,
-        duration,
-        total_bytes,
-        served_ios,
-        rebalance_rounds,
-        replans,
-        infeasible_rounds,
-        dropped,
-    })
+    ClusterSim::new(spec)?.finish()
 }
 
 /// Marks devices routable per the enclosure's applied plan: `Operate`
@@ -639,154 +1300,6 @@ fn set_routable_from_plan(
             if let Some(gi) = flat.iter().position(|&(fe, fd)| fe == e && fd == d) {
                 routable[gi] = matches!(action, DeviceAction::Operate(_));
             }
-        }
-    }
-}
-
-/// One demand → rebalance → re-plan round of the model-driven policy.
-#[allow(clippy::too_many_arguments)]
-fn control_round(
-    tree: &PowerTree,
-    leaves: &[crate::tree::NodeId],
-    controllers: &mut [AdaptiveController],
-    enc_models: &[Vec<PowerThroughputModel>],
-    flat: &[(usize, usize)],
-    planning_margin: f64,
-    now: SimTime,
-    routable: &mut [bool],
-    last_grants: &mut [f64],
-    last_applied: &mut [Option<f64>],
-    replans: &mut u64,
-    infeasible_rounds: &mut u64,
-) -> Result<(), ClusterError> {
-    let rec = powadapt_obs::current();
-
-    // Demands: the floor is structural; the want tracks backlog — a busy
-    // enclosure asks for its ceiling, an idle one releases everything
-    // above its floor back to the tree.
-    let demands: Vec<Demand> = controllers
-        .iter()
-        .zip(enc_models)
-        .map(|(ctl, models)| {
-            let busy = ctl.devices().iter().any(|d| d.inflight() > 0);
-            let floor_w = fleet_floor_w(models);
-            Demand {
-                floor_w,
-                want_w: if busy { fleet_max_w(models) } else { floor_w },
-            }
-        })
-        .collect();
-
-    let grants = tree.rebalance(&demands, planning_margin)?;
-    for id in tree.node_ids() {
-        let g = grants[id.0];
-        last_grants[id.0] = g.granted_w;
-        emit!(
-            rec,
-            now,
-            "tree",
-            EventKind::RebalanceDecision {
-                node: tree.path(id),
-                cap_w: g.cap_w,
-                granted_w: g.granted_w,
-                demand_w: g.demand_w,
-            }
-        );
-    }
-
-    for (e, leaf) in leaves.iter().enumerate() {
-        let granted_w = grants[leaf.0].granted_w;
-        let unchanged = last_applied[e].is_some_and(|prev| (prev - granted_w).abs() <= 0.05);
-        if unchanged {
-            continue;
-        }
-        match controllers[e].apply_budget(granted_w) {
-            Ok(plan) => {
-                set_routable_from_plan(routable, flat, e, &plan.actions, &controllers[e]);
-                last_applied[e] = Some(granted_w);
-                *replans += 1;
-            }
-            // A grant below the enclosure floor keeps the previous
-            // configuration: the tree guarantees floors when feasible, so
-            // this only happens under pathological margins.
-            Err(ControlError::Infeasible { .. }) => *infeasible_rounds += 1,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(())
-}
-
-/// Routes and submits one arrival to the least-loaded routable device.
-#[allow(clippy::too_many_arguments)]
-fn submit_arrival(
-    controllers: &mut [AdaptiveController],
-    flat: &[(usize, usize)],
-    routable: &[bool],
-    arrival: &Arrival,
-    tenant: usize,
-    next_id: &mut u64,
-    owners: &mut BTreeMap<u64, usize>,
-    accounts: &mut [TenantAccount],
-    now: SimTime,
-) -> Result<(), ClusterError> {
-    let rec = powadapt_obs::current();
-    let id = *next_id;
-    *next_id += 1;
-
-    // Least-loaded routable device; ties break to the lowest index. A
-    // transient refusal moves on to the next candidate; exhausting all of
-    // them drops the arrival (open loop does not retry later).
-    let mut candidates: Vec<usize> = (0..flat.len()).filter(|&i| routable[i]).collect();
-    candidates.sort_by_key(|&i| {
-        let (e, d) = flat[i];
-        (controllers[e].devices()[d].inflight(), i)
-    });
-    for &gi in &candidates {
-        let (e, d) = flat[gi];
-        let dev = controllers[e].device_mut(d);
-        let cap = dev.spec().capacity();
-        let len = arrival.len.min(cap);
-        let offset = arrival.offset.min(cap - len);
-        match dev.submit(IoRequest::new(IoId(id), arrival.kind, offset, len)) {
-            Ok(()) => {
-                owners.insert(id, tenant);
-                accounts[tenant].submitted += 1;
-                return Ok(());
-            }
-            Err(e) if e.is_transient() => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-    accounts[tenant].dropped += 1;
-    emit!(rec, now, "cluster", EventKind::ArrivalDropped { id });
-    Ok(())
-}
-
-/// Samples every node's subtree power and records max/mean, emitting
-/// Perfetto counter tracks for rack-level nodes.
-fn sample_nodes(
-    tree: &PowerTree,
-    leaves: &[crate::tree::NodeId],
-    controllers: &[AdaptiveController],
-    now: SimTime,
-    node_max: &mut [f64],
-    node_sum: &mut [f64],
-) {
-    let rec = powadapt_obs::current();
-    let mut power = vec![0.0f64; tree.len()];
-    for (leaf, ctl) in leaves.iter().zip(controllers) {
-        let p = ctl.measured_power_w();
-        power[leaf.0] += p;
-        for anc in tree.ancestors(*leaf) {
-            power[anc.0] += p;
-        }
-    }
-    for id in tree.node_ids() {
-        let p = power[id.0];
-        node_max[id.0] = node_max[id.0].max(p);
-        node_sum[id.0] += p;
-        if tree.kind(id) == NodeKind::Rack {
-            emit!(rec, now, tree.path(id), EventKind::PowerSample { watts: p });
         }
     }
 }

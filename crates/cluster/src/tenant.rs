@@ -210,6 +210,45 @@ impl TenantStream {
     }
 }
 
+impl powadapt_snap::Snapshot for TenantStream {
+    /// Serializes the stream's cursor: the arrival generator plus, for
+    /// diurnal tenants, the thinning RNG. The swing and period are spec
+    /// configuration and are rebuilt, not serialized.
+    fn write_state(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        powadapt_snap::Snapshot::write_state(&self.gen, w)?;
+        match &self.thin {
+            None => w.bool(false),
+            Some(t) => {
+                w.bool(true);
+                powadapt_snap::Snapshot::write_state(&t.rng, w)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl powadapt_snap::Restore for TenantStream {
+    fn read_state(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        powadapt_snap::Restore::read_state(&mut self.gen, r)?;
+        let has_thin = r.bool()?;
+        match (&mut self.thin, has_thin) {
+            (None, false) => Ok(()),
+            (Some(t), true) => powadapt_snap::Restore::read_state(&mut t.rng, r),
+            (thin, _) => Err(powadapt_snap::SnapError::InvalidValue(format!(
+                "thinning presence mismatch: stream has {}, snapshot has {}",
+                thin.is_some(),
+                has_thin
+            ))),
+        }
+    }
+}
+
 impl Iterator for TenantStream {
     type Item = Arrival;
 

@@ -488,6 +488,63 @@ impl AdaptiveController {
             }
         }
     }
+
+    /// Serializes the controller's dynamic state: every device's state
+    /// (via [`StorageDevice::write_state`]), health EWMAs, and quarantine
+    /// cooldowns. Models and retry policy are configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SnapError`](powadapt_snap::SnapError) from a
+    /// device codec.
+    pub fn write_state(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        w.seq_len(self.devices.len());
+        for d in &self.devices {
+            d.write_state(w)?;
+        }
+        for h in &self.health {
+            powadapt_snap::Snapshot::write_state(h, w)?;
+        }
+        for &q in &self.quarantine {
+            w.u32(q);
+        }
+        Ok(())
+    }
+
+    /// Overlays state written by [`AdaptiveController::write_state`] onto
+    /// a controller freshly built with the same devices and models. Emits
+    /// no observability events.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::InvalidValue`](powadapt_snap::SnapError::InvalidValue)
+    /// when the snapshot's fleet size differs from this controller's, or
+    /// any error from a device codec.
+    pub fn read_state(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        let n = r.seq_len()?;
+        if n != self.devices.len() {
+            return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                "snapshot holds {n} devices, controller has {}",
+                self.devices.len()
+            )));
+        }
+        for d in &mut self.devices {
+            d.read_state(r)?;
+        }
+        for h in &mut self.health {
+            powadapt_snap::Restore::read_state(h, r)?;
+        }
+        for q in &mut self.quarantine {
+            *q = r.u32()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

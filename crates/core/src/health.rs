@@ -93,6 +93,37 @@ impl DeviceHealth {
     }
 }
 
+impl powadapt_snap::Snapshot for DeviceHealth {
+    fn write_state(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        w.f64(self.ewma);
+        w.u64(self.commands);
+        w.u64(self.failures);
+        Ok(())
+    }
+}
+
+impl powadapt_snap::Restore for DeviceHealth {
+    fn read_state(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        self.ewma = r.f64()?;
+        let commands = r.u64()?;
+        let failures = r.u64()?;
+        if failures > commands {
+            return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                "{failures} failures exceed {commands} commands"
+            )));
+        }
+        self.commands = commands;
+        self.failures = failures;
+        Ok(())
+    }
+}
+
 /// Evidence that a device refused its planned action and was routed
 /// around: attached to the [`AppliedPlan`](crate::AppliedPlan) that the
 /// degraded control round produced.

@@ -262,6 +262,47 @@ impl SloWindow {
     }
 }
 
+impl powadapt_snap::Snapshot for SloWindow {
+    fn write_state(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        w.seq_len(self.lat_us.len());
+        for &l in &self.lat_us {
+            w.f64(l);
+        }
+        w.u64(self.bytes);
+        Ok(())
+    }
+}
+
+impl powadapt_snap::Restore for SloWindow {
+    fn read_state(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        let n = r.seq_len()?;
+        let mut lat_us = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = r.f64()?;
+            if !l.is_finite() {
+                return Err(powadapt_snap::SnapError::InvalidValue(
+                    "non-finite latency in SLO window".into(),
+                ));
+            }
+            if lat_us.last().is_some_and(|&prev: &f64| prev > l) {
+                return Err(powadapt_snap::SnapError::InvalidValue(
+                    "SLO window latencies not sorted".into(),
+                ));
+            }
+            lat_us.push(l);
+        }
+        self.lat_us = lat_us;
+        self.bytes = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

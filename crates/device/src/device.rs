@@ -4,6 +4,7 @@ use std::fmt;
 
 use powadapt_obs::RecorderHandle;
 use powadapt_sim::SimTime;
+use powadapt_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::error::DeviceError;
 use crate::io::{IoCompletion, IoRequest};
@@ -148,6 +149,43 @@ pub trait StorageDevice: fmt::Debug {
     /// so uninstrumented device types remain valid.
     fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
         let _ = (rec, track);
+    }
+
+    /// Serializes the device's complete dynamic state — event queue,
+    /// in-flight IOs, RNG stream position, power accounting — for a
+    /// checkpoint. Configuration (spec, power states, geometry) is *not*
+    /// written: restore rebuilds the device from its spec and overlays
+    /// this state via [`StorageDevice::read_state`].
+    ///
+    /// The default errors with [`SnapError::Unsupported`], keeping
+    /// third-party device types valid; every device in this workspace
+    /// implements it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] when the device cannot be snapshotted.
+    fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::Unsupported(
+            "this device type does not implement snapshotting",
+        ))
+    }
+
+    /// Overlays dynamic state written by [`StorageDevice::write_state`]
+    /// onto a freshly built device of the same spec and configuration.
+    /// Must not emit observability events: a restored run's trace
+    /// continues the original's rather than replaying it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] by default; any [`SnapError`] on
+    /// malformed input. A device that returned an error may be partially
+    /// overwritten and must be discarded.
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::Unsupported(
+            "this device type does not implement snapshotting",
+        ))
     }
 }
 

@@ -41,11 +41,13 @@ use std::fmt;
 
 use powadapt_obs::{emit, EventKind, RecorderHandle};
 use powadapt_sim::{SimDuration, SimRng, SimTime};
+use powadapt_snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::device::StorageDevice;
 use crate::error::DeviceError;
 use crate::io::{IoCompletion, IoRequest};
 use crate::power::{PowerStateDesc, PowerStateId, StandbyDepth, StandbyState};
+use crate::snapcodec;
 use crate::spec::DeviceSpec;
 
 /// What a scheduled [`FaultWindow`] does while it is active.
@@ -449,6 +451,30 @@ impl StorageDevice for FaultInjector {
         self.rec = rec.clone();
         self.track = track.clone();
         self.inner.set_recorder(rec, track);
+    }
+
+    fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // The plan is configuration: a restored injector is rebuilt with the
+        // same plan, so only the stochastic and in-flight state travels.
+        self.inner.write_state(w)?;
+        Snapshot::write_state(&self.rng, w)?;
+        snapcodec::write_completions(w, &self.held);
+        w.u64(self.stats.io_errors);
+        w.u64(self.stats.unavailable);
+        w.u64(self.stats.admin_failures);
+        w.u64(self.stats.latency_spikes);
+        Ok(())
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inner.read_state(r)?;
+        Restore::read_state(&mut self.rng, r)?;
+        self.held = snapcodec::read_completions(r)?;
+        self.stats.io_errors = r.u64()?;
+        self.stats.unavailable = r.u64()?;
+        self.stats.admin_failures = r.u64()?;
+        self.stats.latency_spikes = r.u64()?;
+        Ok(())
     }
 }
 

@@ -15,12 +15,15 @@ pub use config::HddConfig;
 use std::collections::{BTreeSet, VecDeque};
 
 use powadapt_obs::{emit, span, EventKind, RecorderHandle};
+use powadapt_sim::snapshot::{read_time, write_time};
 use powadapt_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use powadapt_snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::device::StorageDevice;
 use crate::error::DeviceError;
 use crate::io::{IoCompletion, IoId, IoKind, IoRequest};
 use crate::power::{PowerStateDesc, PowerStateId, StandbyPhase, StandbyState};
+use crate::snapcodec;
 use crate::spec::DeviceSpec;
 
 #[derive(Debug, Clone, Copy)]
@@ -587,6 +590,175 @@ impl StorageDevice for Hdd {
         self.rec = rec;
         self.track = track;
     }
+
+    fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        write_time(w, self.now);
+        self.events.write_state(w, write_ev)?;
+        Snapshot::write_state(&self.rng, w)?;
+        w.f64(self.power_now);
+        snapcodec::write_standby_phase(w, self.phase);
+        w.bool(self.standby_requested);
+        w.f64(self.noise_w);
+        w.bool(self.noise_scheduled);
+        w.bool(self.ctrl_busy);
+        write_pendings(w, self.cmd_queue.iter());
+        w.u8(match self.media_phase {
+            MediaPhase::Idle => 0,
+            MediaPhase::Positioning => 1,
+            MediaPhase::Transferring => 2,
+        });
+        w.seq_len(self.pending_media.len());
+        for op in &self.pending_media {
+            write_media_op(w, op);
+        }
+        w.u64(self.head_pos);
+        w.u64(self.cache_used);
+        write_pendings(w, self.cache_waiters.iter());
+        w.seq_len(self.inflight_ids.len());
+        for &id in &self.inflight_ids {
+            w.u64(id);
+        }
+        snapcodec::write_completions(w, &self.done);
+        Ok(())
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = read_time(r)?;
+        self.events.read_state(r, read_ev)?;
+        Restore::read_state(&mut self.rng, r)?;
+        self.power_now = r.f64()?;
+        self.phase = snapcodec::read_standby_phase(r)?;
+        self.standby_requested = r.bool()?;
+        self.noise_w = r.f64()?;
+        self.noise_scheduled = r.bool()?;
+        self.ctrl_busy = r.bool()?;
+        self.cmd_queue = read_pendings(r)?;
+        self.media_phase = match r.u8()? {
+            0 => MediaPhase::Idle,
+            1 => MediaPhase::Positioning,
+            2 => MediaPhase::Transferring,
+            b => {
+                return Err(SnapError::InvalidValue(format!("media phase byte {b}")));
+            }
+        };
+        let n = r.seq_len()?;
+        self.pending_media.clear();
+        for _ in 0..n {
+            self.pending_media.push_back(read_media_op(r)?);
+        }
+        self.head_pos = r.u64()?;
+        self.cache_used = r.u64()?;
+        self.cache_waiters = read_pendings(r)?;
+        let n = r.seq_len()?;
+        self.inflight_ids.clear();
+        for _ in 0..n {
+            let id = r.u64()?;
+            if !self.inflight_ids.insert(id) {
+                return Err(SnapError::InvalidValue(format!(
+                    "duplicate inflight id {id}"
+                )));
+            }
+        }
+        self.done = snapcodec::read_completions(r)?;
+        Ok(())
+    }
+}
+
+fn write_pending(w: &mut SnapWriter, p: &Pending) {
+    w.u64(p.id.0);
+    snapcodec::write_io_kind(w, p.kind);
+    w.u64(p.offset);
+    w.u64(p.len);
+    write_time(w, p.submitted);
+}
+
+fn read_pending(r: &mut SnapReader<'_>) -> Result<Pending, SnapError> {
+    Ok(Pending {
+        id: IoId(r.u64()?),
+        kind: snapcodec::read_io_kind(r)?,
+        offset: r.u64()?,
+        len: r.u64()?,
+        submitted: read_time(r)?,
+    })
+}
+
+fn write_pendings<'a, I>(w: &mut SnapWriter, it: I)
+where
+    I: ExactSizeIterator<Item = &'a Pending>,
+{
+    w.seq_len(it.len());
+    for p in it {
+        write_pending(w, p);
+    }
+}
+
+fn read_pendings(r: &mut SnapReader<'_>) -> Result<VecDeque<Pending>, SnapError> {
+    let n = r.seq_len()?;
+    let mut out = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        out.push_back(read_pending(r)?);
+    }
+    Ok(out)
+}
+
+fn write_media_op(w: &mut SnapWriter, op: &MediaOp) {
+    match &op.kind {
+        MediaKind::ReadReq(p) => {
+            w.u8(0);
+            write_pending(w, p);
+        }
+        MediaKind::CacheDrain => w.u8(1),
+    }
+    w.u64(op.offset);
+    w.u64(op.len);
+    write_time(w, op.enqueued);
+}
+
+fn read_media_op(r: &mut SnapReader<'_>) -> Result<MediaOp, SnapError> {
+    let kind = match r.u8()? {
+        0 => MediaKind::ReadReq(read_pending(r)?),
+        1 => MediaKind::CacheDrain,
+        b => {
+            return Err(SnapError::InvalidValue(format!("media kind byte {b}")));
+        }
+    };
+    Ok(MediaOp {
+        kind,
+        offset: r.u64()?,
+        len: r.u64()?,
+        enqueued: read_time(r)?,
+    })
+}
+
+fn write_ev(w: &mut SnapWriter, ev: &Ev) -> Result<(), SnapError> {
+    match ev {
+        Ev::CmdDone(p) => {
+            w.u8(0);
+            write_pending(w, p);
+        }
+        Ev::MediaPositioned(op) => {
+            w.u8(1);
+            write_media_op(w, op);
+        }
+        Ev::MediaDone(op) => {
+            w.u8(2);
+            write_media_op(w, op);
+        }
+        Ev::SpinDone => w.u8(3),
+        Ev::NoiseTick => w.u8(4),
+    }
+    Ok(())
+}
+
+fn read_ev(r: &mut SnapReader<'_>) -> Result<Ev, SnapError> {
+    Ok(match r.u8()? {
+        0 => Ev::CmdDone(read_pending(r)?),
+        1 => Ev::MediaPositioned(read_media_op(r)?),
+        2 => Ev::MediaDone(read_media_op(r)?),
+        3 => Ev::SpinDone,
+        4 => Ev::NoiseTick,
+        b => return Err(SnapError::InvalidValue(format!("hdd event byte {b}"))),
+    })
 }
 
 #[cfg(test)]

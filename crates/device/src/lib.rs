@@ -43,6 +43,7 @@ mod io;
 mod nvme;
 mod power;
 mod sata;
+mod snapcodec;
 mod spec;
 pub mod ssd;
 

@@ -1,0 +1,103 @@
+//! Crate-internal snapshot codecs for the small types shared by every
+//! device's `write_state`/`read_state`: IO records, standby phases. Each
+//! helper reads exactly what its writer produced and fails closed with
+//! [`SnapError::InvalidValue`] on bad discriminants.
+
+use powadapt_sim::snapshot::{read_time, write_time};
+use powadapt_snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::io::{IoCompletion, IoId, IoKind};
+use crate::power::{StandbyDepth, StandbyPhase};
+
+pub(crate) fn write_io_kind(w: &mut SnapWriter, k: IoKind) {
+    w.u8(match k {
+        IoKind::Read => 0,
+        IoKind::Write => 1,
+    });
+}
+
+pub(crate) fn read_io_kind(r: &mut SnapReader<'_>) -> Result<IoKind, SnapError> {
+    match r.u8()? {
+        0 => Ok(IoKind::Read),
+        1 => Ok(IoKind::Write),
+        b => Err(SnapError::InvalidValue(format!("io kind byte {b}"))),
+    }
+}
+
+pub(crate) fn write_completion(w: &mut SnapWriter, c: &IoCompletion) {
+    w.u64(c.id.0);
+    write_io_kind(w, c.kind);
+    w.u64(c.len);
+    write_time(w, c.submitted);
+    write_time(w, c.completed);
+}
+
+pub(crate) fn read_completion(r: &mut SnapReader<'_>) -> Result<IoCompletion, SnapError> {
+    Ok(IoCompletion {
+        id: IoId(r.u64()?),
+        kind: read_io_kind(r)?,
+        len: r.u64()?,
+        submitted: read_time(r)?,
+        completed: read_time(r)?,
+    })
+}
+
+pub(crate) fn write_completions(w: &mut SnapWriter, cs: &[IoCompletion]) {
+    w.seq_len(cs.len());
+    for c in cs {
+        write_completion(w, c);
+    }
+}
+
+pub(crate) fn read_completions(r: &mut SnapReader<'_>) -> Result<Vec<IoCompletion>, SnapError> {
+    let n = r.seq_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_completion(r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_standby_phase(w: &mut SnapWriter, p: StandbyPhase) {
+    match p {
+        StandbyPhase::Active => w.u8(0),
+        StandbyPhase::Entering { until } => {
+            w.u8(1);
+            write_time(w, until);
+        }
+        StandbyPhase::Standby => w.u8(2),
+        StandbyPhase::Exiting { until } => {
+            w.u8(3);
+            write_time(w, until);
+        }
+    }
+}
+
+pub(crate) fn read_standby_phase(r: &mut SnapReader<'_>) -> Result<StandbyPhase, SnapError> {
+    match r.u8()? {
+        0 => Ok(StandbyPhase::Active),
+        1 => Ok(StandbyPhase::Entering {
+            until: read_time(r)?,
+        }),
+        2 => Ok(StandbyPhase::Standby),
+        3 => Ok(StandbyPhase::Exiting {
+            until: read_time(r)?,
+        }),
+        b => Err(SnapError::InvalidValue(format!("standby phase byte {b}"))),
+    }
+}
+
+pub(crate) fn write_standby_depth(w: &mut SnapWriter, d: StandbyDepth) {
+    w.u8(match d {
+        StandbyDepth::Partial => 0,
+        StandbyDepth::Slumber => 1,
+    });
+}
+
+pub(crate) fn read_standby_depth(r: &mut SnapReader<'_>) -> Result<StandbyDepth, SnapError> {
+    match r.u8()? {
+        0 => Ok(StandbyDepth::Partial),
+        1 => Ok(StandbyDepth::Slumber),
+        b => Err(SnapError::InvalidValue(format!("standby depth byte {b}"))),
+    }
+}

@@ -25,7 +25,9 @@ pub use config::SsdConfig;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use powadapt_obs::{emit, span, EventKind, RecorderHandle};
+use powadapt_sim::snapshot::{read_time, write_time};
 use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime};
+use powadapt_snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::device::StorageDevice;
 use crate::error::DeviceError;
@@ -33,6 +35,7 @@ use crate::io::{IoCompletion, IoId, IoKind, IoRequest, MIB};
 use crate::power::{
     PowerStateDesc, PowerStateId, StandbyConfig, StandbyDepth, StandbyPhase, StandbyState,
 };
+use crate::snapcodec;
 use crate::spec::DeviceSpec;
 
 /// Governor retry cadence when starts are blocked by a power cap.
@@ -952,6 +955,270 @@ impl StorageDevice for Ssd {
         self.rec = rec;
         self.track = track;
     }
+
+    fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        write_time(w, self.now);
+        self.events.write_state(w, write_ev)?;
+        Snapshot::write_state(&self.rng, w)?;
+        w.f64(self.power_now);
+        Snapshot::write_state(&self.rolling, w)?;
+        w.usize(self.ps_index);
+        snapcodec::write_standby_phase(w, self.phase);
+        snapcodec::write_standby_depth(w, self.depth);
+        w.bool(self.standby_requested);
+        w.f64(self.noise_w);
+        w.bool(self.noise_scheduled);
+        w.bool(self.ctrl_busy);
+        write_pendings(w, self.cmd_queue.iter());
+        w.bool(self.iface_busy);
+        w.seq_len(self.iface_queue.len());
+        for t in &self.iface_queue {
+            write_pending(w, &t.pending);
+        }
+        w.seq_len(self.die_busy.len());
+        for &b in &self.die_busy {
+            w.bool(b);
+        }
+        w.seq_len(self.die_q.len());
+        for q in &self.die_q {
+            w.seq_len(q.len());
+            for id in q {
+                w.u64(id.0);
+            }
+        }
+        w.usize(self.busy_read);
+        w.usize(self.busy_prog);
+        w.u64(self.buffer_used);
+        w.u64(self.nand_debt);
+        w.bool(self.flushing);
+        write_pendings(w, self.buffer_waiters.iter());
+        w.u64(self.last_write_end);
+        w.seq_len(self.reads.len());
+        for (&id, rs) in &self.reads {
+            w.u64(id);
+            write_pending(w, &rs.pending);
+            w.usize(rs.remaining);
+        }
+        w.seq_len(self.cache.order.len());
+        for &page in &self.cache.order {
+            w.u64(page);
+        }
+        w.seq_len(self.inflight_ids.len());
+        for &id in &self.inflight_ids {
+            w.u64(id);
+        }
+        snapcodec::write_completions(w, &self.done);
+        w.bool(self.retry_pending);
+        w.bool(self.idle_flush_pending);
+        Ok(())
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = read_time(r)?;
+        self.events.read_state(r, read_ev)?;
+        Restore::read_state(&mut self.rng, r)?;
+        self.power_now = r.f64()?;
+        Restore::read_state(&mut self.rolling, r)?;
+        let ps_index = r.usize()?;
+        if ps_index >= self.cfg.power_states.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "power state index {ps_index} out of range"
+            )));
+        }
+        self.ps_index = ps_index;
+        self.phase = snapcodec::read_standby_phase(r)?;
+        self.depth = snapcodec::read_standby_depth(r)?;
+        self.standby_requested = r.bool()?;
+        self.noise_w = r.f64()?;
+        self.noise_scheduled = r.bool()?;
+        self.ctrl_busy = r.bool()?;
+        self.cmd_queue = read_pendings(r)?;
+        self.iface_busy = r.bool()?;
+        let n = r.seq_len()?;
+        self.iface_queue.clear();
+        for _ in 0..n {
+            self.iface_queue.push_back(Transfer {
+                pending: read_pending(r)?,
+            });
+        }
+        let n = r.seq_len()?;
+        if n != self.die_busy.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "die count {n} does not match configured {}",
+                self.die_busy.len()
+            )));
+        }
+        for b in &mut self.die_busy {
+            *b = r.bool()?;
+        }
+        let n = r.seq_len()?;
+        if n != self.die_q.len() {
+            return Err(SnapError::InvalidValue(format!(
+                "die queue count {n} does not match configured {}",
+                self.die_q.len()
+            )));
+        }
+        for q in &mut self.die_q {
+            let m = r.seq_len()?;
+            q.clear();
+            for _ in 0..m {
+                q.push_back(IoId(r.u64()?));
+            }
+        }
+        self.busy_read = r.usize()?;
+        self.busy_prog = r.usize()?;
+        self.buffer_used = r.u64()?;
+        self.nand_debt = r.u64()?;
+        self.flushing = r.bool()?;
+        self.buffer_waiters = read_pendings(r)?;
+        self.last_write_end = r.u64()?;
+        let n = r.seq_len()?;
+        self.reads.clear();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let pending = read_pending(r)?;
+            let remaining = r.usize()?;
+            if self
+                .reads
+                .insert(id, ReadState { pending, remaining })
+                .is_some()
+            {
+                return Err(SnapError::InvalidValue(format!("duplicate read id {id}")));
+            }
+        }
+        let n = r.seq_len()?;
+        if n > self.cache.capacity {
+            return Err(SnapError::InvalidValue(format!(
+                "cache holds {n} pages, capacity {}",
+                self.cache.capacity
+            )));
+        }
+        let mut order = VecDeque::with_capacity(n);
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            let page = r.u64()?;
+            if !set.insert(page) {
+                return Err(SnapError::InvalidValue(format!(
+                    "duplicate cached page {page}"
+                )));
+            }
+            order.push_back(page);
+        }
+        self.cache.order = order;
+        self.cache.set = set;
+        let n = r.seq_len()?;
+        self.inflight_ids.clear();
+        for _ in 0..n {
+            let id = r.u64()?;
+            if !self.inflight_ids.insert(id) {
+                return Err(SnapError::InvalidValue(format!(
+                    "duplicate inflight id {id}"
+                )));
+            }
+        }
+        self.done = snapcodec::read_completions(r)?;
+        self.retry_pending = r.bool()?;
+        self.idle_flush_pending = r.bool()?;
+        Ok(())
+    }
+}
+
+fn write_pending(w: &mut SnapWriter, p: &Pending) {
+    w.u64(p.id.0);
+    snapcodec::write_io_kind(w, p.kind);
+    w.u64(p.offset);
+    w.u64(p.len);
+    write_time(w, p.submitted);
+    w.f64(p.waf);
+}
+
+fn read_pending(r: &mut SnapReader<'_>) -> Result<Pending, SnapError> {
+    Ok(Pending {
+        id: IoId(r.u64()?),
+        kind: snapcodec::read_io_kind(r)?,
+        offset: r.u64()?,
+        len: r.u64()?,
+        submitted: read_time(r)?,
+        waf: r.f64()?,
+    })
+}
+
+fn write_pendings<'a, I>(w: &mut SnapWriter, it: I)
+where
+    I: ExactSizeIterator<Item = &'a Pending>,
+{
+    w.seq_len(it.len());
+    for p in it {
+        write_pending(w, p);
+    }
+}
+
+fn read_pendings(r: &mut SnapReader<'_>) -> Result<VecDeque<Pending>, SnapError> {
+    let n = r.seq_len()?;
+    let mut out = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        out.push_back(read_pending(r)?);
+    }
+    Ok(out)
+}
+
+fn write_ev(w: &mut SnapWriter, ev: &Ev) -> Result<(), SnapError> {
+    match ev {
+        Ev::CmdDone(p) => {
+            w.u8(0);
+            write_pending(w, p);
+        }
+        Ev::IfaceDone(t) => {
+            w.u8(1);
+            write_pending(w, &t.pending);
+        }
+        Ev::Complete(p) => {
+            w.u8(2);
+            write_pending(w, p);
+        }
+        Ev::DieDone { die, work } => {
+            w.u8(3);
+            w.usize(*die);
+            match work {
+                DieWork::Read(id) => {
+                    w.u8(0);
+                    w.u64(id.0);
+                }
+                DieWork::Program => w.u8(1),
+            }
+        }
+        Ev::StandbyDone => w.u8(4),
+        Ev::NoiseTick => w.u8(5),
+        Ev::RetryTick => w.u8(6),
+        Ev::IdleFlush => w.u8(7),
+    }
+    Ok(())
+}
+
+fn read_ev(r: &mut SnapReader<'_>) -> Result<Ev, SnapError> {
+    Ok(match r.u8()? {
+        0 => Ev::CmdDone(read_pending(r)?),
+        1 => Ev::IfaceDone(Transfer {
+            pending: read_pending(r)?,
+        }),
+        2 => Ev::Complete(read_pending(r)?),
+        3 => {
+            let die = r.usize()?;
+            let work = match r.u8()? {
+                0 => DieWork::Read(IoId(r.u64()?)),
+                1 => DieWork::Program,
+                b => {
+                    return Err(SnapError::InvalidValue(format!("die work byte {b}")));
+                }
+            };
+            Ev::DieDone { die, work }
+        }
+        4 => Ev::StandbyDone,
+        5 => Ev::NoiseTick,
+        6 => Ev::RetryTick,
+        7 => Ev::IdleFlush,
+        b => return Err(SnapError::InvalidValue(format!("ssd event byte {b}"))),
+    })
 }
 
 #[cfg(test)]

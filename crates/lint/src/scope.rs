@@ -67,10 +67,13 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         // the gap by including io's stat modules). obs snapshots and
         // exports feed committed fixtures, so its iteration order must be
         // deterministic too, and cluster reports feed the cluster_eval
-        // golden.
+        // golden. snap serializes checkpoint state whose byte layout the
+        // resume-equivalence goldens pin, so its encoding must be
+        // deterministic as well.
         RuleId::D2 => {
-            in_crates(&["sim", "device", "core", "model", "bench", "obs", "cluster"])
-                || path == "crates/io/src/stats.rs"
+            in_crates(&[
+                "sim", "device", "core", "model", "bench", "obs", "cluster", "snap",
+            ]) || path == "crates/io/src/stats.rs"
         }
         // Figure/statistics code: everything that orders, ranks, or
         // aggregates floats on the way to a figure.
@@ -88,8 +91,9 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         RuleId::D4 => in_crates(&["meter", "model", "core"]),
         // Error flow in the crates that own DeviceError and its
         // propagation (the cluster layer propagates it through
-        // ClusterError).
-        RuleId::D5 => in_crates(&["device", "io", "core", "cluster"]),
+        // ClusterError). snap is fail-closed by contract: corrupt
+        // checkpoints must surface as typed SnapErrors, never panics.
+        RuleId::D5 => in_crates(&["device", "io", "core", "cluster", "snap"]),
         // Suppression hygiene follows the file, not a crate list.
         RuleId::S0 | RuleId::S1 => true,
     }
@@ -253,5 +257,10 @@ mod tests {
             RuleId::D5,
             "crates/cluster/tests/oversubscription.rs"
         ));
+        assert!(rule_applies(RuleId::D1, "crates/snap/src/lib.rs"));
+        assert!(rule_applies(RuleId::D2, "crates/snap/src/lib.rs"));
+        assert!(rule_applies(RuleId::D5, "crates/snap/src/lib.rs"));
+        assert!(!rule_applies(RuleId::D4, "crates/snap/src/lib.rs"));
+        assert!(!rule_applies(RuleId::D5, "crates/snap/tests/properties.rs"));
     }
 }

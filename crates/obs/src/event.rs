@@ -129,6 +129,17 @@ pub enum EventKind {
         /// Labels of devices that refused their action this round.
         degraded: Vec<String>,
     },
+    /// A power-tree node's breaker tripped: the whole subtree lost its
+    /// feed (regional failure, rack breaker, row maintenance).
+    BreakerTrip {
+        /// Path of the tripped tree node (`cluster/row0/rack1`).
+        node: String,
+    },
+    /// A previously tripped power-tree node's feed was restored.
+    BreakerRestore {
+        /// Path of the restored tree node.
+        node: String,
+    },
     /// The power tree granted a node a revised budget (cluster layer).
     RebalanceDecision {
         /// Path of the tree node (`cluster/row0/rack1/enc0`).
@@ -156,6 +167,37 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every stable schema name, in schema order. The table is what maps
+    /// serialized count keys back to the `&'static str` keys used by
+    /// [`EventLog`](crate::EventLog) counters, so a checkpointed run's
+    /// per-kind accounting survives a cross-process resume.
+    pub const NAMES: &'static [&'static str] = &[
+        "io_submit",
+        "io_complete",
+        "io_error",
+        "arrival_dropped",
+        "power_state_transition",
+        "cap_applied",
+        "spin_up",
+        "spin_down",
+        "fault_injected",
+        "breaker_open",
+        "breaker_half_open",
+        "breaker_close",
+        "controller_decision",
+        "breaker_trip",
+        "breaker_restore",
+        "rebalance_decision",
+        "power_sample",
+        "span",
+    ];
+
+    /// Resolves a schema name to its interned `&'static str`, or `None`
+    /// for a name no [`EventKind`] variant produces.
+    pub fn intern_name(name: &str) -> Option<&'static str> {
+        Self::NAMES.iter().copied().find(|&n| n == name)
+    }
+
     /// Stable schema name, used for event counting and metric keys.
     pub fn name(&self) -> &'static str {
         match self {
@@ -172,6 +214,8 @@ impl EventKind {
             EventKind::BreakerHalfOpen => "breaker_half_open",
             EventKind::BreakerClose => "breaker_close",
             EventKind::ControllerDecision { .. } => "controller_decision",
+            EventKind::BreakerTrip { .. } => "breaker_trip",
+            EventKind::BreakerRestore { .. } => "breaker_restore",
             EventKind::RebalanceDecision { .. } => "rebalance_decision",
             EventKind::PowerSample { .. } => "power_sample",
             EventKind::Span { .. } => "span",
@@ -209,5 +253,27 @@ mod tests {
     fn dir_strings() {
         assert_eq!(IoDir::Read.as_str(), "read");
         assert_eq!(IoDir::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn name_table_interns_every_kind() {
+        for &n in EventKind::NAMES {
+            assert_eq!(EventKind::intern_name(n), Some(n));
+        }
+        assert_eq!(EventKind::intern_name("nope"), None);
+        assert_eq!(
+            EventKind::BreakerTrip {
+                node: "cluster/row0/rack1".into()
+            }
+            .name(),
+            "breaker_trip"
+        );
+        assert_eq!(
+            EventKind::BreakerRestore {
+                node: "cluster/row0/rack1".into()
+            }
+            .name(),
+            "breaker_restore"
+        );
     }
 }

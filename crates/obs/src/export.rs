@@ -172,6 +172,9 @@ fn instant_args(kind: &EventKind) -> Vec<(&'static str, String)> {
             ("quarantined", jstr_list(quarantined)),
             ("degraded", jstr_list(degraded)),
         ],
+        EventKind::BreakerTrip { node } | EventKind::BreakerRestore { node } => {
+            vec![("node", jstr(node))]
+        }
         EventKind::RebalanceDecision {
             node,
             cap_w,

@@ -185,6 +185,66 @@ impl Default for EventLog {
     }
 }
 
+impl powadapt_snap::Snapshot for EventLog {
+    /// Serializes the durable accounting — per-kind counts, lifetime
+    /// total, eviction count — not the retained ring, which is a bounded
+    /// debugging window rather than run state.
+    fn write_state(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        let inner = self.lock();
+        w.u64(inner.total);
+        w.u64(inner.dropped);
+        w.seq_len(inner.counts.len());
+        for (&k, &v) in &inner.counts {
+            w.str(k);
+            w.u64(v);
+        }
+        Ok(())
+    }
+}
+
+impl powadapt_snap::Restore for EventLog {
+    /// Replaces this log's counters with the checkpointed ones, mapping
+    /// each serialized kind name back to its interned key via
+    /// [`EventKind::NAMES`](crate::EventKind::NAMES). Events recorded
+    /// after the restore accumulate on top — no double-count, no reset.
+    fn read_state(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+    ) -> Result<(), powadapt_snap::SnapError> {
+        let total = r.u64()?;
+        let dropped = r.u64()?;
+        let n = r.seq_len()?;
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let name = r.str()?;
+            let interned = crate::EventKind::intern_name(&name).ok_or_else(|| {
+                powadapt_snap::SnapError::InvalidValue(format!("unknown event kind {name:?}"))
+            })?;
+            let v = r.u64()?;
+            if counts.insert(interned, v).is_some() {
+                return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                    "duplicate event kind {name:?}"
+                )));
+            }
+            sum += v;
+        }
+        if sum != total {
+            return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                "per-kind counts sum to {sum}, total says {total}"
+            )));
+        }
+        let mut inner = self.lock();
+        inner.counts = counts;
+        inner.total = total;
+        inner.dropped = dropped;
+        Ok(())
+    }
+}
+
 impl Recorder for EventLog {
     fn record(&self, event: Event) {
         let mut inner = self.lock();
@@ -239,5 +299,62 @@ mod tests {
         assert!(h.is_enabled());
         h.record(ev(7));
         assert_eq!(log.total(), 1);
+    }
+
+    #[test]
+    fn event_log_counts_survive_snapshot_roundtrip() {
+        use powadapt_snap::{Restore, SnapReader, SnapWriter, Snapshot};
+        let log = EventLog::new(4);
+        for _ in 0..3 {
+            log.record(ev(1));
+        }
+        let mut w = SnapWriter::new();
+        log.write_state(&mut w).unwrap();
+        let payload = w.into_payload();
+
+        let mut resumed = EventLog::new(4);
+        let mut r = SnapReader::new(&payload);
+        resumed.read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(resumed.total(), 3);
+        assert_eq!(resumed.counts(), log.counts());
+
+        // New events accumulate on top of the restored counters.
+        resumed.record(ev(9));
+        assert_eq!(resumed.total(), 4);
+        assert_eq!(resumed.counts(), vec![("spin_up".to_string(), 4)]);
+    }
+
+    #[test]
+    fn event_log_restore_rejects_unknown_kind_and_bad_total() {
+        use powadapt_snap::{Restore, SnapReader, SnapWriter};
+        // Unknown kind name.
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        w.u64(0);
+        w.seq_len(1);
+        w.str("not_a_kind");
+        w.u64(1);
+        let payload = w.into_payload();
+        let mut log = EventLog::new(4);
+        let mut r = SnapReader::new(&payload);
+        assert!(matches!(
+            log.read_state(&mut r),
+            Err(powadapt_snap::SnapError::InvalidValue(_))
+        ));
+
+        // Counts that do not sum to the recorded total.
+        let mut w = SnapWriter::new();
+        w.u64(5);
+        w.u64(0);
+        w.seq_len(1);
+        w.str("spin_up");
+        w.u64(2);
+        let payload = w.into_payload();
+        let mut r = SnapReader::new(&payload);
+        assert!(matches!(
+            log.read_state(&mut r),
+            Err(powadapt_snap::SnapError::InvalidValue(_))
+        ));
     }
 }

@@ -42,6 +42,7 @@ mod queue;
 mod rng;
 mod rolling;
 mod signal;
+pub mod snapshot;
 mod stats;
 mod time;
 pub mod units;

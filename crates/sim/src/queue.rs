@@ -149,6 +149,85 @@ impl<E> EventQueue<E> {
             }
         }
     }
+
+    /// Serializes the queue's live entries and sequence counter. The
+    /// payload codec is supplied by the caller because `E` is theirs.
+    ///
+    /// `BinaryHeap` iterates in arbitrary order, so entries are emitted
+    /// sorted by `(at, seq)` — the queue's own pop order — making the
+    /// byte stream deterministic. Cancelled entries are dropped here:
+    /// lazy cancellation is an optimization, not observable state.
+    /// `next_seq` is preserved exactly so event ids never collide across
+    /// a restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the payload codec.
+    pub fn write_state<F>(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+        mut item: F,
+    ) -> Result<(), powadapt_snap::SnapError>
+    where
+        F: FnMut(&mut powadapt_snap::SnapWriter, &E) -> Result<(), powadapt_snap::SnapError>,
+    {
+        w.u64(self.next_seq);
+        let mut live: Vec<&Entry<E>> = self
+            .heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .collect();
+        live.sort_by_key(|e| (e.at, e.seq));
+        w.seq_len(live.len());
+        for e in live {
+            crate::snapshot::write_time(w, e.at);
+            w.u64(e.seq);
+            item(w, &e.payload)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the queue's contents with entries from a snapshot written
+    /// by [`EventQueue::write_state`], preserving each entry's sequence
+    /// number (and therefore every tie-break) exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::InvalidValue`](powadapt_snap::SnapError::InvalidValue)
+    /// on duplicate or out-of-range sequence numbers, or any error from
+    /// the payload codec.
+    pub fn read_state<F>(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+        mut item: F,
+    ) -> Result<(), powadapt_snap::SnapError>
+    where
+        F: FnMut(&mut powadapt_snap::SnapReader<'_>) -> Result<E, powadapt_snap::SnapError>,
+    {
+        let next_seq = r.u64()?;
+        let n = r.seq_len()?;
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live.clear();
+        for _ in 0..n {
+            let at = crate::snapshot::read_time(r)?;
+            let seq = r.u64()?;
+            if seq >= next_seq {
+                return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                    "event seq {seq} not below next_seq {next_seq}"
+                )));
+            }
+            let payload = item(r)?;
+            if !self.live.insert(seq) {
+                return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                    "duplicate event seq {seq}"
+                )));
+            }
+            self.heap.push(Entry { at, seq, payload });
+        }
+        self.next_seq = next_seq;
+        Ok(())
+    }
 }
 
 impl<E> Default for EventQueue<E> {

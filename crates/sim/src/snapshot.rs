@@ -1,0 +1,84 @@
+//! Snapshot codec helpers for the kernel's time types.
+//!
+//! Virtual time is integer nanoseconds, so [`SimTime`] and [`SimDuration`]
+//! serialize as their raw `u64` — exact by construction. Every other
+//! crate's `write_state`/`read_state` goes through these helpers so time
+//! has exactly one on-disk representation.
+
+use powadapt_snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Writes a [`SimTime`] as its nanosecond count.
+pub fn write_time(w: &mut SnapWriter, t: SimTime) {
+    w.u64(t.as_nanos());
+}
+
+/// Reads a [`SimTime`] written by [`write_time`].
+///
+/// # Errors
+///
+/// Propagates [`SnapError::Truncated`] from the reader.
+pub fn read_time(r: &mut SnapReader<'_>) -> Result<SimTime, SnapError> {
+    Ok(SimTime::from_nanos(r.u64()?))
+}
+
+/// Writes a [`SimDuration`] as its nanosecond count.
+pub fn write_duration(w: &mut SnapWriter, d: SimDuration) {
+    w.u64(d.as_nanos());
+}
+
+/// Reads a [`SimDuration`] written by [`write_duration`].
+///
+/// # Errors
+///
+/// Propagates [`SnapError::Truncated`] from the reader.
+pub fn read_duration(r: &mut SnapReader<'_>) -> Result<SimDuration, SnapError> {
+    Ok(SimDuration::from_nanos(r.u64()?))
+}
+
+/// Writes an `Option<SimTime>` with a presence byte.
+pub fn write_opt_time(w: &mut SnapWriter, t: Option<SimTime>) {
+    match t {
+        Some(t) => {
+            w.bool(true);
+            write_time(w, t);
+        }
+        None => w.bool(false),
+    }
+}
+
+/// Reads an `Option<SimTime>` written by [`write_opt_time`].
+///
+/// # Errors
+///
+/// Propagates any decoding error from the reader.
+pub fn read_opt_time(r: &mut SnapReader<'_>) -> Result<Option<SimTime>, SnapError> {
+    if r.bool()? {
+        Ok(Some(read_time(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_round_trips() {
+        let mut w = SnapWriter::new();
+        write_time(&mut w, SimTime::from_micros(123_456));
+        write_duration(&mut w, SimDuration::from_millis(7));
+        write_opt_time(&mut w, Some(SimTime::from_secs(9)));
+        write_opt_time(&mut w, None);
+        let payload = w.into_payload();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(read_time(&mut r).unwrap(), SimTime::from_micros(123_456));
+        assert_eq!(read_duration(&mut r).unwrap(), SimDuration::from_millis(7));
+        assert_eq!(read_opt_time(&mut r).unwrap(), Some(SimTime::from_secs(9)));
+        assert_eq!(read_opt_time(&mut r).unwrap(), None);
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,630 @@
+//! Deterministic checkpoint/restore for the powadapt suite.
+//!
+//! Every simulation in this workspace is a pure function of `(spec, seed)`,
+//! which makes the complete dynamic state of a run serializable: write it
+//! out at time `T`, rebuild the object graph from the same spec, overlay
+//! the saved state, and the continuation is bit-identical to a run that
+//! never stopped. This crate provides the three pieces every layer shares:
+//!
+//! - [`SnapWriter`] / [`SnapReader`]: a little-endian binary codec for the
+//!   primitive shapes simulation state is made of. Floats round-trip
+//!   through [`f64::to_bits`], never through text, so restored
+//!   accumulators are bit-exact.
+//! - The file envelope ([`seal`] / [`open`]): magic, format version, and a
+//!   trailing FNV-1a checksum. Corrupt, truncated, or foreign files fail
+//!   closed with a typed [`SnapError`] — never a panic, never a silently
+//!   wrong restore.
+//! - The [`Snapshot`] / [`Restore`] traits implemented across the sim,
+//!   device, io, core, and cluster crates.
+//!
+//! The format is deliberately dependency-free (no serde): the workspace
+//! builds offline, and the layout is pinned by the golden equivalence
+//! tests rather than by a derive.
+//!
+//! # Versioning and forward compatibility
+//!
+//! The payload layout is versioned as a whole by [`FORMAT_VERSION`]. Any
+//! change to any `write_state` layout bumps the version; readers reject
+//! every version other than their own ([`SnapError::UnsupportedVersion`]).
+//! Snapshots are warm-start artifacts, not archives: a snapshot is only
+//! meaningful against the exact code that wrote it, so cross-version
+//! migration is out of scope by design (DESIGN.md §7).
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"PSNP";
+
+/// Version of the snapshot payload layout. Bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Typed failures of snapshot decoding. Every malformed input maps to one
+/// of these; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapError {
+    /// The file does not start with the [`MAGIC`] bytes.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+        /// Checksum stored in the file.
+        stored: u64,
+    },
+    /// The input ended before the decoder got what the layout promises.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Bytes remain after the payload was fully decoded.
+    TrailingBytes(usize),
+    /// A decoded value is structurally impossible (bad discriminant,
+    /// out-of-range index, non-boolean byte, ...).
+    InvalidValue(String),
+    /// The component does not support snapshotting.
+    Unsupported(&'static str),
+    /// An I/O failure reading or writing a snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "not a powadapt snapshot (bad magic)"),
+            SnapError::UnsupportedVersion(v) => write!(
+                f,
+                "snapshot format version {v} is not supported (this build reads version {FORMAT_VERSION})"
+            ),
+            SnapError::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "snapshot checksum mismatch: computed {computed:#018x}, stored {stored:#018x} — the file is corrupt"
+            ),
+            SnapError::Truncated { needed, remaining } => write!(
+                f,
+                "snapshot truncated: needed {needed} byte(s), only {remaining} remain"
+            ),
+            SnapError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} unexpected trailing byte(s)")
+            }
+            SnapError::InvalidValue(what) => write!(f, "invalid snapshot value: {what}"),
+            SnapError::Unsupported(what) => write!(f, "snapshot unsupported: {what}"),
+            SnapError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+/// FNV-1a over `bytes` — the envelope checksum. Not cryptographic; it
+/// exists to turn bit rot and truncation into typed errors.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes state into a growing byte buffer. All integers are
+/// little-endian; floats go through [`f64::to_bits`] so accumulated sums
+/// restore bit-exactly.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// The serialized payload so far.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes an `f64` bit-exactly via [`f64::to_bits`].
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes `Some(f64)` as `1` + bits, `None` as `0`.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes `Some(u64)` as `1` + value, `None` as `0`.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a sequence length prefix; the caller then writes each item.
+    pub fn seq_len(&mut self, n: usize) {
+        self.usize(n);
+    }
+}
+
+/// Decodes state previously produced by a [`SnapWriter`]. Every method
+/// fails closed on malformed input; nothing here panics.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Upper bound accepted for any one sequence/string length. Snapshots are
+/// written by this workspace and are megabytes at most; a length past this
+/// bound is corruption, not data, and is rejected before any allocation.
+const MAX_SEQ_LEN: u64 = 1 << 32;
+
+impl<'a> SnapReader<'a> {
+    /// Wraps an already-unsealed payload.
+    pub fn new(payload: &'a [u8]) -> Self {
+        SnapReader {
+            buf: payload,
+            pos: 0,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors with [`SnapError::TrailingBytes`] unless fully consumed.
+    pub fn finish(self) -> Result<(), SnapError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(SnapError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let s = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(s);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Reads a `usize` written by [`SnapWriter::usize`].
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::InvalidValue(format!("usize out of range: {v}")))
+    }
+
+    /// Reads a `bool`; any byte other than 0 or 1 is invalid.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::InvalidValue(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads an `f64` bit-exactly via [`f64::from_bits`].
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `Option<f64>` written by [`SnapWriter::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, SnapError> {
+        if self.bool()? {
+            Ok(Some(self.f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads an `Option<u64>` written by [`SnapWriter::opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let n = self.seq_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| SnapError::InvalidValue(format!("non-utf8 string: {e}")))
+    }
+
+    /// Reads a length-prefixed byte vector.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.seq_len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a sequence length prefix, bounds-checked against both the
+    /// sanity cap and the bytes actually remaining (each element takes at
+    /// least one byte), so corrupt lengths cannot drive huge allocations.
+    pub fn seq_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        if n > MAX_SEQ_LEN || n > self.remaining() as u64 {
+            return Err(SnapError::InvalidValue(format!(
+                "sequence length {n} exceeds remaining input ({})",
+                self.remaining()
+            )));
+        }
+        // MAX_SEQ_LEN fits usize on every supported target.
+        Ok(n as usize)
+    }
+}
+
+/// Wraps `payload` in the snapshot envelope:
+/// `MAGIC ++ version:u32 ++ payload_len:u64 ++ payload ++ fnv1a:u64`,
+/// where the checksum covers everything before it.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a_64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates the envelope of `data` and returns the payload slice.
+///
+/// # Errors
+///
+/// [`SnapError::BadMagic`], [`SnapError::UnsupportedVersion`],
+/// [`SnapError::Truncated`], [`SnapError::TrailingBytes`], or
+/// [`SnapError::ChecksumMismatch`] — one typed error per way a file can be
+/// wrong.
+pub fn open(data: &[u8]) -> Result<&[u8], SnapError> {
+    let mut r = SnapReader::new(data);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapError::UnsupportedVersion(version));
+    }
+    let len = r.usize()?;
+    let payload_start = r.pos;
+    let payload = r.take(len)?;
+    let checksum_start = payload_start + len;
+    let stored = r.u64()?;
+    r.finish()?;
+    let computed = fnv1a_64(&data[..checksum_start]);
+    if computed != stored {
+        return Err(SnapError::ChecksumMismatch { computed, stored });
+    }
+    Ok(payload)
+}
+
+/// Seals `payload` and writes it to `path`.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] on filesystem failure.
+pub fn write_file(path: &Path, payload: &[u8]) -> Result<(), SnapError> {
+    std::fs::write(path, seal(payload))
+        .map_err(|e| SnapError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Reads `path`, validates the envelope, and returns the payload.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] on filesystem failure, or any [`open`] error on a
+/// malformed file.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapError> {
+    let data =
+        std::fs::read(path).map_err(|e| SnapError::Io(format!("{}: {e}", path.display())))?;
+    open(&data).map(<[u8]>::to_vec)
+}
+
+/// A component whose dynamic state can be serialized.
+///
+/// Implementations write *state*, never configuration: restore rebuilds
+/// the object graph from the original spec and overlays this state, so
+/// anything derivable from the spec stays out of the snapshot.
+pub trait Snapshot {
+    /// Appends this component's dynamic state to `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] when the component cannot be
+    /// snapshotted.
+    fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError>;
+}
+
+/// A component whose dynamic state can be overlaid from a snapshot.
+///
+/// `read_state` must consume exactly what the matching
+/// [`Snapshot::write_state`] produced, and must not emit observability
+/// events: a restored run's traces continue the original's, they do not
+/// replay it.
+pub trait Restore {
+    /// Overlays this component's dynamic state from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on malformed input. On error the component may be
+    /// left partially restored and must be discarded.
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
+}
+
+// Tests assert exact round-trips; unwraps and bit-exact float comparisons
+// are the point.
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.usize(12345);
+        w.bool(true);
+        w.bool(false);
+        w.f64(std::f64::consts::PI);
+        w.f64(-0.0);
+        w.opt_f64(Some(1.5));
+        w.opt_f64(None);
+        w.opt_u64(Some(9));
+        w.opt_u64(None);
+        w.str("hello, snapshot");
+        w.bytes(&[1, 2, 3]);
+        let payload = w.into_payload();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.f64().unwrap().to_bits(), std::f64::consts::PI.to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.opt_f64().unwrap(), Some(1.5));
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.str().unwrap(), "hello, snapshot");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let weird = f64::from_bits(0x7ff8_0000_0000_1234);
+        let mut w = SnapWriter::new();
+        w.f64(weird);
+        let payload = w.into_payload();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.f64().unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let payload = b"some simulation state".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(open(&sealed).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn empty_payload_seals() {
+        let sealed = seal(&[]);
+        assert_eq!(open(&sealed).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut sealed = seal(b"x");
+        sealed[0] = b'Q';
+        assert_eq!(open(&sealed), Err(SnapError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut sealed = seal(b"x");
+        sealed[4] = 99;
+        assert_eq!(open(&sealed), Err(SnapError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let sealed = seal(b"payload bytes");
+        for cut in 0..sealed.len() {
+            let err = open(&sealed[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapError::Truncated { .. }
+                        | SnapError::BadMagic
+                        | SnapError::ChecksumMismatch { .. }
+                        | SnapError::InvalidValue(_)
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_rejected() {
+        let sealed = seal(b"payload bytes");
+        for i in 0..sealed.len() {
+            for bit in [0u8, 3, 7] {
+                let mut bad = sealed.clone();
+                bad[i] ^= 1 << bit;
+                assert!(open(&bad).is_err(), "flip byte {i} bit {bit} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut sealed = seal(b"x");
+        sealed.push(0);
+        assert!(matches!(
+            open(&sealed),
+            Err(SnapError::TrailingBytes(_) | SnapError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut r = SnapReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(SnapError::InvalidValue(_))));
+    }
+
+    #[test]
+    fn seq_len_rejects_absurd_lengths() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX);
+        let payload = w.into_payload();
+        let mut r = SnapReader::new(&payload);
+        assert!(matches!(r.seq_len(), Err(SnapError::InvalidValue(_))));
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption() {
+        let dir = std::env::temp_dir().join("powadapt-snap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.psnp");
+        write_file(&path, b"state").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"state");
+        // Corrupt one payload byte on disk.
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        assert!(read_file(&path).is_err());
+        let missing = dir.join("does-not-exist.psnp");
+        assert!(matches!(read_file(&missing), Err(SnapError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_display_useful_diagnostics() {
+        let s = SnapError::ChecksumMismatch {
+            computed: 1,
+            stored: 2,
+        }
+        .to_string();
+        assert!(s.contains("corrupt"));
+        assert!(SnapError::BadMagic.to_string().contains("magic"));
+        assert!(SnapError::UnsupportedVersion(9)
+            .to_string()
+            .contains("version 9"));
+    }
+}

@@ -52,3 +52,4 @@ pub use powadapt_meter as meter;
 pub use powadapt_model as model;
 pub use powadapt_obs as obs;
 pub use powadapt_sim as sim;
+pub use powadapt_snap as snap;

@@ -23,8 +23,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use powadapt::io::ParallelConfig;
 use powadapt::obs::{self, TraceRecorder};
 use powadapt_bench::golden::{
-    cluster_eval_summary, figure_summary, golden_scale, goldens_dir, obs_events_summary,
-    CLUSTER_FIXTURE, FIGURES, GOLDEN_SEED, OBS_FIXTURE,
+    cluster_eval_summary, cluster_eval_summary_checkpointed, figure_summary, golden_scale,
+    goldens_dir, obs_events_summary, CLUSTER_FIXTURE, FIGURES, GOLDEN_SEED, OBS_FIXTURE,
 };
 
 /// The process-global recorder slot is shared across the test threads of
@@ -104,6 +104,86 @@ fn cluster_eval_matches_golden_at_every_worker_count() {
             "cluster_eval summary diverged at {workers} workers"
         );
     }
+}
+
+/// Checkpoint/restore is invisible to results and traces: every cluster
+/// cell runs to its midpoint, serializes the complete simulation state to
+/// a sealed snapshot, is dropped, resumes from the bytes, and finishes —
+/// and the summary (reports, per-node accounting, win ratios, *and*
+/// per-kind event counts) is byte-identical to the same committed
+/// `cluster_eval` fixture the uninterrupted runs are pinned to, at every
+/// worker count.
+#[test]
+fn checkpointed_cluster_eval_matches_golden_at_every_worker_count() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let seq = cluster_eval_summary_checkpointed(&ParallelConfig::sequential());
+    assert_eq!(
+        seq,
+        committed_fixture(CLUSTER_FIXTURE),
+        "{CLUSTER_FIXTURE}: a mid-run checkpoint/restore changed the summary — \
+         snapshot state is incomplete or restore perturbed the run"
+    );
+    for workers in [2usize, 8] {
+        let par = cluster_eval_summary_checkpointed(&ParallelConfig::with_workers(workers));
+        assert_eq!(
+            seq, par,
+            "checkpointed cluster_eval summary diverged at {workers} workers"
+        );
+    }
+}
+
+/// Observability state rides checkpoints too: the `EventLog`'s per-kind
+/// counters survive a snapshot/restore across a simulated process
+/// boundary — the restored log continues accumulating on top of the
+/// checkpointed counts (no double-count, no reset), ending with exactly
+/// the counts an uninterrupted run records.
+#[test]
+fn event_log_counters_survive_restore_across_checkpoint() {
+    use powadapt::cluster::{oversubscribed_cluster, ClusterSim, SelectionPolicy};
+    use powadapt::obs::EventLog;
+    use powadapt::sim::SimDuration;
+    use powadapt_snap::{Restore, SnapReader, SnapWriter, Snapshot};
+
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let spec = || oversubscribed_cluster(SelectionPolicy::ModelDriven, GOLDEN_SEED);
+
+    // Uninterrupted run under its own log: the reference counts.
+    let full_log = Arc::new(EventLog::new(1 << 16));
+    obs::install(full_log.clone());
+    let full_report = ClusterSim::new(spec()).unwrap().finish().unwrap();
+    obs::uninstall();
+
+    // First half under a fresh log; checkpoint both sim and log.
+    let first = Arc::new(EventLog::new(1 << 16));
+    obs::install(first.clone());
+    let mut sim = ClusterSim::new(spec()).unwrap();
+    let mid = sim.start_time()
+        + SimDuration::from_nanos(sim.end_time().duration_since(sim.start_time()).as_nanos() / 2);
+    sim.run_to(mid).unwrap();
+    let sim_snap = sim.snapshot().unwrap();
+    let mut w = SnapWriter::new();
+    first.write_state(&mut w).unwrap();
+    let log_snap = w.into_payload();
+    drop(sim);
+    obs::uninstall();
+
+    // "New process": restore the log state into a fresh EventLog, install
+    // it, resume the sim, and finish.
+    let mut restored = EventLog::new(1 << 16);
+    let mut r = SnapReader::new(&log_snap);
+    restored.read_state(&mut r).unwrap();
+    r.finish().unwrap();
+    let resumed_log = Arc::new(restored);
+    obs::install(resumed_log.clone());
+    let resumed_report = ClusterSim::resume(spec(), &sim_snap)
+        .unwrap()
+        .finish()
+        .unwrap();
+    obs::uninstall();
+
+    assert_eq!(resumed_report, full_report);
+    assert_eq!(resumed_log.counts(), full_log.counts());
+    assert_eq!(resumed_log.total(), full_log.total());
 }
 
 #[test]
