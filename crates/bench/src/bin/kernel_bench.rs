@@ -1,0 +1,233 @@
+//! Event-kernel throughput: the calendar-bucket `EventQueue` against the
+//! `HeapQueue` reference, measured in one process on identical workloads.
+//!
+//! The workload mirrors what the device simulators actually do to the
+//! queue: a steady "hold" phase (a large live set where every pop
+//! schedules a successor, the shape of an io_depth-bound experiment) and
+//! a cancel-heavy phase (speculative timers that are mostly cancelled,
+//! the shape of timeout/retry bookkeeping). Both kernels consume the same
+//! deterministic op stream and must produce the same checksum, so the
+//! bench doubles as an equivalence check at scale.
+//!
+//! Run with: `cargo run --release -p powadapt-bench --bin kernel_bench`
+//!
+//! Flags: `--out FILE` additionally writes the JSON report to `FILE`;
+//! `--check FILE` compares against a committed report and exits 3 if the
+//! calendar-vs-heap speedup regressed by more than 10%. The speedup ratio
+//! is compared (not absolute ns), so the gate is stable across hosts.
+
+use std::time::Instant;
+
+use powadapt_bench::cli_flag_value;
+use powadapt_sim::{EventId, EventQueue, HeapQueue, SimRng, SimTime};
+
+/// Near-tier span of the calendar queue (bucket count x width); schedule
+/// offsets stay inside a few of these so the ring does real work.
+const SPAN: u64 = 256 << 16;
+/// Live events held during the steady phase (io_depth x devices scale).
+const HOLD_LIVE: usize = 1 << 16;
+/// Pop/schedule pairs in the steady phase.
+const HOLD_OPS: usize = 1_500_000;
+/// Rounds of the cancel-heavy phase (each: 4 schedules, 3 cancels, 1 pop).
+const CANCEL_ROUNDS: usize = 400_000;
+/// Fail the run outright below this speedup: the calendar queue exists to
+/// beat the heap kernel by a wide margin on its own workload.
+const MIN_SPEEDUP: f64 = 5.0;
+/// `--check` tolerance: a committed-vs-measured ratio drop beyond this is
+/// a regression.
+const CHECK_TOLERANCE: f64 = 0.10;
+
+fn fail(context: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("kernel_bench: {context}: {err}");
+    std::process::exit(2);
+}
+
+/// The common surface of both kernels, so one workload drives either.
+trait Kernel {
+    fn schedule(&mut self, at: SimTime, payload: u64) -> EventId;
+    fn cancel(&mut self, id: EventId) -> bool;
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl Kernel for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, payload: u64) -> EventId {
+        EventQueue::schedule(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Kernel for HeapQueue<u64> {
+    fn schedule(&mut self, at: SimTime, payload: u64) -> EventId {
+        HeapQueue::schedule(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        HeapQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        HeapQueue::pop(self)
+    }
+}
+
+/// Drives the full workload on one kernel. Returns `(ops, checksum)`:
+/// `ops` counts every schedule/cancel/pop, `checksum` folds every popped
+/// `(time, payload)` so the compiler cannot elide the work and the two
+/// kernels can be cross-checked.
+fn run_workload<K: Kernel>(q: &mut K, seed: u64) -> (u64, u64) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut ops: u64 = 0;
+    let mut sum: u64 = 0;
+
+    // Steady phase: fill a large live set, then pop-one/schedule-one.
+    let mut now: u64 = 0;
+    for i in 0..HOLD_LIVE {
+        q.schedule(SimTime::from_nanos(rng.u64_range(1, 2 * SPAN)), i as u64);
+        ops += 1;
+    }
+    for i in 0..HOLD_OPS {
+        let Some((t, p)) = q.pop() else { break };
+        now = t.as_nanos();
+        sum = sum
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(now ^ p);
+        q.schedule(
+            SimTime::from_nanos(now + rng.u64_range(1, 2 * SPAN)),
+            i as u64,
+        );
+        ops += 2;
+    }
+
+    // Cancel-heavy phase: speculative timers, mostly retired unfired.
+    let mut recent: Vec<EventId> = Vec::with_capacity(4);
+    for i in 0..CANCEL_ROUNDS {
+        recent.clear();
+        for k in 0..4u64 {
+            let at = SimTime::from_nanos(now + rng.u64_range(1, SPAN));
+            recent.push(q.schedule(at, (i as u64) << 3 | k));
+            ops += 1;
+        }
+        for &id in recent.iter().take(3) {
+            let cancelled = q.cancel(id);
+            debug_assert!(cancelled);
+            ops += 1;
+        }
+        if let Some((t, p)) = q.pop() {
+            now = t.as_nanos();
+            sum = sum
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(now ^ p);
+        }
+        ops += 1;
+    }
+
+    // Drain what's left so both kernels finish in the same logical state.
+    while let Some((t, p)) = q.pop() {
+        sum = sum
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(t.as_nanos() ^ p);
+        ops += 1;
+    }
+    (ops, sum)
+}
+
+struct Measurement {
+    ops: u64,
+    checksum: u64,
+    elapsed_ns: u128,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+fn measure<K: Kernel, F: Fn() -> K>(make: F, seed: u64) -> Measurement {
+    // One untimed warmup run to fault in allocations and branch history.
+    let mut warm = make();
+    let _ = run_workload(&mut warm, seed ^ 0xdead_beef);
+    let mut q = make();
+    let start = Instant::now();
+    let (ops, checksum) = run_workload(&mut q, seed);
+    let elapsed_ns = start.elapsed().as_nanos();
+    Measurement {
+        ops,
+        checksum,
+        elapsed_ns,
+    }
+}
+
+/// Minimal extraction of `"key": <number>` from a flat JSON report.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn report_json(heap: &Measurement, cal: &Measurement, speedup: f64) -> String {
+    format!(
+        "{{\n  \"bench\": \"kernel_bench\",\n  \"ops\": {},\n  \"heap_ns\": {},\n  \"calendar_ns\": {},\n  \"heap_events_per_sec\": {:.0},\n  \"calendar_events_per_sec\": {:.0},\n  \"speedup\": {:.2}\n}}\n",
+        cal.ops,
+        heap.elapsed_ns,
+        cal.elapsed_ns,
+        heap.events_per_sec(),
+        cal.events_per_sec(),
+        speedup,
+    )
+}
+
+fn main() {
+    const SEED: u64 = 42;
+    let heap = measure(HeapQueue::<u64>::new, SEED);
+    let cal = measure(EventQueue::<u64>::new, SEED);
+
+    // Same op stream, same pops, same order — or one kernel is wrong.
+    assert_eq!(heap.ops, cal.ops, "kernels disagreed on op count");
+    assert_eq!(
+        heap.checksum, cal.checksum,
+        "kernels popped different streams"
+    );
+
+    let speedup = heap.elapsed_ns as f64 / cal.elapsed_ns as f64;
+    let json = report_json(&heap, &cal, speedup);
+    print!("{json}");
+
+    if let Some(path) = cli_flag_value("--out") {
+        if let Err(e) = std::fs::write(&path, &json) {
+            fail(&format!("cannot write {path}"), &e);
+        }
+    }
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "calendar queue speedup {speedup:.2}x is below the required {MIN_SPEEDUP:.0}x"
+    );
+
+    if let Some(path) = cli_flag_value("--check") {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("cannot read {path}"), &e),
+        };
+        let Some(baseline) = json_number(&committed, "speedup") else {
+            fail(&format!("no \"speedup\" field in {path}"), &"parse error");
+        };
+        let floor = baseline * (1.0 - CHECK_TOLERANCE);
+        if speedup < floor {
+            eprintln!(
+                "kernel_bench: REGRESSION: speedup {speedup:.2}x fell below {floor:.2}x \
+                 (committed {baseline:.2}x - {:.0}%)",
+                CHECK_TOLERANCE * 100.0
+            );
+            std::process::exit(3);
+        }
+        println!("check ok: speedup {speedup:.2}x vs committed {baseline:.2}x (floor {floor:.2}x)");
+    }
+}

@@ -19,7 +19,7 @@ use std::error::Error;
 use std::fmt;
 
 use powadapt_core::{AdaptiveController, ControlError, DeviceAction, Slo, SloWindow};
-use powadapt_device::{DeviceError, IoId, IoKind, IoRequest, StorageDevice};
+use powadapt_device::{DeviceError, IoCompletion, IoId, IoKind, IoRequest, StorageDevice};
 use powadapt_io::Arrival;
 use powadapt_model::PowerThroughputModel;
 use powadapt_obs::{emit, EventKind};
@@ -384,6 +384,9 @@ pub struct ClusterSim {
     faults: TreeFaultSchedule,
     /// Last processed event time.
     now: SimTime,
+    /// Reused completion buffer for the per-step device drain; transient,
+    /// never serialized.
+    drain_scratch: Vec<IoCompletion>,
 }
 
 impl fmt::Debug for ClusterSim {
@@ -607,6 +610,7 @@ impl ClusterSim {
             next_sample: start,
             faults,
             now: start,
+            drain_scratch: Vec::new(),
         })
     }
 
@@ -782,9 +786,12 @@ impl ClusterSim {
     /// Advances the whole cluster in lockstep to `t`, crediting
     /// completions to their tenants' SLO windows.
     fn drain_completions(&mut self, t: SimTime) {
+        let mut done = std::mem::take(&mut self.drain_scratch);
         for ctl in &mut self.controllers {
             for d in 0..ctl.devices().len() {
-                for c in ctl.device_mut(d).advance_to(t) {
+                done.clear();
+                ctl.device_mut(d).advance_to_into(t, &mut done);
+                for c in &done {
                     if let Some(tenant) = self.owners.remove(&c.id.0) {
                         let latency_us =
                             c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
@@ -795,6 +802,8 @@ impl ClusterSim {
                 }
             }
         }
+        done.clear();
+        self.drain_scratch = done;
     }
 
     /// Admits arrivals due at or before `t`, merged across tenants in

@@ -66,6 +66,22 @@ pub trait StorageDevice: fmt::Debug {
     /// Panics if `t` is earlier than [`StorageDevice::now`].
     fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion>;
 
+    /// Advances the device to time `t` like [`StorageDevice::advance_to`],
+    /// appending completions to `out` instead of returning a fresh vector.
+    ///
+    /// Experiment loops call this once per event step, so the in-repo
+    /// devices override it to drain their internal completion arena
+    /// without allocating; the caller's buffer is reused across steps.
+    /// The default delegates to `advance_to`, keeping third-party device
+    /// types valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than [`StorageDevice::now`].
+    fn advance_to_into(&mut self, t: SimTime, out: &mut Vec<IoCompletion>) {
+        out.extend(self.advance_to(t));
+    }
+
     /// Instantaneous power draw in watts at the device's current time.
     fn power_w(&self) -> f64;
 

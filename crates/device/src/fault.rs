@@ -374,29 +374,42 @@ impl StorageDevice for FaultInjector {
 
     fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion> {
         let mut out = Vec::new();
-        self.release_due(t, &mut out);
-        for mut c in self.inner.advance_to(t) {
+        self.advance_to_into(t, &mut out);
+        out
+    }
+
+    fn advance_to_into(&mut self, t: SimTime, out: &mut Vec<IoCompletion>) {
+        self.release_due(t, out);
+        let start = out.len();
+        self.inner.advance_to_into(t, out);
+        // Walk the completions the inner device just appended, drawing the
+        // spike chance per completion in arrival order (the RNG sequence
+        // is part of the deterministic contract). Spiked completions that
+        // land beyond `t` move to `held`; `remove` keeps the rest in
+        // order.
+        let mut i = start;
+        while i < out.len() {
             if self.plan.latency_spike_rate > 0.0 && self.rng.chance(self.plan.latency_spike_rate) {
                 self.stats.latency_spikes += 1;
                 emit!(
                     self.rec,
-                    c.completed,
+                    out[i].completed,
                     self.track.as_str(),
                     EventKind::FaultInjected {
                         fault: "latency_spike".to_string(),
                     }
                 );
-                c.completed += self.plan.latency_spike;
-                if c.completed <= t {
-                    out.push(c);
+                out[i].completed += self.plan.latency_spike;
+                if out[i].completed <= t {
+                    i += 1;
                 } else {
+                    let c = out.remove(i);
                     self.held.push(c);
                 }
             } else {
-                out.push(c);
+                i += 1;
             }
         }
-        out
     }
 
     fn power_w(&self) -> f64 {

@@ -518,6 +518,12 @@ impl StorageDevice for Hdd {
     }
 
     fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion> {
+        let mut out = Vec::new();
+        self.advance_to_into(t, &mut out);
+        out
+    }
+
+    fn advance_to_into(&mut self, t: SimTime, out: &mut Vec<IoCompletion>) {
         assert!(
             t >= self.now,
             "advance_to {t} before device time {}",
@@ -528,7 +534,8 @@ impl StorageDevice for Hdd {
             self.handle(ev);
         }
         self.now = t;
-        std::mem::take(&mut self.done)
+        // `append` drains `done` but keeps its allocation for reuse.
+        out.append(&mut self.done);
     }
 
     fn power_w(&self) -> f64 {

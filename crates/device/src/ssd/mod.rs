@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use powadapt_obs::{emit, span, EventKind, RecorderHandle};
 use powadapt_sim::snapshot::{read_time, write_time};
-use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime};
+use powadapt_sim::{EventQueue, RollingMean, SimDuration, SimRng, SimTime, Slab};
 use powadapt_snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::device::StorageDevice;
@@ -64,8 +64,10 @@ impl Pending {
 
 #[derive(Debug, Clone, Copy)]
 enum DieWork {
-    /// One page read belonging to the given request.
-    Read(IoId),
+    /// One page read belonging to the in-flight read at this `reads`-slab
+    /// slot. Slots are O(1) to resolve on the hot completion path;
+    /// snapshots translate them back to stable [`IoId`]s.
+    Read(usize),
     /// One (possibly partial) program unit of buffer drain.
     Program,
 }
@@ -167,9 +169,10 @@ pub struct Ssd {
     iface_busy: bool,
     iface_queue: VecDeque<Transfer>,
 
-    // NAND dies.
+    // NAND dies. Die queues carry `reads`-slab slots so the per-page
+    // completion path never walks an ordered map.
     die_busy: Vec<bool>,
-    die_q: Vec<VecDeque<IoId>>,
+    die_q: Vec<VecDeque<usize>>,
     busy_read: usize,
     busy_prog: usize,
 
@@ -180,8 +183,8 @@ pub struct Ssd {
     buffer_waiters: VecDeque<Pending>,
     last_write_end: u64,
 
-    // Read path.
-    reads: BTreeMap<u64, ReadState>,
+    // Read path: in-flight reads live in a freelist arena keyed by slot.
+    reads: Slab<ReadState>,
     cache: PageCache,
 
     inflight_ids: BTreeSet<u64>,
@@ -248,7 +251,7 @@ impl Ssd {
             flushing: false,
             buffer_waiters: VecDeque::new(),
             last_write_end: u64::MAX, // first write is never "sequential"
-            reads: BTreeMap::new(),
+            reads: Slab::new(),
             cache,
             inflight_ids: BTreeSet::new(),
             done: Vec::new(),
@@ -504,25 +507,26 @@ impl Ssd {
         let first = p.offset / page;
         let last = (p.end() - 1) / page;
         let dies = self.cfg.dies as u64;
+        // Claim the slot up front so the per-page die work can reference
+        // it; a fully cached read releases the slot before anyone sees it.
+        let slot = self.reads.insert(ReadState {
+            pending: p,
+            remaining: 0,
+        });
         let mut ops = 0usize;
         for pg in first..=last {
             if !self.cache.contains(pg) {
                 let die = (pg % dies) as usize;
-                self.die_q[die].push_back(p.id);
+                self.die_q[die].push_back(slot);
                 ops += 1;
             }
             self.cache.insert(pg);
         }
         if ops == 0 {
+            self.reads.remove(slot);
             self.iface_queue.push_back(Transfer { pending: p });
-        } else {
-            self.reads.insert(
-                p.id.0,
-                ReadState {
-                    pending: p,
-                    remaining: ops,
-                },
-            );
+        } else if let Some(rs) = self.reads.get_mut(slot) {
+            rs.remaining = ops;
         }
     }
 
@@ -596,7 +600,7 @@ impl Ssd {
                 if !self.gov_allows(self.cfg.die_read_w) {
                     break;
                 }
-                let Some(id) = self.die_q[die].pop_front() else {
+                let Some(slot) = self.die_q[die].pop_front() else {
                     continue;
                 };
                 self.die_busy[die] = true;
@@ -612,7 +616,7 @@ impl Ssd {
                     self.now + self.cfg.read_op,
                     Ev::DieDone {
                         die,
-                        work: DieWork::Read(id),
+                        work: DieWork::Read(slot),
                     },
                 );
                 self.update_power();
@@ -727,19 +731,19 @@ impl Ssd {
             Ev::DieDone { die, work } => {
                 self.die_busy[die] = false;
                 match work {
-                    DieWork::Read(id) => {
+                    DieWork::Read(slot) => {
                         self.busy_read -= 1;
                         let finished = {
                             let rs = self
                                 .reads
-                                .get_mut(&id.0)
+                                .get_mut(slot)
                                 // powadapt-lint: allow(D5, reason = "every DieDone::Read was scheduled with a ReadState; losing one would silently corrupt completion accounting")
                                 .expect("read state exists for in-flight read");
                             rs.remaining -= 1;
                             rs.remaining == 0
                         };
                         if finished {
-                            if let Some(rs) = self.reads.remove(&id.0) {
+                            if let Some(rs) = self.reads.remove(slot) {
                                 self.iface_queue.push_back(Transfer {
                                     pending: rs.pending,
                                 });
@@ -846,6 +850,12 @@ impl StorageDevice for Ssd {
     }
 
     fn advance_to(&mut self, t: SimTime) -> Vec<IoCompletion> {
+        let mut out = Vec::new();
+        self.advance_to_into(t, &mut out);
+        out
+    }
+
+    fn advance_to_into(&mut self, t: SimTime, out: &mut Vec<IoCompletion>) {
         assert!(
             t >= self.now,
             "advance_to {t} before device time {}",
@@ -856,7 +866,8 @@ impl StorageDevice for Ssd {
             self.handle(ev);
         }
         self.now = t;
-        std::mem::take(&mut self.done)
+        // `append` drains `done` but keeps its allocation for reuse.
+        out.append(&mut self.done);
     }
 
     fn power_w(&self) -> f64 {
@@ -958,7 +969,25 @@ impl StorageDevice for Ssd {
 
     fn write_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
         write_time(w, self.now);
-        self.events.write_state(w, write_ev)?;
+        // The in-flight read table precedes the event and die queues:
+        // those queues reference reads by arena slot, and a restore can
+        // only translate the stable ids written here back into slots once
+        // the table exists. Entries are ordered by id, not slot, so the
+        // byte stream is independent of freelist history.
+        let mut reads: Vec<(u64, &ReadState)> = self
+            .reads
+            .iter()
+            .map(|(_, rs)| (rs.pending.id.0, rs))
+            .collect();
+        reads.sort_unstable_by_key(|&(id, _)| id);
+        w.seq_len(reads.len());
+        for (id, rs) in reads {
+            w.u64(id);
+            write_pending(w, &rs.pending);
+            w.usize(rs.remaining);
+        }
+        self.events
+            .write_state(w, |w, ev| write_ev(w, ev, &self.reads))?;
         Snapshot::write_state(&self.rng, w)?;
         w.f64(self.power_now);
         Snapshot::write_state(&self.rolling, w)?;
@@ -982,8 +1011,8 @@ impl StorageDevice for Ssd {
         w.seq_len(self.die_q.len());
         for q in &self.die_q {
             w.seq_len(q.len());
-            for id in q {
-                w.u64(id.0);
+            for &slot in q {
+                w.u64(slot_id(&self.reads, slot)?);
             }
         }
         w.usize(self.busy_read);
@@ -993,12 +1022,6 @@ impl StorageDevice for Ssd {
         w.bool(self.flushing);
         write_pendings(w, self.buffer_waiters.iter());
         w.u64(self.last_write_end);
-        w.seq_len(self.reads.len());
-        for (&id, rs) in &self.reads {
-            w.u64(id);
-            write_pending(w, &rs.pending);
-            w.usize(rs.remaining);
-        }
         w.seq_len(self.cache.order.len());
         for &page in &self.cache.order {
             w.u64(page);
@@ -1015,7 +1038,19 @@ impl StorageDevice for Ssd {
 
     fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         self.now = read_time(r)?;
-        self.events.read_state(r, read_ev)?;
+        let n = r.seq_len()?;
+        self.reads.clear();
+        let mut slot_of: BTreeMap<u64, usize> = BTreeMap::new();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let pending = read_pending(r)?;
+            let remaining = r.usize()?;
+            let slot = self.reads.insert(ReadState { pending, remaining });
+            if slot_of.insert(id, slot).is_some() {
+                return Err(SnapError::InvalidValue(format!("duplicate read id {id}")));
+            }
+        }
+        self.events.read_state(r, |r| read_ev(r, &slot_of))?;
         Restore::read_state(&mut self.rng, r)?;
         self.power_now = r.f64()?;
         Restore::read_state(&mut self.rolling, r)?;
@@ -1062,7 +1097,8 @@ impl StorageDevice for Ssd {
             let m = r.seq_len()?;
             q.clear();
             for _ in 0..m {
-                q.push_back(IoId(r.u64()?));
+                let id = r.u64()?;
+                q.push_back(resolve_slot(&slot_of, id)?);
             }
         }
         self.busy_read = r.usize()?;
@@ -1072,20 +1108,6 @@ impl StorageDevice for Ssd {
         self.flushing = r.bool()?;
         self.buffer_waiters = read_pendings(r)?;
         self.last_write_end = r.u64()?;
-        let n = r.seq_len()?;
-        self.reads.clear();
-        for _ in 0..n {
-            let id = r.u64()?;
-            let pending = read_pending(r)?;
-            let remaining = r.usize()?;
-            if self
-                .reads
-                .insert(id, ReadState { pending, remaining })
-                .is_some()
-            {
-                return Err(SnapError::InvalidValue(format!("duplicate read id {id}")));
-            }
-        }
         let n = r.seq_len()?;
         if n > self.cache.capacity {
             return Err(SnapError::InvalidValue(format!(
@@ -1162,7 +1184,25 @@ fn read_pendings(r: &mut SnapReader<'_>) -> Result<VecDeque<Pending>, SnapError>
     Ok(out)
 }
 
-fn write_ev(w: &mut SnapWriter, ev: &Ev) -> Result<(), SnapError> {
+/// Translates an in-flight read's arena slot back to its stable id for
+/// serialization.
+fn slot_id(reads: &Slab<ReadState>, slot: usize) -> Result<u64, SnapError> {
+    reads
+        .get(slot)
+        .map(|rs| rs.pending.id.0)
+        .ok_or_else(|| SnapError::InvalidValue(format!("vacant read slot {slot} referenced")))
+}
+
+/// Translates a serialized read id back to the arena slot it occupies in
+/// the restored `reads` table.
+fn resolve_slot(slot_of: &BTreeMap<u64, usize>, id: u64) -> Result<usize, SnapError> {
+    slot_of
+        .get(&id)
+        .copied()
+        .ok_or_else(|| SnapError::InvalidValue(format!("unknown in-flight read id {id}")))
+}
+
+fn write_ev(w: &mut SnapWriter, ev: &Ev, reads: &Slab<ReadState>) -> Result<(), SnapError> {
     match ev {
         Ev::CmdDone(p) => {
             w.u8(0);
@@ -1180,9 +1220,9 @@ fn write_ev(w: &mut SnapWriter, ev: &Ev) -> Result<(), SnapError> {
             w.u8(3);
             w.usize(*die);
             match work {
-                DieWork::Read(id) => {
+                DieWork::Read(slot) => {
                     w.u8(0);
-                    w.u64(id.0);
+                    w.u64(slot_id(reads, *slot)?);
                 }
                 DieWork::Program => w.u8(1),
             }
@@ -1195,7 +1235,7 @@ fn write_ev(w: &mut SnapWriter, ev: &Ev) -> Result<(), SnapError> {
     Ok(())
 }
 
-fn read_ev(r: &mut SnapReader<'_>) -> Result<Ev, SnapError> {
+fn read_ev(r: &mut SnapReader<'_>, slot_of: &BTreeMap<u64, usize>) -> Result<Ev, SnapError> {
     Ok(match r.u8()? {
         0 => Ev::CmdDone(read_pending(r)?),
         1 => Ev::IfaceDone(Transfer {
@@ -1205,7 +1245,7 @@ fn read_ev(r: &mut SnapReader<'_>) -> Result<Ev, SnapError> {
         3 => {
             let die = r.usize()?;
             let work = match r.u8()? {
-                0 => DieWork::Read(IoId(r.u64()?)),
+                0 => DieWork::Read(resolve_slot(slot_of, r.u64()?)?),
                 1 => DieWork::Program,
                 b => {
                     return Err(SnapError::InvalidValue(format!("die work byte {b}")));

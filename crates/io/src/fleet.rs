@@ -364,6 +364,8 @@ where
     let mut routed: Vec<u64> = vec![0; devices.len()];
     let mut completions: Vec<Vec<IoCompletion>> = vec![Vec::new(); devices.len()];
     let mut absorbed: Vec<IoCompletion> = Vec::new();
+    // Reused across arrivals; re-routing marks the devices already tried.
+    let mut tried = vec![false; devices.len()];
     let mut io_errors = 0u64;
     let mut dropped = 0u64;
     let mut command_errors = 0u64;
@@ -385,13 +387,14 @@ where
             break;
         }
 
-        // Advance the whole fleet to t.
+        // Advance the whole fleet to t. Completions append straight into
+        // the per-device buffers; no per-step vector allocation.
         for (i, d) in devices.iter_mut().enumerate() {
-            let new = d.advance_to(t);
-            for c in &new {
+            let before = completions[i].len();
+            d.advance_to_into(t, &mut completions[i]);
+            for c in &completions[i][before..] {
                 router.on_io_complete(i, c);
             }
-            completions[i].extend(new);
         }
 
         // Admit any arrivals due at or before t.
@@ -402,7 +405,7 @@ where
             // Transiently-refused submits are re-routed; each device gets
             // at most one try per arrival, so a fully-faulted fleet drops
             // the arrival instead of wedging the loop.
-            let mut tried = vec![false; devices.len()];
+            tried.fill(false);
             let mut route = router.route(&a, &statuses(devices));
             loop {
                 match route {

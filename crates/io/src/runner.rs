@@ -250,7 +250,9 @@ pub fn run_experiment(
             }
         };
 
-        completions.extend(device.advance_to(t));
+        // Completions append straight into the result buffer: no per-step
+        // vector allocation on the hot loop.
+        device.advance_to_into(t, &mut completions);
 
         while device.inflight() < depth && can_issue(issued_bytes, device.now()) {
             let kind = next_kind(&mut kind_rng);

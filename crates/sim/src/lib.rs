@@ -3,7 +3,11 @@
 //! This crate provides the substrate every other `powadapt` crate builds on:
 //!
 //! - [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time,
-//! - [`EventQueue`] — a deterministic time-ordered event queue,
+//! - [`EventQueue`] — a deterministic time-ordered event queue (a calendar
+//!   queue; [`HeapQueue`] is the reference binary-heap kernel it is proven
+//!   equivalent to),
+//! - [`Slab`] — a freelist arena with stable integer keys for in-flight
+//!   simulation state,
 //! - [`SimRng`] — seeded randomness with the distributions the device and
 //!   measurement models need,
 //! - [`StepSignal`] — piecewise-constant signals (instantaneous device power
@@ -42,16 +46,18 @@ mod queue;
 mod rng;
 mod rolling;
 mod signal;
+mod slab;
 pub mod snapshot;
 mod stats;
 mod time;
 pub mod units;
 mod zipf;
 
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, HeapQueue};
 pub use rng::SimRng;
 pub use rolling::RollingMean;
 pub use signal::StepSignal;
+pub use slab::Slab;
 pub use stats::{percentile_of_sorted, relative_error, Summary};
 pub use time::{SimDuration, SimTime};
 pub use zipf::Zipf;

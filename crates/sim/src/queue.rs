@@ -2,10 +2,32 @@
 //!
 //! Events carry a payload of type `E` and fire in timestamp order. Ties are
 //! broken by insertion order so simulations are fully deterministic.
+//!
+//! Two implementations share one API and one observable behavior:
+//!
+//! - [`EventQueue`] — the production kernel: a *calendar queue*. The near
+//!   future is a ring of fixed-width time buckets (amortized O(1)
+//!   schedule/pop); everything past the ring's horizon waits in a
+//!   `BTreeMap` overflow tier keyed by `(time, seq)` so tie-breaks stay
+//!   stable. Cancellation is O(1) and lazy: a per-sequence flag marks the
+//!   entry dead and the physical record is discarded when the sweep
+//!   reaches it ("tombstone"); resolved flags are compacted from the front
+//!   as the oldest ids settle.
+//! - [`HeapQueue`] — the original `BinaryHeap` kernel, kept as the
+//!   reference implementation. The differential harness
+//!   (`tests/queue_equivalence.rs`) drives both with identical scripts and
+//!   asserts identical `(time, id, payload)` streams, and `kernel_bench`
+//!   measures the calendar queue's speedup against it.
+//!
+//! Both serialize through `powadapt-snap` with the *same* byte layout
+//! (`next_seq`, then live entries sorted by `(time, seq)`), so snapshots
+//! are interchangeable between implementations and across versions.
 
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
@@ -45,7 +67,33 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
-/// A time-ordered queue of simulation events.
+/// log2 of the calendar bucket width in nanoseconds (65.536 µs): wide
+/// enough that a typical device op (NAND read, interface transfer) and its
+/// completion land within a few buckets, narrow enough that one bucket's
+/// sort stays small at fleet event rates.
+const BUCKET_BITS: u32 = 16;
+/// Calendar bucket width in nanoseconds.
+const BUCKET_W: u64 = 1 << BUCKET_BITS;
+/// Number of buckets in the ring (must be a power of two). The ring spans
+/// `BUCKET_COUNT * BUCKET_W` ≈ 16.8 ms of simulated time; timers beyond
+/// that (standby wakes, HDD spin-ups, multi-second ticks) use the
+/// overflow tier.
+const BUCKET_COUNT: usize = 256;
+/// Ring span in nanoseconds.
+const SPAN: u64 = (BUCKET_COUNT as u64) << BUCKET_BITS;
+
+/// Cancellation-flag states, indexed by `seq - flag_base`.
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const FIRED: u8 = 2;
+
+/// Hard ceiling on the `next_seq - min_live_seq` gap accepted from a
+/// snapshot: the restore path materializes one flag byte per sequence
+/// number in that range, so an implausible gap (far beyond anything a
+/// real queue produces) is rejected instead of allocating unboundedly.
+const MAX_RESTORE_SEQ_GAP: u64 = 1 << 26;
+
+/// A time-ordered queue of simulation events (calendar-queue kernel).
 ///
 /// # Examples
 ///
@@ -60,10 +108,29 @@ impl<E> PartialOrd for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: BTreeSet<u64>,
-    /// Seqs scheduled but not yet fired or cancelled.
-    live: BTreeSet<u64>,
+    /// Entries with `at < active_end`, sorted *descending* by `(at, seq)`
+    /// so the next event to fire is at the back (O(1) pop). Late
+    /// schedules into the already-swept window binary-insert here.
+    active: Vec<Entry<E>>,
+    /// Ring of unsorted buckets covering `[active_end, active_end + SPAN)`;
+    /// bucket index for time `t` is `(t >> BUCKET_BITS) % BUCKET_COUNT`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Exclusive upper bound (nanoseconds) of the swept window; always a
+    /// multiple of `BUCKET_W` except in the saturated far-future corner
+    /// where it is `u64::MAX`.
+    active_end: u64,
+    /// Entries with `at >= active_end + SPAN`, keyed `(at, seq)` so
+    /// iteration order is exactly fire order.
+    overflow: BTreeMap<(SimTime, u64), E>,
+    /// Physical entries in `active` + `buckets` (live or tombstoned).
+    near_phys: usize,
+    /// Live (scheduled, not fired, not cancelled) entries.
+    live_len: usize,
+    /// Per-sequence state for seqs in `[flag_base, next_seq)`; anything
+    /// below `flag_base` is resolved (fired or cancelled). The front is
+    /// compacted whenever the oldest outstanding seq resolves.
+    flags: VecDeque<u8>,
+    flag_base: u64,
     next_seq: u64,
 }
 
@@ -71,6 +138,413 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            active: Vec::new(),
+            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            active_end: 0,
+            overflow: BTreeMap::new(),
+            near_phys: 0,
+            live_len: 0,
+            flags: VecDeque::new(),
+            flag_base: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns an id usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.flags.push_back(LIVE);
+        self.live_len += 1;
+        self.place(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Routes a physical entry to the tier its timestamp belongs to.
+    fn place(&mut self, e: Entry<E>) {
+        let t = e.at.as_nanos();
+        if t < self.active_end {
+            // The sweep already passed this window: keep `active` sorted
+            // descending so the earliest entry stays at the back. Equal
+            // timestamps sort by seq, preserving insertion-order ties.
+            let key = (e.at, e.seq);
+            let idx = self.active.partition_point(|x| (x.at, x.seq) > key);
+            self.active.insert(idx, e);
+            self.near_phys += 1;
+        } else if t < self.active_end.saturating_add(SPAN) {
+            let idx = ((t >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1);
+            self.buckets[idx].push(e);
+            self.near_phys += 1;
+        } else {
+            self.overflow.insert((e.at, e.seq), e.payload);
+        }
+    }
+
+    fn flag(&self, seq: u64) -> u8 {
+        if seq < self.flag_base {
+            // Compacted away: the entry resolved long ago. A physical
+            // record can still carry such a seq only if it was cancelled
+            // (fired entries leave the queue when they fire).
+            CANCELLED
+        } else {
+            self.flags[(seq - self.flag_base) as usize]
+        }
+    }
+
+    fn set_flag(&mut self, seq: u64, state: u8) {
+        let i = (seq - self.flag_base) as usize;
+        self.flags[i] = state;
+        if i == 0 {
+            self.compact_flags();
+        }
+    }
+
+    /// Advances `flag_base` past resolved entries — the "tombstone
+    /// compaction" that keeps the flag window proportional to the number
+    /// of outstanding events rather than the total ever scheduled.
+    fn compact_flags(&mut self) {
+        while let Some(&f) = self.flags.front() {
+            if f == LIVE {
+                break;
+            }
+            self.flags.pop_front();
+            self.flag_base += 1;
+        }
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    /// Cancellation is O(1) and lazy: the entry is only marked dead here
+    /// and is physically discarded when the sweep reaches it.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let seq = id.0;
+        if seq >= self.next_seq || self.flag(seq) != LIVE {
+            return false;
+        }
+        self.set_flag(seq, CANCELLED);
+        self.live_len -= 1;
+        // Overflow entries can be reclaimed eagerly at O(log n) only by
+        // key — which we don't know here. They are dropped when the
+        // window sweeps over them, like near-tier tombstones.
+        true
+    }
+
+    /// Cancels a batch of events, returning how many were still live.
+    ///
+    /// Equivalent to calling [`EventQueue::cancel`] per id; each
+    /// cancellation is O(1), so cancel-heavy paths (retry timers, idle
+    /// timers) pay no per-event ordering cost.
+    pub fn cancel_many<I>(&mut self, ids: I) -> usize
+    where
+        I: IntoIterator<Item = EventId>,
+    {
+        ids.into_iter().filter(|&id| self.cancel(id)).count()
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        if self.ensure_front() {
+            self.active.last().map(|e| e.at)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the next live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.ensure_front() {
+            return None;
+        }
+        let e = self.active.pop()?;
+        self.near_phys -= 1;
+        self.live_len -= 1;
+        self.set_flag(e.seq, FIRED);
+        Some((e.at, e.payload))
+    }
+
+    /// Removes and returns the next live event only if it fires at or before
+    /// `t`.
+    pub fn pop_at_or_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        match self.next_time() {
+            Some(at) if at <= t => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live_len
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live_len == 0
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.active.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.active_end = 0;
+        self.near_phys = 0;
+        self.live_len = 0;
+        self.flags.clear();
+        self.flag_base = self.next_seq;
+    }
+
+    /// Makes the next live event (if any) the back element of `active`.
+    /// Returns `false` iff no live events remain.
+    fn ensure_front(&mut self) -> bool {
+        if self.live_len == 0 {
+            return false;
+        }
+        loop {
+            // Drop tombstones off the back of the sorted window.
+            while let Some(e) = self.active.last() {
+                if self.flag(e.seq) == LIVE {
+                    return true;
+                }
+                self.active.pop();
+                self.near_phys -= 1;
+            }
+            if self.near_phys > 0 {
+                // Some bucket within the ring is non-empty; sweep forward
+                // one bucket width. The outer loop re-checks the counters
+                // after each step, so a bucket holding only tombstones
+                // cannot wedge the sweep.
+                self.activate_next_bucket();
+            } else if self.overflow.is_empty() {
+                // live_len > 0 but nothing physical: unreachable by
+                // construction (every live entry has a physical record).
+                return false;
+            } else {
+                self.refill_from_overflow();
+            }
+        }
+    }
+
+    /// Activates the bucket starting at `active_end`: moves its live
+    /// entries into `active` (sorted), advances the window, and migrates
+    /// any overflow entries that now fall inside the ring into the freed
+    /// bucket. The drain must happen *before* the migration — migrated
+    /// entries belong to the freed bucket's next revolution, a full SPAN
+    /// later, and must not ride along into `active` now.
+    fn activate_next_bucket(&mut self) {
+        let idx = ((self.active_end >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1);
+        {
+            let EventQueue {
+                active,
+                buckets,
+                near_phys,
+                flags,
+                flag_base,
+                ..
+            } = self;
+            for e in buckets[idx].drain(..) {
+                let live = e.seq >= *flag_base && flags[(e.seq - *flag_base) as usize] == LIVE;
+                if live {
+                    active.push(e);
+                } else {
+                    *near_phys -= 1;
+                }
+            }
+            // Descending, so the earliest (and lowest-seq) entry pops first.
+            active.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        }
+        // Saturating: near u64::MAX the window narrows instead of
+        // wrapping; `refill_from_overflow` owns the saturated corner.
+        self.active_end = self.active_end.saturating_add(BUCKET_W);
+        // The freed bucket's window advanced by a full SPAN; pull the
+        // overflow entries that now belong to it. They share `idx`
+        // because the ring length is exactly SPAN.
+        let limit = self.active_end.saturating_add(SPAN);
+        self.migrate_overflow_below(limit);
+    }
+
+    /// Moves overflow entries with `at < limit` (nanoseconds) into their
+    /// ring buckets.
+    fn migrate_overflow_below(&mut self, limit: u64) {
+        let first_in = self
+            .overflow
+            .first_key_value()
+            .is_some_and(|((at, _), _)| at.as_nanos() < limit);
+        if !first_in {
+            return;
+        }
+        let rest = self.overflow.split_off(&(SimTime::from_nanos(limit), 0));
+        let movable = std::mem::replace(&mut self.overflow, rest);
+        for ((at, seq), payload) in movable {
+            let idx = ((at.as_nanos() >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1);
+            self.buckets[idx].push(Entry { at, seq, payload });
+            self.near_phys += 1;
+        }
+    }
+
+    /// The near tier is physically empty: jump the window forward to the
+    /// first overflow entry instead of sweeping empty buckets.
+    fn refill_from_overflow(&mut self) {
+        let Some((&(at, _), _)) = self.overflow.first_key_value() else {
+            return;
+        };
+        let base = (at.as_nanos() >> BUCKET_BITS) << BUCKET_BITS;
+        if base.saturating_add(SPAN) == u64::MAX {
+            // Far-future corner (times near u64::MAX): bucket arithmetic
+            // would saturate, so serve the remaining entries straight from
+            // the sorted overflow via `active`. Entries at exactly
+            // `active_end == u64::MAX` may then sit in `active`; the sort
+            // keeps their order correct.
+            self.active_end = u64::MAX;
+            let movable = std::mem::take(&mut self.overflow);
+            for ((at, seq), payload) in movable {
+                self.active.push(Entry { at, seq, payload });
+                self.near_phys += 1;
+            }
+            self.active
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        } else {
+            self.active_end = base;
+            self.migrate_overflow_below(base.saturating_add(SPAN));
+        }
+    }
+
+    /// Serializes the queue's live entries and sequence counter. The
+    /// payload codec is supplied by the caller because `E` is theirs.
+    ///
+    /// The calendar layout (which bucket or tier an entry sits in, how far
+    /// the sweep has advanced) is an implementation detail, so entries are
+    /// emitted sorted by `(at, seq)` — the queue's own pop order — making
+    /// the byte stream deterministic and identical to what the original
+    /// heap kernel wrote. Cancelled entries are dropped here: lazy
+    /// cancellation is an optimization, not observable state. `next_seq`
+    /// is preserved exactly so event ids never collide across a restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the payload codec.
+    pub fn write_state<F>(
+        &self,
+        w: &mut powadapt_snap::SnapWriter,
+        mut item: F,
+    ) -> Result<(), powadapt_snap::SnapError>
+    where
+        F: FnMut(&mut powadapt_snap::SnapWriter, &E) -> Result<(), powadapt_snap::SnapError>,
+    {
+        w.u64(self.next_seq);
+        let mut live: Vec<(SimTime, u64, &E)> = Vec::with_capacity(self.live_len);
+        for e in self.active.iter().chain(self.buckets.iter().flatten()) {
+            if self.flag(e.seq) == LIVE {
+                live.push((e.at, e.seq, &e.payload));
+            }
+        }
+        for (&(at, seq), payload) in &self.overflow {
+            if self.flag(seq) == LIVE {
+                live.push((at, seq, payload));
+            }
+        }
+        live.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        w.seq_len(live.len());
+        for (at, seq, payload) in live {
+            crate::snapshot::write_time(w, at);
+            w.u64(seq);
+            item(w, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the queue's contents with entries from a snapshot written
+    /// by [`EventQueue::write_state`], preserving each entry's sequence
+    /// number (and therefore every tie-break) exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::InvalidValue`](powadapt_snap::SnapError::InvalidValue)
+    /// on duplicate or out-of-range sequence numbers, on an implausibly
+    /// large `next_seq`-to-oldest-live gap, or any error from the payload
+    /// codec.
+    pub fn read_state<F>(
+        &mut self,
+        r: &mut powadapt_snap::SnapReader<'_>,
+        mut item: F,
+    ) -> Result<(), powadapt_snap::SnapError>
+    where
+        F: FnMut(&mut powadapt_snap::SnapReader<'_>) -> Result<E, powadapt_snap::SnapError>,
+    {
+        let next_seq = r.u64()?;
+        let n = r.seq_len()?;
+        let mut entries: Vec<(SimTime, u64)> = Vec::with_capacity(n);
+        let mut payloads: Vec<E> = Vec::with_capacity(n);
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..n {
+            let at = crate::snapshot::read_time(r)?;
+            let seq = r.u64()?;
+            if seq >= next_seq {
+                return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                    "event seq {seq} not below next_seq {next_seq}"
+                )));
+            }
+            if !seen.insert(seq) {
+                return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                    "duplicate event seq {seq}"
+                )));
+            }
+            entries.push((at, seq));
+            payloads.push(item(r)?);
+        }
+        let flag_base = seen.first().copied().unwrap_or(next_seq);
+        if next_seq - flag_base > MAX_RESTORE_SEQ_GAP {
+            return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                "event seq gap {} exceeds restore limit {MAX_RESTORE_SEQ_GAP}",
+                next_seq - flag_base
+            )));
+        }
+        self.clear();
+        self.next_seq = next_seq;
+        self.flag_base = flag_base;
+        // Seqs in the gap that are not live were resolved before the
+        // snapshot; only the recorded entries come back as LIVE.
+        self.flags = std::iter::repeat_n(CANCELLED, (next_seq - flag_base) as usize).collect();
+        for &seq in &seen {
+            self.flags[(seq - flag_base) as usize] = LIVE;
+        }
+        self.live_len = entries.len();
+        for ((at, seq), payload) in entries.into_iter().zip(payloads) {
+            self.place(Entry { at, seq, payload });
+        }
+        Ok(())
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original `BinaryHeap`-based event queue, kept as the reference
+/// kernel for the differential harness and the `kernel_bench` baseline.
+///
+/// Behavior is identical to [`EventQueue`] — same API, same `(time,
+/// insertion-order)` total order, same snapshot byte layout — but
+/// `schedule`/`pop` are O(log n) and `cancel` pays two `BTreeSet`
+/// operations.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: BTreeSet<u64>,
+    /// Seqs scheduled but not yet fired or cancelled.
+    live: BTreeSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
             heap: BinaryHeap::new(),
             cancelled: BTreeSet::new(),
             live: BTreeSet::new(),
@@ -79,7 +553,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` to fire at `at`. Returns an id usable with
-    /// [`EventQueue::cancel`].
+    /// [`HeapQueue::cancel`].
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -150,15 +624,8 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Serializes the queue's live entries and sequence counter. The
-    /// payload codec is supplied by the caller because `E` is theirs.
-    ///
-    /// `BinaryHeap` iterates in arbitrary order, so entries are emitted
-    /// sorted by `(at, seq)` — the queue's own pop order — making the
-    /// byte stream deterministic. Cancelled entries are dropped here:
-    /// lazy cancellation is an optimization, not observable state.
-    /// `next_seq` is preserved exactly so event ids never collide across
-    /// a restore.
+    /// Serializes the queue exactly like [`EventQueue::write_state`]:
+    /// `next_seq`, then live entries sorted by `(at, seq)`.
     ///
     /// # Errors
     ///
@@ -187,9 +654,8 @@ impl<E> EventQueue<E> {
         Ok(())
     }
 
-    /// Replaces the queue's contents with entries from a snapshot written
-    /// by [`EventQueue::write_state`], preserving each entry's sequence
-    /// number (and therefore every tie-break) exactly.
+    /// Restores state written by [`HeapQueue::write_state`] (or
+    /// [`EventQueue::write_state`] — the formats are identical).
     ///
     /// # Errors
     ///
@@ -230,7 +696,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -284,6 +750,18 @@ mod tests {
     }
 
     #[test]
+    fn cancel_many_counts_live_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..8u32)
+            .map(|i| q.schedule(SimTime::from_millis(u64::from(i)), i))
+            .collect();
+        assert!(q.cancel(ids[3]));
+        q.pop();
+        assert_eq!(q.cancel_many(ids.iter().copied()), 6);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn next_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_millis(1), "a");
@@ -310,5 +788,107 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_clear_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), 1u32);
+        q.clear();
+        assert!(!q.cancel(id));
+        // Ids allocated after the clear still cancel normally.
+        let id2 = q.schedule(SimTime::from_millis(2), 2u32);
+        assert!(q.cancel(id2));
+    }
+
+    #[test]
+    fn overflow_tier_preserves_order_across_the_horizon() {
+        // Entries far beyond the ring span exercise the overflow tier and
+        // the window jump; interleave near and far schedules.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos(3 * SPAN);
+        q.schedule(far, "far");
+        q.schedule(SimTime::from_nanos(10), "near");
+        q.schedule(far, "far2");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        // After the jump the two far entries keep insertion order.
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far2"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_entry_fires_before_later_near_entry() {
+        // Regression for the window-migration invariant: an entry parked
+        // in overflow must still fire before a near-tier entry scheduled
+        // later (in wall order) but with a later timestamp.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(SPAN + 5), "overflowed");
+        // Drain a near entry so the window sweeps forward.
+        q.schedule(SimTime::from_nanos(1), "first");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("first"));
+        // Now the horizon has moved; this lands in a ring bucket even
+        // though it fires *after* the overflowed entry.
+        q.schedule(SimTime::from_nanos(SPAN + 10), "later");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("overflowed"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
+    }
+
+    #[test]
+    fn schedule_into_swept_window_still_fires_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "a");
+        assert_eq!(q.next_time(), Some(SimTime::from_millis(5)));
+        // The sweep has passed t=1; a late schedule there must still fire
+        // first.
+        q.schedule(SimTime::from_millis(1), "late");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+    }
+
+    #[test]
+    fn far_future_saturation_corner() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, "end");
+        q.schedule(SimTime::from_nanos(u64::MAX - 1), "almost");
+        q.schedule(SimTime::MAX, "end2");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("almost"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("end"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("end2"));
+        assert!(q.pop().is_none());
+        // The queue keeps working after the saturated window.
+        q.schedule(SimTime::from_millis(1), "again");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("again"));
+    }
+
+    #[test]
+    fn tombstone_compaction_bounds_flag_window() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            let id = q.schedule(SimTime::from_micros(round), round);
+            if round % 2 == 0 {
+                q.cancel(id);
+            } else {
+                q.pop();
+            }
+        }
+        assert!(q.is_empty());
+        // Every seq resolved in order, so the flag window is empty and
+        // fully compacted.
+        assert_eq!(q.flags.len(), 0);
+        assert_eq!(q.flag_base, q.next_seq);
+    }
+
+    #[test]
+    fn heap_queue_matches_on_basics() {
+        let mut q = HeapQueue::new();
+        q.schedule(SimTime::from_millis(3), 3u32);
+        let id = q.schedule(SimTime::from_millis(1), 1u32);
+        q.schedule(SimTime::from_millis(2), 2u32);
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+        assert_eq!(q.len(), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![2, 3]);
     }
 }

@@ -1,0 +1,410 @@
+//! Differential equivalence harness for the sim kernel's event queues.
+//!
+//! The calendar-bucket [`EventQueue`] is a drop-in replacement for the
+//! binary-heap [`HeapQueue`] reference kernel. This harness drives both
+//! with the same randomized schedule/cancel/pop scripts and asserts they
+//! are observationally identical: every returned `(time, id, payload)`,
+//! every cancel verdict, every `next_time`/`len` probe, and every
+//! serialized snapshot byte. Scripts deliberately span the calendar
+//! queue's tiers — the sorted active run, the bucket ring, the far
+//! overflow map, and the `u64::MAX` saturation corner — so tier
+//! transitions (window advances, overflow migration, refills) are
+//! exercised against an implementation that has none of them.
+
+// The payload-codec closures `|r| r.u32()` are not replaceable with the
+// method path: `SnapReader::u32` is monomorphic in the reader's lifetime
+// and fails the higher-ranked `FnMut` bound that a closure satisfies.
+#![allow(clippy::unwrap_used, clippy::redundant_closure_for_method_calls)]
+
+use powadapt::sim::{EventId, EventQueue, HeapQueue, SimTime};
+use powadapt::snap::{SnapReader, SnapWriter};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Mirror of the calendar queue's near-tier span (bucket count x width).
+/// Scripts use multiples of this so ops land in every tier.
+const SPAN: u64 = 256 << 16;
+
+/// One op applied identically to both queues. Decoded from a
+/// `(selector, raw)` pair so proptest scripts stay shrink-free flat data.
+fn op_name(sel: u8) -> &'static str {
+    match sel {
+        0..=2 => "schedule-near",
+        3 => "schedule-tie",
+        4 => "schedule-overflow",
+        5 => "schedule-saturated",
+        6..=8 => "pop",
+        9 => "pop-at-or-before",
+        10 | 11 => "cancel",
+        12 => "cancel-reschedule",
+        _ => "probe",
+    }
+}
+
+/// The calendar queue and the heap reference, driven in lockstep.
+struct Pair {
+    cal: EventQueue<u32>,
+    heap: HeapQueue<u32>,
+    /// Every id ever returned by `schedule`, with the time it was
+    /// scheduled at. Cancel ops index into this, so popped and
+    /// already-cancelled ids get re-cancelled regularly.
+    ids: Vec<(EventId, u64)>,
+    next_payload: u32,
+}
+
+impl Pair {
+    fn new() -> Self {
+        Pair {
+            cal: EventQueue::new(),
+            heap: HeapQueue::new(),
+            ids: Vec::new(),
+            next_payload: 0,
+        }
+    }
+
+    fn schedule(&mut self, t: u64) -> Result<(), TestCaseError> {
+        let at = SimTime::from_nanos(t);
+        let p = self.next_payload;
+        self.next_payload += 1;
+        let a = self.cal.schedule(at, p);
+        let b = self.heap.schedule(at, p);
+        // Ids are the tie-break: both kernels must hand out the same one.
+        prop_assert_eq!(a, b, "schedule id diverged at t={}", t);
+        self.ids.push((a, t));
+        Ok(())
+    }
+
+    fn apply(&mut self, sel: u8, raw: u64) -> Result<(), TestCaseError> {
+        match sel {
+            // Near tier: inside (or just past) the initial calendar window.
+            0..=2 => self.schedule(raw % (2 * SPAN))?,
+            // Same-time bursts: forces FIFO tie-breaks through the id.
+            3 => self.schedule((raw % 8) * 1_000)?,
+            // Far future: lands in the overflow map, migrates inward later.
+            4 => self.schedule(3 * SPAN + raw % (50 * SPAN))?,
+            // Saturation corner: windows near SimTime's representable max.
+            5 => self.schedule(u64::MAX - raw % 4_096)?,
+            6..=8 => {
+                let (a, b) = (self.cal.pop(), self.heap.pop());
+                prop_assert_eq!(a, b, "pop diverged");
+            }
+            9 => {
+                let t = SimTime::from_nanos(raw % (4 * SPAN));
+                let (a, b) = (self.cal.pop_at_or_before(t), self.heap.pop_at_or_before(t));
+                prop_assert_eq!(a, b, "pop_at_or_before({}) diverged", t);
+            }
+            10 | 11 => {
+                if !self.ids.is_empty() {
+                    let (id, t) = self.ids[(raw as usize) % self.ids.len()];
+                    let (a, b) = (self.cal.cancel(id), self.heap.cancel(id));
+                    prop_assert_eq!(a, b, "cancel of {:?} (t={}) diverged", id, t);
+                }
+            }
+            12 => {
+                // Cancel-then-reschedule at the exact same instant: the
+                // replacement must sort after survivors at that time.
+                if !self.ids.is_empty() {
+                    let (id, t) = self.ids[(raw as usize) % self.ids.len()];
+                    let (a, b) = (self.cal.cancel(id), self.heap.cancel(id));
+                    prop_assert_eq!(a, b, "cancel before reschedule diverged");
+                    self.schedule(t)?;
+                }
+            }
+            _ => {
+                prop_assert_eq!(self.cal.next_time(), self.heap.next_time());
+                prop_assert_eq!(self.cal.len(), self.heap.len());
+                prop_assert_eq!(self.cal.is_empty(), self.heap.is_empty());
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, ops: &[(u8, u64)]) -> Result<(), TestCaseError> {
+        for &(sel, raw) in ops {
+            self.apply(sel, raw)
+                .map_err(|e| TestCaseError::fail(format!("{} ({}): {e}", op_name(sel), raw)))?;
+        }
+        Ok(())
+    }
+
+    /// Pops both queues dry, checking each step, and verifies both agree
+    /// they are empty afterwards.
+    fn drain(&mut self) -> Result<(), TestCaseError> {
+        loop {
+            prop_assert_eq!(self.cal.next_time(), self.heap.next_time());
+            let (a, b) = (self.cal.pop(), self.heap.pop());
+            prop_assert_eq!(a, b, "drain pop diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(self.cal.len(), 0usize);
+        prop_assert_eq!(self.heap.len(), 0usize);
+        Ok(())
+    }
+}
+
+fn snap_cal(q: &EventQueue<u32>) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    q.write_state(&mut w, |w, p| {
+        w.u32(*p);
+        Ok(())
+    })
+    .unwrap();
+    w.into_payload()
+}
+
+fn snap_heap(q: &HeapQueue<u32>) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    q.write_state(&mut w, |w, p| {
+        w.u32(*p);
+        Ok(())
+    })
+    .unwrap();
+    w.into_payload()
+}
+
+fn restore_cal(bytes: &[u8]) -> EventQueue<u32> {
+    let mut q = EventQueue::new();
+    let mut r = SnapReader::new(bytes);
+    q.read_state(&mut r, |r| r.u32()).unwrap();
+    r.finish().unwrap();
+    q
+}
+
+fn restore_heap(bytes: &[u8]) -> HeapQueue<u32> {
+    let mut q = HeapQueue::new();
+    let mut r = SnapReader::new(bytes);
+    q.read_state(&mut r, |r| r.u32()).unwrap();
+    r.finish().unwrap();
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The core differential property: any schedule/cancel/pop script
+    /// observed through the calendar queue is indistinguishable from the
+    /// heap reference, including a full drain at the end.
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        ops in prop::collection::vec((0u8..16, any::<u64>()), 1..120),
+    ) {
+        let mut pair = Pair::new();
+        pair.run(&ops)?;
+        pair.drain()?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Mid-flight snapshots round-trip through `powadapt-snap`: bytes
+    /// written by the calendar queue equal bytes written by the heap
+    /// reference at the same logical state, restore into either kernel,
+    /// and the restored pair stays equivalent to the original pair under
+    /// a continued script.
+    #[test]
+    fn snapshot_roundtrip_preserves_equivalence(
+        pre in prop::collection::vec((0u8..16, any::<u64>()), 1..80),
+        post in prop::collection::vec((0u8..16, any::<u64>()), 1..60),
+    ) {
+        let mut pair = Pair::new();
+        pair.run(&pre)?;
+
+        // Both kernels serialize the same logical state to the same bytes,
+        // no matter how differently they lay it out in memory.
+        let bytes = snap_cal(&pair.cal);
+        prop_assert_eq!(&bytes, &snap_heap(&pair.heap), "snapshot bytes diverged");
+
+        // Restore into both kernels and continue the script on the
+        // restored pair and the original pair in lockstep.
+        let mut restored = Pair {
+            cal: restore_cal(&bytes),
+            heap: restore_heap(&bytes),
+            ids: pair.ids.clone(),
+            next_payload: pair.next_payload,
+        };
+        // A re-snapshot of the restored queue is byte-identical: the
+        // serialized form depends only on logical state, not on bucket
+        // layout or tombstone history.
+        prop_assert_eq!(&bytes, &snap_cal(&restored.cal), "re-snapshot bytes drifted");
+
+        pair.run(&post)?;
+        restored.run(&post)?;
+
+        // The four queues must now agree pairwise on the full remainder.
+        loop {
+            let orig = pair.cal.pop();
+            prop_assert_eq!(orig, pair.heap.pop());
+            prop_assert_eq!(orig, restored.cal.pop());
+            prop_assert_eq!(orig, restored.heap.pop());
+            if orig.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cancellation edge cases (each asserted on BOTH kernels).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cancel_after_pop_is_false_in_both() {
+    let mut pair = Pair::new();
+    pair.schedule(100).unwrap();
+    pair.schedule(200).unwrap();
+    let (popped_id, _) = pair.ids[0];
+    assert_eq!(pair.cal.pop(), Some((SimTime::from_nanos(100), 0)));
+    assert_eq!(pair.heap.pop(), Some((SimTime::from_nanos(100), 0)));
+    assert!(
+        !pair.cal.cancel(popped_id),
+        "calendar cancelled a fired event"
+    );
+    assert!(!pair.heap.cancel(popped_id), "heap cancelled a fired event");
+    // The survivor is still cancellable exactly once.
+    let (live_id, _) = pair.ids[1];
+    assert!(pair.cal.cancel(live_id));
+    assert!(pair.heap.cancel(live_id));
+}
+
+#[test]
+fn double_cancel_is_false_in_both() {
+    let mut pair = Pair::new();
+    pair.schedule(5_000).unwrap();
+    let (id, _) = pair.ids[0];
+    assert!(pair.cal.cancel(id));
+    assert!(pair.heap.cancel(id));
+    assert!(!pair.cal.cancel(id), "calendar double-cancel returned true");
+    assert!(!pair.heap.cancel(id), "heap double-cancel returned true");
+    assert!(pair.cal.pop().is_none());
+    assert!(pair.heap.pop().is_none());
+}
+
+#[test]
+fn cancel_then_reschedule_same_instant_keeps_fifo() {
+    // Three events at one instant; the middle one is cancelled and a
+    // replacement scheduled at the same time. Replacements get fresh ids,
+    // so both kernels must order: first, third, replacement.
+    let mut pair = Pair::new();
+    let t = 7_777u64;
+    pair.schedule(t).unwrap(); // payload 0
+    pair.schedule(t).unwrap(); // payload 1 (cancelled below)
+    pair.schedule(t).unwrap(); // payload 2
+    let (victim, _) = pair.ids[1];
+    assert!(pair.cal.cancel(victim));
+    assert!(pair.heap.cancel(victim));
+    pair.schedule(t).unwrap(); // payload 3, same instant
+    let at = SimTime::from_nanos(t);
+    for expect in [0u32, 2, 3] {
+        assert_eq!(pair.cal.pop(), Some((at, expect)));
+        assert_eq!(pair.heap.pop(), Some((at, expect)));
+    }
+    assert!(pair.cal.pop().is_none());
+    assert!(pair.heap.pop().is_none());
+}
+
+#[test]
+fn cancel_storm_with_tombstone_compaction_matches() {
+    // Heavy lazy-cancellation load: schedule a long run, cancel all but
+    // every 97th, and interleave pops so the calendar queue's tombstone
+    // window compacts while the heap does exact removal. Streams must be
+    // identical throughout, across near, overflow, and tie-heavy times.
+    let mut pair = Pair::new();
+    for i in 0..10_000u64 {
+        let t = match i % 3 {
+            0 => (i * 131) % (2 * SPAN),
+            1 => 3 * SPAN + (i * 977) % (20 * SPAN),
+            _ => (i % 5) * 10_000,
+        };
+        pair.schedule(t).unwrap();
+    }
+    let ids: Vec<(EventId, u64)> = pair.ids.clone();
+    for (k, &(id, _)) in ids.iter().enumerate() {
+        if k % 97 != 0 {
+            assert_eq!(pair.cal.cancel(id), pair.heap.cancel(id));
+        }
+        if k % 400 == 0 {
+            assert_eq!(pair.cal.pop(), pair.heap.pop());
+        }
+    }
+    pair.drain().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot byte-order regression pins.
+// ---------------------------------------------------------------------------
+
+/// Pins the serialized layout: `next_seq`, live count, then each live
+/// entry as `(time, id, payload)` sorted by `(time, id)` — regardless of
+/// which tier (active run / bucket ring / overflow) holds the entry and
+/// regardless of tombstones. A layout change here breaks every committed
+/// checkpoint, so this test spells the bytes out by hand.
+#[test]
+fn snapshot_byte_layout_is_pinned() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let a = q.schedule(SimTime::from_nanos(500), 7); // seq 0, cancelled below
+    let _ = q.schedule(SimTime::from_nanos(200), 9); // seq 1
+    let _ = q.schedule(SimTime::from_nanos(200), 11); // seq 2, ties with seq 1
+    let far = 3 * SPAN; // seq 3, overflow tier
+    let _ = q.schedule(SimTime::from_nanos(far), 13);
+    assert!(q.cancel(a));
+
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&4u64.to_le_bytes()); // next_seq
+    expect.extend_from_slice(&3u64.to_le_bytes()); // live entry count
+    for (t, seq, payload) in [(200u64, 1u64, 9u32), (200, 2, 11), (far, 3, 13)] {
+        expect.extend_from_slice(&t.to_le_bytes());
+        expect.extend_from_slice(&seq.to_le_bytes());
+        expect.extend_from_slice(&payload.to_le_bytes());
+    }
+    assert_eq!(
+        snap_cal(&q),
+        expect,
+        "calendar snapshot bytes changed layout"
+    );
+
+    // The heap reference emits the exact same bytes for the same history.
+    let mut h: HeapQueue<u32> = HeapQueue::new();
+    let a = h.schedule(SimTime::from_nanos(500), 7);
+    let _ = h.schedule(SimTime::from_nanos(200), 9);
+    let _ = h.schedule(SimTime::from_nanos(200), 11);
+    let _ = h.schedule(SimTime::from_nanos(far), 13);
+    assert!(h.cancel(a));
+    assert_eq!(snap_heap(&h), expect, "heap snapshot bytes changed layout");
+}
+
+/// Bytes depend only on logical state, not bucket alignment: a queue whose
+/// window has advanced across several buckets (scattering survivors over
+/// the active run, the ring, and overflow) serializes identically to a
+/// fresh queue restored from those bytes, whose layout starts from zero.
+#[test]
+fn snapshot_bytes_stable_across_bucket_layouts() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    // Survivors across all tiers plus tombstones, then pops that advance
+    // the calendar window so the physical layout is mid-revolution.
+    for i in 0..500u64 {
+        q.schedule(SimTime::from_nanos(i * 40_000), i as u32);
+    }
+    let far = q.schedule(SimTime::from_nanos(10 * SPAN), 9_000);
+    q.schedule(SimTime::from_nanos(11 * SPAN), 9_001);
+    for _ in 0..200 {
+        q.pop();
+    }
+    assert!(q.cancel(far));
+    let bytes = snap_cal(&q);
+
+    let restored = restore_cal(&bytes);
+    assert_eq!(
+        snap_cal(&restored),
+        bytes,
+        "snapshot bytes depend on bucket layout"
+    );
+    let heap = restore_heap(&bytes);
+    assert_eq!(
+        snap_heap(&heap),
+        bytes,
+        "heap re-encode of calendar snapshot drifted"
+    );
+}
