@@ -385,31 +385,31 @@ impl StorageDevice for FaultInjector {
         // Walk the completions the inner device just appended, drawing the
         // spike chance per completion in arrival order (the RNG sequence
         // is part of the deterministic contract). Spiked completions that
-        // land beyond `t` move to `held`; `remove` keeps the rest in
-        // order.
-        let mut i = start;
-        while i < out.len() {
+        // land beyond `t` move to `held`; a single compaction pass keeps
+        // the rest in order without re-shifting the tail per removal.
+        let mut write = start;
+        for read in start..out.len() {
+            let mut c = out[read];
             if self.plan.latency_spike_rate > 0.0 && self.rng.chance(self.plan.latency_spike_rate) {
                 self.stats.latency_spikes += 1;
                 emit!(
                     self.rec,
-                    out[i].completed,
+                    c.completed,
                     self.track.as_str(),
                     EventKind::FaultInjected {
                         fault: "latency_spike".to_string(),
                     }
                 );
-                out[i].completed += self.plan.latency_spike;
-                if out[i].completed <= t {
-                    i += 1;
-                } else {
-                    let c = out.remove(i);
+                c.completed += self.plan.latency_spike;
+                if c.completed > t {
                     self.held.push(c);
+                    continue;
                 }
-            } else {
-                i += 1;
             }
+            out[write] = c;
+            write += 1;
         }
+        out.truncate(write);
     }
 
     fn power_w(&self) -> f64 {

@@ -12,7 +12,8 @@
 //!   stable. Cancellation is O(1) and lazy: a per-sequence flag marks the
 //!   entry dead and the physical record is discarded when the sweep
 //!   reaches it ("tombstone"); resolved flags are compacted from the front
-//!   as the oldest ids settle.
+//!   as the oldest ids settle, and a long-lived straggler spills to a
+//!   sparse set instead of pinning the dense window open.
 //! - [`HeapQueue`] — the original `BinaryHeap` kernel, kept as the
 //!   reference implementation. The differential harness
 //!   (`tests/queue_equivalence.rs`) drives both with identical scripts and
@@ -87,11 +88,15 @@ const LIVE: u8 = 0;
 const CANCELLED: u8 = 1;
 const FIRED: u8 = 2;
 
-/// Hard ceiling on the `next_seq - min_live_seq` gap accepted from a
-/// snapshot: the restore path materializes one flag byte per sequence
-/// number in that range, so an implausible gap (far beyond anything a
-/// real queue produces) is rejected instead of allocating unboundedly.
-const MAX_RESTORE_SEQ_GAP: u64 = 1 << 26;
+/// Floor of the dense flag deque's spill threshold. One long-lived
+/// pending event (a far-future standby wake, say) would otherwise pin
+/// `flag_base` while millions of later seqs resolve, growing the deque
+/// one byte per seq. Past `max(FLAG_SPILL_MIN, 8 * live_len)` the stuck
+/// front is spilled into the sparse `old_live` set, so flag memory
+/// tracks the *count* of outstanding events, never the seq span — while
+/// a healthy queue, whose window is a small multiple of its live set,
+/// never spills and never pays the `BTreeSet` lookup.
+const FLAG_SPILL_MIN: usize = 1 << 16;
 
 /// A time-ordered queue of simulation events (calendar-queue kernel).
 ///
@@ -126,11 +131,18 @@ pub struct EventQueue<E> {
     near_phys: usize,
     /// Live (scheduled, not fired, not cancelled) entries.
     live_len: usize,
-    /// Per-sequence state for seqs in `[flag_base, next_seq)`; anything
-    /// below `flag_base` is resolved (fired or cancelled). The front is
-    /// compacted whenever the oldest outstanding seq resolves.
+    /// Per-sequence state for seqs in `[flag_base, next_seq)`. Seqs
+    /// below `flag_base` are resolved (fired or cancelled) unless listed
+    /// in `old_live`. The front is compacted whenever the oldest
+    /// outstanding seq resolves, and spilled into `old_live` when a
+    /// long-lived entry would let the deque outgrow the spill threshold
+    /// (see [`FLAG_SPILL_MIN`]).
     flags: VecDeque<u8>,
     flag_base: u64,
+    /// Sparse tier: seqs below `flag_base` that are still live — spilled
+    /// long-lived entries plus everything restored from a snapshot.
+    /// Usually empty, so the O(log n) lookups never bite the hot path.
+    old_live: BTreeSet<u64>,
     next_seq: u64,
 }
 
@@ -146,6 +158,7 @@ impl<E> EventQueue<E> {
             live_len: 0,
             flags: VecDeque::new(),
             flag_base: 0,
+            old_live: BTreeSet::new(),
             next_seq: 0,
         }
     }
@@ -156,6 +169,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.flags.push_back(LIVE);
+        if self.flags.len() > FLAG_SPILL_MIN.max(self.live_len * 8) {
+            self.spill_flags();
+        }
         self.live_len += 1;
         self.place(Entry { at, seq, payload });
         EventId(seq)
@@ -183,16 +199,25 @@ impl<E> EventQueue<E> {
 
     fn flag(&self, seq: u64) -> u8 {
         if seq < self.flag_base {
-            // Compacted away: the entry resolved long ago. A physical
-            // record can still carry such a seq only if it was cancelled
-            // (fired entries leave the queue when they fire).
-            CANCELLED
+            // Below the dense window: resolved long ago and compacted
+            // away — unless it was spilled or restored into the sparse
+            // tier while still pending.
+            if self.old_live.contains(&seq) {
+                LIVE
+            } else {
+                CANCELLED
+            }
         } else {
             self.flags[(seq - self.flag_base) as usize]
         }
     }
 
     fn set_flag(&mut self, seq: u64, state: u8) {
+        debug_assert_ne!(state, LIVE, "entries only ever resolve here");
+        if seq < self.flag_base {
+            self.old_live.remove(&seq);
+            return;
+        }
         let i = (seq - self.flag_base) as usize;
         self.flags[i] = state;
         if i == 0 {
@@ -209,6 +234,24 @@ impl<E> EventQueue<E> {
                 break;
             }
             self.flags.pop_front();
+            self.flag_base += 1;
+        }
+    }
+
+    /// The dense deque outgrew its threshold because its front is stuck
+    /// on a long-lived entry: move the oldest seqs into the sparse tier
+    /// until the deque is back under it. Each spilled seq is handled
+    /// once, so schedule stays amortized O(1); the `BTreeSet` only ever
+    /// holds the (rare) long-lived stragglers.
+    fn spill_flags(&mut self) {
+        let target = FLAG_SPILL_MIN.max(self.live_len * 8);
+        while self.flags.len() > target {
+            let Some(f) = self.flags.pop_front() else {
+                return;
+            };
+            if f == LIVE {
+                self.old_live.insert(self.flag_base);
+            }
             self.flag_base += 1;
         }
     }
@@ -294,6 +337,7 @@ impl<E> EventQueue<E> {
         self.near_phys = 0;
         self.live_len = 0;
         self.flags.clear();
+        self.old_live.clear();
         self.flag_base = self.next_seq;
     }
 
@@ -343,10 +387,15 @@ impl<E> EventQueue<E> {
                 near_phys,
                 flags,
                 flag_base,
+                old_live,
                 ..
             } = self;
             for e in buckets[idx].drain(..) {
-                let live = e.seq >= *flag_base && flags[(e.seq - *flag_base) as usize] == LIVE;
+                let live = if e.seq >= *flag_base {
+                    flags[(e.seq - *flag_base) as usize] == LIVE
+                } else {
+                    old_live.contains(&e.seq)
+                };
                 if live {
                     active.push(e);
                 } else {
@@ -460,12 +509,17 @@ impl<E> EventQueue<E> {
     /// by [`EventQueue::write_state`], preserving each entry's sequence
     /// number (and therefore every tie-break) exactly.
     ///
+    /// The restored flag state is sparse — live seqs go straight into
+    /// the `old_live` tier, never a per-seq dense window — so any
+    /// `next_seq`-to-oldest-live gap a legitimate `write_state` can
+    /// produce (e.g. one far-future timer outliving millions of resolved
+    /// events) restores in memory proportional to the live count.
+    ///
     /// # Errors
     ///
     /// [`SnapError::InvalidValue`](powadapt_snap::SnapError::InvalidValue)
-    /// on duplicate or out-of-range sequence numbers, on an implausibly
-    /// large `next_seq`-to-oldest-live gap, or any error from the payload
-    /// codec.
+    /// on duplicate or out-of-range sequence numbers, or any error from
+    /// the payload codec.
     pub fn read_state<F>(
         &mut self,
         r: &mut powadapt_snap::SnapReader<'_>,
@@ -495,22 +549,14 @@ impl<E> EventQueue<E> {
             entries.push((at, seq));
             payloads.push(item(r)?);
         }
-        let flag_base = seen.first().copied().unwrap_or(next_seq);
-        if next_seq - flag_base > MAX_RESTORE_SEQ_GAP {
-            return Err(powadapt_snap::SnapError::InvalidValue(format!(
-                "event seq gap {} exceeds restore limit {MAX_RESTORE_SEQ_GAP}",
-                next_seq - flag_base
-            )));
-        }
         self.clear();
         self.next_seq = next_seq;
-        self.flag_base = flag_base;
-        // Seqs in the gap that are not live were resolved before the
-        // snapshot; only the recorded entries come back as LIVE.
-        self.flags = std::iter::repeat_n(CANCELLED, (next_seq - flag_base) as usize).collect();
-        for &seq in &seen {
-            self.flags[(seq - flag_base) as usize] = LIVE;
-        }
+        // Seqs below next_seq that are not in the snapshot were resolved
+        // before it was taken; the recorded ones come back live through
+        // the sparse tier, so restore memory never depends on the seq
+        // gap a long-lived pending event leaves behind.
+        self.flag_base = next_seq;
+        self.old_live = seen;
         self.live_len = entries.len();
         for ((at, seq), payload) in entries.into_iter().zip(payloads) {
             self.place(Entry { at, seq, payload });
@@ -704,6 +750,11 @@ impl<E> Default for HeapQueue<E> {
 
 #[cfg(test)]
 mod tests {
+    // `SnapReader::u32` as a fn path can't satisfy the codec's HRTB
+    // (the reader lifetime must stay universally quantified), so the
+    // closure clippy calls redundant is in fact required.
+    #![allow(clippy::redundant_closure_for_method_calls)]
+
     use super::*;
     use crate::time::SimDuration;
 
@@ -877,6 +928,75 @@ mod tests {
         // fully compacted.
         assert_eq!(q.flags.len(), 0);
         assert_eq!(q.flag_base, q.next_seq);
+    }
+
+    #[test]
+    fn long_lived_event_spills_flags_instead_of_growing() {
+        // One far-future timer pins the oldest live seq while far more
+        // events than the dense flag cap resolve behind it: the deque
+        // must spill to the sparse tier, not grow one byte per seq.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let far_t = SimTime::from_nanos(100 * SPAN);
+        let far = q.schedule(far_t, u32::MAX);
+        for i in 0..(FLAG_SPILL_MIN as u64 + 1_000) {
+            q.schedule(SimTime::from_nanos(i + 1), 0u32);
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(i + 1), 0)));
+        }
+        assert!(
+            q.flags.len() <= FLAG_SPILL_MIN,
+            "dense flag window grew past the spill cap: {}",
+            q.flags.len()
+        );
+        assert_eq!(q.old_live.len(), 1, "only the straggler is spilled");
+        assert_eq!(q.len(), 1);
+
+        // A spilled queue snapshots and restores like any other.
+        let mut w = powadapt_snap::SnapWriter::new();
+        q.write_state(&mut w, |w, &e| {
+            w.u32(e);
+            Ok(())
+        })
+        .unwrap();
+        let payload = w.into_payload();
+        let mut restored: EventQueue<u32> = EventQueue::new();
+        let mut r = powadapt_snap::SnapReader::new(&payload);
+        restored.read_state(&mut r, |r| r.u32()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.pop(), Some((far_t, u32::MAX)));
+        assert!(restored.pop().is_none());
+
+        // Cancel semantics survive the spill: once live, then resolved.
+        assert!(q.cancel(far));
+        assert!(!q.cancel(far));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn restore_accepts_unbounded_seq_gap() {
+        // A snapshot whose only live entry sits billions of seqs behind
+        // next_seq — the shape a multi-day run leaves when one standby
+        // timer outlives ~2^40 resolved events — must restore in memory
+        // proportional to the live count, not the gap.
+        let mut w = powadapt_snap::SnapWriter::new();
+        w.u64(1 << 40); // next_seq
+        w.seq_len(1);
+        crate::snapshot::write_time(&mut w, SimTime::from_millis(5));
+        w.u64(3); // live seq, gap of (1 << 40) - 4
+        w.u32(99); // payload
+        let payload = w.into_payload();
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut r = powadapt_snap::SnapReader::new(&payload);
+        q.read_state(&mut r, |r| r.u32()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.flags.len(), 0, "restore must not materialize the gap");
+        // Fresh ids continue past the snapshot's counter, and the
+        // restored entry still fires (and cancels) normally.
+        let id = q.schedule(SimTime::from_millis(9), 1);
+        assert_eq!(id, EventId(1 << 40));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), 99)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(9), 1)));
+        assert!(q.pop().is_none());
     }
 
     #[test]

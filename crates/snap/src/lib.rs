@@ -38,7 +38,12 @@ use std::path::Path;
 pub const MAGIC: [u8; 4] = *b"PSNP";
 
 /// Version of the snapshot payload layout. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 = original checkpoint/restore layout; 2 = sim-kernel
+/// overhaul (SSD in-flight reads table moved ahead of the event queue,
+/// die queues serialize translated IO ids). v1 checkpoints are rejected
+/// with [`SnapError::UnsupportedVersion`] rather than mis-parsed.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Typed failures of snapshot decoding. Every malformed input maps to one
 /// of these; decoding never panics.

@@ -80,6 +80,20 @@ proptest! {
     }
 
     #[test]
+    fn prior_versions_are_rejected(payload in payloads(), v in 0..FORMAT_VERSION) {
+        // A checkpoint from an older build (e.g. v1, whose queue/SSD
+        // layout differs) must be refused outright — the checksum
+        // validates bytes, not layout, so this gate is the only thing
+        // between an old snapshot and a silently corrupted restore.
+        let mut sealed = seal(&payload);
+        sealed[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&v.to_le_bytes());
+        prop_assert!(matches!(
+            open(&fix_checksum(sealed)),
+            Err(SnapError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+
+    #[test]
     fn length_field_lies_are_rejected(payload in payloads(), raw_lie in any::<u64>()) {
         let truth = payload.len() as u64;
         // Force the lie to actually lie.
