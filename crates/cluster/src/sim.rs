@@ -273,6 +273,7 @@ impl fmt::Display for ClusterReport {
     }
 }
 
+// powadapt-lint: allow(d6, reason = "fields are serialized inline by ClusterSim's write_state/read_state; slo is spec config")
 struct TenantAccount {
     window: SloWindow,
     slo: Slo,
@@ -348,16 +349,25 @@ fn read_f64s_into(r: &mut SnapReader<'_>, dst: &mut [f64], what: &str) -> Result
 /// emitting anything, so restored runs do not double-count events.
 pub struct ClusterSim {
     // Configuration, rebuilt from the spec on construction and resume.
+    // powadapt-lint: allow(d6, reason = "topology; rebuilt from the spec on resume")
     tree: PowerTree,
+    // powadapt-lint: allow(d6, reason = "derived from the tree; rebuilt on resume")
     leaves: Vec<NodeId>,
     tenants: Vec<TenantSpec>,
+    // powadapt-lint: allow(d6, reason = "spec configuration; rebuilt on resume")
     policy: SelectionPolicy,
+    // powadapt-lint: allow(d6, reason = "spec configuration; rebuilt on resume")
     control_interval: SimDuration,
+    // powadapt-lint: allow(d6, reason = "spec configuration; rebuilt on resume")
     sample_interval: SimDuration,
+    // powadapt-lint: allow(d6, reason = "spec configuration; rebuilt on resume")
     planning_margin: f64,
+    // powadapt-lint: allow(d6, reason = "spec configuration; rebuilt on resume")
     duration: SimDuration,
+    // powadapt-lint: allow(d6, reason = "model tables; rebuilt from the spec on resume")
     enc_models: Vec<Vec<PowerThroughputModel>>,
     /// Global device index → (enclosure, device-in-enclosure).
+    // powadapt-lint: allow(d6, reason = "derived index map; rebuilt from the spec on resume")
     flat: Vec<(usize, usize)>,
     start: SimTime,
     t_end: SimTime,
@@ -386,6 +396,7 @@ pub struct ClusterSim {
     now: SimTime,
     /// Reused completion buffer for the per-step device drain; transient,
     /// never serialized.
+    // powadapt-lint: allow(d6, reason = "transient per-step scratch; contents never live across a snapshot")
     drain_scratch: Vec<IoCompletion>,
 }
 
@@ -785,6 +796,7 @@ impl ClusterSim {
 
     /// Advances the whole cluster in lockstep to `t`, crediting
     /// completions to their tenants' SLO windows.
+    // powadapt-lint: hot
     fn drain_completions(&mut self, t: SimTime) {
         let mut done = std::mem::take(&mut self.drain_scratch);
         for ctl in &mut self.controllers {

@@ -140,6 +140,7 @@ pub struct TenantStream {
 }
 
 #[derive(Debug)]
+// powadapt-lint: allow(d6, reason = "swing/period are spec config; the rng is serialized inline by TenantStream")
 struct Thinning {
     swing: f64,
     period: SimDuration,

@@ -81,6 +81,7 @@ pub enum TreeFaultEvent {
 #[derive(Debug, Clone)]
 pub struct TreeFaultSchedule {
     windows: Vec<TreeFaultWindow>,
+    // powadapt-lint: allow(d6, reason = "node paths resolved at construction; rebuilt from the spec on resume")
     nodes: Vec<NodeId>,
     phase: Vec<Phase>,
 }

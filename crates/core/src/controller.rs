@@ -214,11 +214,14 @@ pub fn plan_budget(
 #[derive(Debug)]
 pub struct AdaptiveController {
     devices: Vec<Box<dyn StorageDevice>>,
+    // powadapt-lint: allow(d6, reason = "static power/throughput model tables; rebuilt from configuration")
     models: Vec<PowerThroughputModel>,
+    // powadapt-lint: allow(d6, reason = "static retry policy configuration")
     retry: RetryPolicy,
     health: Vec<DeviceHealth>,
     /// Remaining cooldown rounds per device; non-zero = quarantined.
     quarantine: Vec<u32>,
+    // powadapt-lint: allow(d6, reason = "telemetry sink; re-captured from the global slot at construction")
     rec: RecorderHandle,
 }
 

@@ -218,13 +218,16 @@ impl FaultStats {
 /// [`StorageDevice`]. See the [module docs](self) for the fault taxonomy.
 pub struct FaultInjector {
     inner: Box<dyn StorageDevice>,
+    // powadapt-lint: allow(d6, reason = "static fault schedule; rebuilt from configuration on resume")
     plan: FaultPlan,
     rng: SimRng,
     /// Spiked completions not yet released: `(release time, completion)`
     /// with `completion.completed` already set to the release time.
     held: Vec<IoCompletion>,
     stats: FaultStats,
+    // powadapt-lint: allow(d6, reason = "telemetry sink; re-captured from the global slot at construction")
     rec: RecorderHandle,
+    // powadapt-lint: allow(d6, reason = "telemetry label; re-derived at construction")
     track: String,
 }
 
@@ -378,7 +381,9 @@ impl StorageDevice for FaultInjector {
         out
     }
 
+    // powadapt-lint: hot
     fn advance_to_into(&mut self, t: SimTime, out: &mut Vec<IoCompletion>) {
+        // powadapt-lint: allow(d9, reason = "spike-release path allocates only when spiked completions are held; rare by construction")
         self.release_due(t, out);
         let start = out.len();
         self.inner.advance_to_into(t, out);
@@ -402,6 +407,7 @@ impl StorageDevice for FaultInjector {
                 );
                 c.completed += self.plan.latency_spike;
                 if c.completed > t {
+                    // powadapt-lint: allow(d9, reason = "held buffer is recycled; growth bounded by in-flight spiked completions")
                     self.held.push(c);
                     continue;
                 }

@@ -216,6 +216,27 @@ impl fmt::Display for FleetResult {
     }
 }
 
+/// Advances every device to `t`, appending completions into the
+/// per-device reuse buffers and notifying the router of each. This is the
+/// innermost per-step loop of every fleet run, so it must stay
+/// allocation-free: completions land in buffers owned by the caller and
+/// reused across steps.
+// powadapt-lint: hot
+fn drain_fleet_completions(
+    devices: &mut [Box<dyn StorageDevice>],
+    completions: &mut [Vec<IoCompletion>],
+    router: &mut dyn Router,
+    t: SimTime,
+) {
+    for (i, d) in devices.iter_mut().enumerate() {
+        let before = completions[i].len();
+        d.advance_to_into(t, &mut completions[i]);
+        for c in &completions[i][before..] {
+            router.on_io_complete(i, c);
+        }
+    }
+}
+
 fn statuses(devices: &[Box<dyn StorageDevice>]) -> Vec<DeviceStatus> {
     devices
         .iter()
@@ -389,13 +410,7 @@ where
 
         // Advance the whole fleet to t. Completions append straight into
         // the per-device buffers; no per-step vector allocation.
-        for (i, d) in devices.iter_mut().enumerate() {
-            let before = completions[i].len();
-            d.advance_to_into(t, &mut completions[i]);
-            for c in &completions[i][before..] {
-                router.on_io_complete(i, c);
-            }
-        }
+        drain_fleet_completions(devices, &mut completions, router, t);
 
         // Admit any arrivals due at or before t.
         while let Some(a) = pending_arrival {

@@ -144,6 +144,7 @@ pub struct Arrival {
 /// ```
 #[derive(Debug)]
 pub struct ArrivalGen {
+    // powadapt-lint: allow(d6, reason = "configuration; the restorer constructs the generator from the same spec")
     spec: OpenLoopSpec,
     rng: SimRng,
     clock: SimTime,
@@ -151,6 +152,7 @@ pub struct ArrivalGen {
     phase_end: Option<SimTime>,
     cursor: u64,
     blocks: u64,
+    // powadapt-lint: allow(d6, reason = "derived from spec.zipf_theta; rebuilt at construction, not serialized")
     zipf: Option<powadapt_sim::Zipf>,
     done: bool,
 }

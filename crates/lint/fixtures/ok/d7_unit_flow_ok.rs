@@ -1,0 +1,17 @@
+// Good: same-dimension arithmetic only; the single boundary escape is
+// justified inline.
+
+fn budget(e: Joules, spare: Joules) -> f64 {
+    e.get() + spare.get()
+}
+
+struct Probe {
+    power: Watts,
+}
+
+impl Probe {
+    fn csv_cell(&self) -> f64 {
+        // powadapt-lint: allow(D7, reason = "CSV boundary serialization; the column header names the unit")
+        self.power.0
+    }
+}

@@ -1,0 +1,18 @@
+// Good: the registry halves agree, macro arities are right, and restore
+// paths emit nothing.
+
+enum EventKind {
+    IoStart,
+    IoDone,
+}
+
+const NAMES: [&str; 2] = ["io_start", "io_done"];
+
+fn tick(rec: &Recorder) {
+    emit!(rec, now, track, EventKind::IoStart);
+    span!(rec, start, track, "drain", dur);
+}
+
+fn read_state(_rec: &Recorder) {
+    // Restore rebuilds state without telling the recorder anything.
+}

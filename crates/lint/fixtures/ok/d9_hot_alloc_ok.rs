@@ -1,0 +1,22 @@
+// Good: the hot path writes into caller-owned reuse buffers; the one
+// amortized growth site is justified inline.
+
+struct Queue {
+    held: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl Queue {
+    // powadapt-lint: hot
+    fn pop(&mut self, out: &mut Vec<u64>) {
+        if let Some(v) = self.held.last() {
+            // powadapt-lint: allow(d9, reason = "amortized: scratch is recycled across calls and only grows to the high-water mark")
+            self.scratch.push(*v);
+        }
+        drain(&mut self.scratch, out);
+    }
+}
+
+fn drain(scratch: &mut Vec<u64>, out: &mut Vec<u64>) {
+    out.extend(scratch.drain(..));
+}

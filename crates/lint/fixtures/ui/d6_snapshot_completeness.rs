@@ -1,0 +1,36 @@
+// Bad: a Snapshot impl that drops a field, and a struct reachable from
+// ClusterSim holding snapshot-able state with no impl of its own
+// (rule D6).
+
+struct Meter {
+    samples: u64,
+    peak: u64, //~ D6
+}
+
+impl Snapshot for Meter {
+    fn write_state(&self, w: &mut W) {
+        w.u64(self.samples);
+    }
+}
+
+impl Restore for Meter {
+    fn read_state(&mut self, r: &mut R) {
+        self.samples = r.u64();
+    }
+}
+
+struct ClusterSim {
+    holder: Holder,
+}
+
+struct Holder { //~ D6
+    meter: Meter,
+}
+
+impl ClusterSim {
+    fn write_state(&self, w: &mut W) {
+        w.obj(&self.holder);
+    }
+
+    fn read_state(&mut self, _r: &mut R) {}
+}

@@ -1,0 +1,18 @@
+// Bad: arithmetic mixing unit dimensions, and a raw `.0` escape from a
+// unit newtype outside units.rs (rule D7).
+
+fn budget(e: Joules, d: Micros) -> f64 {
+    let ok = e.get() + e.get();
+    let bad = e.get() / d.get(); //~ D7
+    ok + bad
+}
+
+struct Probe {
+    power: Watts,
+}
+
+impl Probe {
+    fn leak(&self) -> f64 {
+        self.power.0 //~ D7
+    }
+}

@@ -1,0 +1,22 @@
+// Bad: a kind missing from NAMES, a stray NAMES entry, a wrong-arity
+// emit, an undeclared kind, and emission on restore paths (rule D8).
+
+enum EventKind {
+    IoStart,
+    IoDone, //~ D8
+}
+
+const NAMES: [&str; 2] = ["io_start", "stray"]; //~ D8
+
+fn tick(rec: &Recorder) {
+    emit!(rec, now, track); //~ D8
+    emit!(rec, now, track, EventKind::Phantom); //~ D8
+}
+
+fn read_state(rec: &Recorder) {
+    emit!(rec, now, track, EventKind::IoStart); //~ D8
+}
+
+fn restore_all(rec: &Recorder) {
+    tick(rec); //~ D8
+}

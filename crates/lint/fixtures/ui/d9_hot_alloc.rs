@@ -1,0 +1,24 @@
+// Bad: allocation inside a declared hot path — directly, and one call
+// away through a non-hot callee (rule D9). The dangling mark at the
+// bottom is a suppression-hygiene error.
+
+struct Queue {
+    held: Vec<u64>,
+}
+
+impl Queue {
+    // powadapt-lint: hot
+    fn pop(&mut self) {
+        self.held.push(1); //~ D9
+        let label = format!("pop"); //~ D9
+        refill(); //~ D9
+    }
+}
+
+fn refill() {
+    let _scratch: Vec<u64> = Vec::new();
+}
+
+//~v S0
+// powadapt-lint: hot
+struct NotAFn;

@@ -1,6 +1,6 @@
 // Bad: naming a rule that does not exist is a diagnostic (rule S0);
-// only D1-D5 are suppressible.
+// only D1-D9 are suppressible.
 
 //~v S0
-// powadapt-lint: allow(D9, reason = "no such rule")
+// powadapt-lint: allow(D42, reason = "no such rule")
 use std::collections::HashSet; //~ D2

@@ -9,8 +9,9 @@ use std::fmt;
 
 /// Identifier of an analyzer rule.
 ///
-/// `D1`-`D5` are the domain rules; `S0`/`S1` police the suppression
-/// mechanism itself so the escape hatch cannot rot.
+/// `D1`-`D5` are the per-file token rules, `D6`-`D9` the cross-file
+/// semantic rules over the pass-1 symbol model; `S0`/`S1` police the
+/// suppression mechanism itself so the escape hatch cannot rot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// Wall-clock time or OS entropy in deterministic code.
@@ -23,6 +24,18 @@ pub enum RuleId {
     D4,
     /// `unwrap`/`expect`/`panic!` in library code that must return errors.
     D5,
+    /// Snapshot completeness: every field of a `Snapshot`-implementing
+    /// struct must appear in its `write_state`/`read_state` bodies.
+    D6,
+    /// Unit-dimension flow: no mixed-unit arithmetic or `.0` escapes
+    /// outside the declared conversions in `units.rs`.
+    D7,
+    /// Obs discipline: emitted event kinds registered exactly once,
+    /// `span!` lexically balanced, no events from restore paths.
+    D8,
+    /// Hot-path allocation: `// powadapt-lint: hot` fns must not
+    /// allocate, directly or through a non-hot callee.
+    D9,
     /// Malformed suppression comment (missing reason, unknown rule, bad
     /// syntax).
     S0,
@@ -32,12 +45,16 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
         RuleId::D5,
+        RuleId::D6,
+        RuleId::D7,
+        RuleId::D8,
+        RuleId::D9,
         RuleId::S0,
         RuleId::S1,
     ];
@@ -50,6 +67,10 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
             RuleId::S0 => "S0",
             RuleId::S1 => "S1",
         }
@@ -58,13 +79,19 @@ impl RuleId {
     /// Parses a rule name as written in an `allow(...)` suppression.
     /// Only the domain rules are suppressible; `S0`/`S1` are not (a
     /// suppression that suppresses the suppression checker defeats it).
+    /// Lowercase ids (`d6`) are accepted — the semantic rules' docs use
+    /// them and there is no ambiguity.
     pub fn parse_suppressible(name: &str) -> Option<RuleId> {
         match name {
-            "D1" => Some(RuleId::D1),
-            "D2" => Some(RuleId::D2),
-            "D3" => Some(RuleId::D3),
-            "D4" => Some(RuleId::D4),
-            "D5" => Some(RuleId::D5),
+            "D1" | "d1" => Some(RuleId::D1),
+            "D2" | "d2" => Some(RuleId::D2),
+            "D3" | "d3" => Some(RuleId::D3),
+            "D4" | "d4" => Some(RuleId::D4),
+            "D5" | "d5" => Some(RuleId::D5),
+            "D6" | "d6" => Some(RuleId::D6),
+            "D7" | "d7" => Some(RuleId::D7),
+            "D8" | "d8" => Some(RuleId::D8),
+            "D9" | "d9" => Some(RuleId::D9),
             _ => None,
         }
     }
@@ -77,6 +104,10 @@ impl RuleId {
             RuleId::D3 => "no NaN-unsafe float comparison in figure/stat code",
             RuleId::D4 => "unit quantities in public APIs must use typed newtypes",
             RuleId::D5 => "no unwrap/expect/panic in device/io/core library code",
+            RuleId::D6 => "Snapshot impls must serialize every field",
+            RuleId::D7 => "unit newtypes must not mix dimensions or leak raw values",
+            RuleId::D8 => "emitted event kinds must be registered; no events on restore",
+            RuleId::D9 => "hot-path functions must not allocate",
             RuleId::S0 => "malformed powadapt-lint suppression",
             RuleId::S1 => "unused powadapt-lint suppression",
         }
@@ -104,6 +135,26 @@ impl RuleId {
             RuleId::D5 => {
                 "return DeviceError (or the crate's error type) instead of \
                  panicking; panics in library paths kill whole fleet runs"
+            }
+            RuleId::D6 => {
+                "serialize the field in write_state/read_state (bump \
+                 FORMAT_VERSION), or mark it `// powadapt-lint: allow(d6, \
+                 reason = \"...\")` if it is rebuilt statically on restore"
+            }
+            RuleId::D7 => {
+                "convert through the declared unit operations in \
+                 powadapt_sim::units (as_millis/as_micros, Watts * duration, \
+                 Joules / duration) instead of mixing raw .get() values"
+            }
+            RuleId::D8 => {
+                "declare the kind once in EventKind + NAMES (crates/obs/src/\
+                 event.rs); restore paths must stay silent — PR 6's \
+                 zero-events-on-restore invariant"
+            }
+            RuleId::D9 => {
+                "hoist the allocation out of the hot path (reuse recycled \
+                 buffers), or justify it inline with `allow(d9, reason = \
+                 ...)` if growth is amortized"
             }
             RuleId::S0 => {
                 "write `// powadapt-lint: allow(D<n>, reason = \"...\")` \
@@ -186,7 +237,7 @@ pub struct UsedSuppression {
 }
 
 /// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -92,7 +92,10 @@ impl<'a> Cursor<'a> {
         if b == b'\n' {
             self.line += 1;
             self.col = 1;
-        } else {
+        } else if (b & 0xC0) != 0x80 {
+            // Columns are 1-based in *characters*: UTF-8 continuation
+            // bytes do not advance the column, so a token after a
+            // non-ASCII doc string still points at the right caret.
             self.col += 1;
         }
         Some(b)

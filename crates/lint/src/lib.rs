@@ -44,10 +44,14 @@
 // comparisons are the point there, not a hazard (see workspace lints).
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+pub mod abi;
 pub mod diag;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod scope;
+pub mod semantic;
 pub mod suppress;
 
 use std::fs;
@@ -79,37 +83,108 @@ pub struct FileAnalysis {
 /// Analyzes one file's source text.
 ///
 /// `path` must be workspace-relative with `/` separators — it drives the
-/// per-rule scoping in [`AnalysisMode::Scoped`].
+/// per-rule scoping in [`AnalysisMode::Scoped`]. The file is treated as
+/// a one-file workspace, so the cross-file rules D6-D9 run with whatever
+/// the single file declares (which is exactly what the ui fixtures
+/// exercise). For true cross-file analysis use [`analyze_files`].
 pub fn analyze_source(path: &str, src: &str, mode: AnalysisMode) -> FileAnalysis {
-    let lexed = lexer::lex(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let regions = scope::find_test_regions(&lexed);
-    let mut suppressions = suppress::scan(&lexed.comments, path);
+    analyze_files(&[(path.to_string(), src.to_string())], mode)
+}
+
+/// Analyzes a set of files as one workspace: pass 1 lexes every file and
+/// builds the shared symbol [`model::Model`]; pass 2 runs the per-file
+/// token rules (D1-D5) and the cross-file semantic rules (D6-D9) over
+/// it. Suppressions are merged workspace-wide but keyed on (rule, file),
+/// so an allow in one file never covers — or masks the audit of — the
+/// same rule elsewhere.
+pub fn analyze_files(files: &[(String, String)], mode: AnalysisMode) -> FileAnalysis {
+    // Pass 1: lex, per-file scaffolding, merged suppressions, model.
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let lines: Vec<Vec<&str>> = files.iter().map(|(_, src)| src.lines().collect()).collect();
+    let regions: Vec<scope::TestRegions> = lexed.iter().map(scope::find_test_regions).collect();
+    let mut suppressions = suppress::SuppressionSet::default();
+    for ((path, _), lx) in files.iter().zip(&lexed) {
+        suppressions.merge(suppress::scan(&lx.comments, path));
+    }
+    let slices: Vec<&[lexer::Tok]> = lexed.iter().map(|l| &l.tokens[..]).collect();
+    let mut model = model::Model::build(&slices);
+    let ctxs: Vec<semantic::FileCtx<'_>> = files
+        .iter()
+        .zip(&slices)
+        .map(|((path, _), toks)| semantic::FileCtx { path, toks })
+        .collect();
 
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
-    for finding in rules::run_all(&lexed.tokens) {
-        if mode == AnalysisMode::Scoped && !scope::rule_applies(finding.rule, path) {
-            continue;
+
+    // Pass 2a: per-file token rules.
+    for (fi, (path, _)) in files.iter().enumerate() {
+        for finding in rules::run_all(&lexed[fi].tokens) {
+            if mode == AnalysisMode::Scoped && !scope::rule_applies(finding.rule, path) {
+                continue;
+            }
+            let anchor_line = lexed[fi].tokens[finding.tok].line;
+            if mode == AnalysisMode::Scoped && regions[fi].contains(anchor_line) {
+                continue;
+            }
+            if suppressions.try_suppress(finding.rule, path, anchor_line) {
+                continue;
+            }
+            diagnostics.push(rules::to_diagnostic(
+                &finding,
+                &lexed[fi].tokens,
+                path,
+                &lines[fi],
+            ));
         }
-        let anchor_line = lexed.tokens[finding.tok].line;
-        if mode == AnalysisMode::Scoped && regions.contains(anchor_line) {
-            continue;
-        }
-        if suppressions.try_suppress(finding.rule, anchor_line) {
-            continue;
-        }
-        diagnostics.push(rules::to_diagnostic(&finding, &lexed.tokens, path, &lines));
     }
 
-    // Suppression hygiene: malformed comments, then unused ones.
+    // Pass 2b: cross-file semantic rules over the model.
+    let mut sem = Vec::new();
+    semantic::attach_hot_marks(&mut model, &ctxs, &mut suppressions.hot_marks, &mut sem);
+    sem.extend(semantic::run(&model, &ctxs));
+    for f in sem {
+        let path = &files[f.file].0;
+        if mode == AnalysisMode::Scoped && !scope::rule_applies(f.rule, path) {
+            continue;
+        }
+        if mode == AnalysisMode::Scoped && regions[f.file].contains(f.line) {
+            continue;
+        }
+        if suppressions.try_suppress(f.rule, path, f.line) {
+            continue;
+        }
+        let snippet = lines[f.file]
+            .get(f.line as usize - 1)
+            .map_or(String::new(), |l| (*l).to_string());
+        diagnostics.push(Diagnostic {
+            rule: f.rule,
+            path: path.clone(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            snippet,
+            span_len: f.span_len,
+        });
+    }
+
+    // Suppression hygiene: malformed comments, then unused ones — per
+    // (rule, file).
     diagnostics.extend(suppressions.errors.iter().cloned());
-    diagnostics.extend(suppressions.unused(path, |line| {
-        lines
-            .get(line as usize - 1)
+    let path_index: std::collections::BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (p, _))| (p.as_str(), i))
+        .collect();
+    diagnostics.extend(suppressions.unused(|path, line| {
+        path_index
+            .get(path)
+            .and_then(|&i| lines[i].get(line as usize - 1))
             .map_or(String::new(), |l| (*l).to_string())
     }));
 
-    diagnostics.sort_by_key(|d| (d.line, d.col, d.rule));
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
     let suppressions_used = suppressions
         .entries
         .iter()
@@ -117,7 +192,7 @@ pub fn analyze_source(path: &str, src: &str, mode: AnalysisMode) -> FileAnalysis
         .map(|e| UsedSuppression {
             rules: e.rules.clone(),
             reason: e.reason.clone(),
-            path: path.to_string(),
+            path: e.path.clone(),
             line: e.comment_line,
         })
         .collect();
@@ -178,24 +253,49 @@ pub fn path_str(p: &Path) -> String {
         .join("/")
 }
 
-/// Analyzes the whole workspace rooted at `root`.
+/// Analyzes the whole workspace rooted at `root` in one two-pass run, so
+/// the cross-file rules see every crate's symbols at once.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     let files = workspace_files(root)?;
-    let mut diagnostics = Vec::new();
-    let mut suppressions_used = Vec::new();
-    let files_scanned = files.len();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        let mut analysis = analyze_source(&path_str(rel), &src, AnalysisMode::Scoped);
-        diagnostics.append(&mut analysis.diagnostics);
-        suppressions_used.append(&mut analysis.suppressions_used);
+        sources.push((path_str(rel), fs::read_to_string(root.join(rel))?));
     }
+    let analysis = analyze_files(&sources, AnalysisMode::Scoped);
     Ok(Report {
         root: path_str(root),
-        files_scanned,
-        diagnostics,
-        suppressions_used,
+        files_scanned: files.len(),
+        diagnostics: analysis.diagnostics,
+        suppressions_used: analysis.suppressions_used,
     })
+}
+
+/// Computes the canonical `crates/snap/ABI.lock` text for the workspace
+/// at `root`: reads every scannable source, builds the pass-1 symbol
+/// model, and stamps the snapshot-struct inventory with the current
+/// `FORMAT_VERSION` from `crates/snap/src/lib.rs`.
+pub fn compute_abi_lock(root: &Path) -> Result<String, String> {
+    let files = workspace_files(root).map_err(|e| e.to_string())?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        sources.push((
+            path_str(rel),
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("{}: {e}", rel.display()))?,
+        ));
+    }
+    let version_src = fs::read_to_string(root.join(abi::VERSION_PATH))
+        .map_err(|e| format!("{}: {e}", abi::VERSION_PATH))?;
+    let fv = abi::parse_format_version(&version_src)
+        .ok_or_else(|| format!("no FORMAT_VERSION found in {}", abi::VERSION_PATH))?;
+    let lexed: Vec<lexer::Lexed> = sources.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let slices: Vec<&[lexer::Tok]> = lexed.iter().map(|l| &l.tokens[..]).collect();
+    let model = model::Model::build(&slices);
+    let ctxs: Vec<semantic::FileCtx<'_>> = sources
+        .iter()
+        .zip(&slices)
+        .map(|((path, _), toks)| semantic::FileCtx { path, toks })
+        .collect();
+    Ok(abi::lock_text(&model, &ctxs, fv))
 }
 
 /// Walks up from `start` to the directory containing the workspace's

@@ -106,6 +106,20 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         // ClusterError). snap is fail-closed by contract: corrupt
         // checkpoints must surface as typed SnapErrors, never panics.
         RuleId::D5 => in_crates(&["device", "io", "core", "cluster", "snap"]),
+        // Snapshot completeness covers every crate whose state rides in a
+        // checkpoint: the sim kernel, devices, controllers, workloads,
+        // obs, the cluster layer, and snap's own codec machinery.
+        RuleId::D6 => in_crates(&["sim", "device", "core", "io", "obs", "cluster", "snap"]),
+        // Unit-dimension flow: every crate that does arithmetic on the
+        // Watts/Joules/Millis/Micros newtypes.
+        RuleId::D7 => in_crates(&["sim", "device", "io", "meter", "model", "core", "cluster"]),
+        // Obs discipline: the registry lives in obs; emit!/span! call
+        // sites live in every crate that records events.
+        RuleId::D8 => in_crates(&["obs", "device", "io", "core", "cluster", "sim"]),
+        // Hot-path allocation is opt-in via the `hot` directive, so the
+        // path scope is the whole workspace — the annotation itself is
+        // the perimeter.
+        RuleId::D9 => true,
         // Suppression hygiene follows the file, not a crate list.
         RuleId::S0 | RuleId::S1 => true,
     }
@@ -296,5 +310,66 @@ mod tests {
         assert!(!rule_applies(RuleId::D2, "tests/queue_equivalence.rs"));
         assert!(!rule_applies(RuleId::D5, "tests/queue_equivalence.rs"));
         assert!(!rule_applies(RuleId::D2, "crates/sim/tests/properties.rs"));
+    }
+
+    #[test]
+    fn semantic_rule_scoping_by_path() {
+        // D6 covers exactly the crates whose state rides in a checkpoint.
+        for p in [
+            "crates/sim/src/queue.rs",
+            "crates/device/src/ssd/mod.rs",
+            "crates/core/src/controller.rs",
+            "crates/io/src/openloop.rs",
+            "crates/obs/src/recorder.rs",
+            "crates/cluster/src/sim.rs",
+            "crates/snap/src/lib.rs",
+        ] {
+            assert!(rule_applies(RuleId::D6, p), "D6 must cover {p}");
+        }
+        assert!(!rule_applies(RuleId::D6, "crates/model/src/lib.rs"));
+        assert!(!rule_applies(
+            RuleId::D6,
+            "crates/bench/src/bin/kernel_bench.rs"
+        ));
+
+        // D7 covers every crate doing unit-newtype arithmetic.
+        for p in [
+            "crates/sim/src/units.rs",
+            "crates/device/src/hdd/mod.rs",
+            "crates/io/src/fleet.rs",
+            "crates/meter/src/rig.rs",
+            "crates/model/src/lib.rs",
+            "crates/core/src/controller.rs",
+            "crates/cluster/src/tenant.rs",
+        ] {
+            assert!(rule_applies(RuleId::D7, p), "D7 must cover {p}");
+        }
+        assert!(!rule_applies(RuleId::D7, "crates/obs/src/recorder.rs"));
+
+        // D8 covers the registry's home plus every emitting crate.
+        for p in [
+            "crates/obs/src/recorder.rs",
+            "crates/device/src/fault.rs",
+            "crates/io/src/fleet.rs",
+            "crates/core/src/controller.rs",
+            "crates/cluster/src/sim.rs",
+            "crates/sim/src/queue.rs",
+        ] {
+            assert!(rule_applies(RuleId::D8, p), "D8 must cover {p}");
+        }
+        assert!(!rule_applies(RuleId::D8, "crates/model/src/lib.rs"));
+
+        // D9's path scope is the whole workspace — the hot annotation is
+        // the perimeter — but never tests or examples.
+        assert!(rule_applies(RuleId::D9, "crates/sim/src/queue.rs"));
+        assert!(rule_applies(
+            RuleId::D9,
+            "crates/bench/src/bin/kernel_bench.rs"
+        ));
+        assert!(!rule_applies(RuleId::D9, "crates/sim/tests/properties.rs"));
+        assert!(!rule_applies(
+            RuleId::D9,
+            "examples/cluster_oversubscription.rs"
+        ));
     }
 }

@@ -27,6 +27,11 @@ pub struct Suppression {
     pub rules: Vec<RuleId>,
     /// The mandatory justification.
     pub reason: String,
+    /// Workspace-relative path of the file the comment lives in. The
+    /// unused-suppression audit keys on (rule, file): an allow firing in
+    /// one file must never mask an unused allow for the same rule
+    /// elsewhere.
+    pub path: String,
     /// 1-based line of the comment itself.
     pub comment_line: u32,
     /// 1-based line whose findings are suppressed.
@@ -35,21 +40,45 @@ pub struct Suppression {
     pub used: bool,
 }
 
+/// A `// powadapt-lint: hot` annotation: the next (or same, when
+/// trailing) line's `fn` is declared hot-path and subject to [D9].
+///
+/// [D9]: crate::diag::RuleId::D9
+#[derive(Debug, Clone)]
+pub struct HotMark {
+    /// Workspace-relative path of the file the mark lives in.
+    pub path: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// 1-based line the mark targets (the `fn` line).
+    pub target_line: u32,
+    /// Set when a fn declaration was found on the target line; an
+    /// unattached mark is an S0 (the directive mechanism is audited).
+    pub attached: bool,
+}
+
 /// Result of scanning one file's comments.
 #[derive(Debug, Default)]
 pub struct SuppressionSet {
     /// Well-formed suppressions, by target line.
     pub entries: Vec<Suppression>,
+    /// `hot` directives, by target line.
+    pub hot_marks: Vec<HotMark>,
     /// S0 diagnostics for malformed suppressions.
     pub errors: Vec<Diagnostic>,
 }
 
 impl SuppressionSet {
-    /// Attempts to suppress `d`; returns true (and marks the entry used)
-    /// when a matching suppression covers the diagnostic's line.
-    pub fn try_suppress(&mut self, rule: RuleId, line: u32) -> bool {
+    /// Attempts to suppress a finding of `rule` on `line`; returns true
+    /// (and marks the entry used) when a matching suppression covers the
+    /// diagnostic's line. `path` must match the entry's file — the set
+    /// may be merged workspace-wide, and a suppression only ever covers
+    /// its own file.
+    pub fn try_suppress(&mut self, rule: RuleId, path: &str, line: u32) -> bool {
         for entry in &mut self.entries {
-            if entry.target_line == line && entry.rules.contains(&rule) {
+            if entry.target_line == line && entry.path == path && entry.rules.contains(&rule) {
                 entry.used = true;
                 return true;
             }
@@ -57,15 +86,23 @@ impl SuppressionSet {
         false
     }
 
-    /// S1 diagnostics for suppressions that never fired. Call after all
-    /// rules have run.
-    pub fn unused(&self, path: &str, line_text: impl Fn(u32) -> String) -> Vec<Diagnostic> {
+    /// Absorbs another file's scan into this set (workspace pass).
+    pub fn merge(&mut self, mut other: SuppressionSet) {
+        self.entries.append(&mut other.entries);
+        self.hot_marks.append(&mut other.hot_marks);
+        self.errors.append(&mut other.errors);
+    }
+
+    /// S1 diagnostics for suppressions that never fired, keyed per
+    /// (rule, file): every entry is audited against its own file only.
+    /// Call after all rules have run.
+    pub fn unused(&self, line_text: impl Fn(&str, u32) -> String) -> Vec<Diagnostic> {
         self.entries
             .iter()
             .filter(|e| !e.used)
             .map(|e| Diagnostic {
                 rule: RuleId::S1,
-                path: path.to_string(),
+                path: e.path.clone(),
                 line: e.comment_line,
                 col: 1,
                 message: format!(
@@ -77,7 +114,7 @@ impl SuppressionSet {
                         .join(", "),
                     e.target_line,
                 ),
-                snippet: line_text(e.comment_line),
+                snippet: line_text(&e.path, e.comment_line),
                 span_len: 1,
             })
             .collect()
@@ -99,10 +136,21 @@ pub fn scan(comments: &[LineComment], path: &str) -> SuppressionSet {
         };
         let body = c.text[idx + MARKER.len()..].trim();
         let target_line = if c.trailing { c.line } else { c.line + 1 };
+        if body == "hot" {
+            set.hot_marks.push(HotMark {
+                path: path.to_string(),
+                comment_line: c.line,
+                col: c.col,
+                target_line,
+                attached: false,
+            });
+            continue;
+        }
         match parse_body(body) {
             Ok((rules, reason)) => set.entries.push(Suppression {
                 rules,
                 reason,
+                path: path.to_string(),
                 comment_line: c.line,
                 target_line,
                 used: false,
@@ -158,7 +206,9 @@ fn parse_body(body: &str) -> Result<(Vec<RuleId>, String), String> {
             reason = Some(unquoted.to_string());
         } else {
             let rule = RuleId::parse_suppressible(part).ok_or_else(|| {
-                format!("unknown rule `{part}` (expected one of D1, D2, D3, D4, D5)")
+                format!(
+                    "unknown rule `{part}` (expected one of D1, D2, D3, D4, D5, D6, D7, D8, D9)"
+                )
             })?;
             rules.push(rule);
         }
@@ -269,13 +319,61 @@ mod tests {
     fn unknown_rule_is_s0() {
         let set = scan(
             &[comment(
-                "// powadapt-lint: allow(D9, reason = \"nope\")",
+                "// powadapt-lint: allow(D42, reason = \"nope\")",
                 false,
             )],
             "x.rs",
         );
         assert_eq!(set.errors.len(), 1);
-        assert!(set.errors[0].message.contains("unknown rule `D9`"));
+        assert!(set.errors[0].message.contains("unknown rule `D42`"));
+    }
+
+    #[test]
+    fn semantic_rules_parse_in_both_cases() {
+        let set = scan(
+            &[comment(
+                "// powadapt-lint: allow(d6, D9, reason = \"static config\")",
+                false,
+            )],
+            "x.rs",
+        );
+        assert!(set.errors.is_empty());
+        assert_eq!(set.entries[0].rules, vec![RuleId::D6, RuleId::D9]);
+    }
+
+    #[test]
+    fn hot_directive_is_recorded_not_an_error() {
+        let set = scan(&[comment("// powadapt-lint: hot", false)], "x.rs");
+        assert!(set.errors.is_empty());
+        assert!(set.entries.is_empty());
+        assert_eq!(set.hot_marks.len(), 1);
+        assert_eq!(set.hot_marks[0].target_line, 11);
+    }
+
+    #[test]
+    fn suppression_only_covers_its_own_file() {
+        // (rule, file) keying: an allow in a.rs must not fire for a
+        // finding at the same rule/line in b.rs, and the unused audit
+        // reports per file.
+        let mut set = scan(
+            &[comment(
+                "// powadapt-lint: allow(D9, reason = \"x\")",
+                false,
+            )],
+            "a.rs",
+        );
+        set.merge(scan(
+            &[comment(
+                "// powadapt-lint: allow(D9, reason = \"x\")",
+                false,
+            )],
+            "b.rs",
+        ));
+        assert!(set.try_suppress(RuleId::D9, "a.rs", 11));
+        assert!(!set.try_suppress(RuleId::D9, "c.rs", 11));
+        let unused = set.unused(|_, _| String::new());
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].path, "b.rs");
     }
 
     #[test]
@@ -313,8 +411,8 @@ mod tests {
             )],
             "x.rs",
         );
-        assert!(!set.try_suppress(RuleId::D1, 11));
-        let unused = set.unused("x.rs", |_| String::new());
+        assert!(!set.try_suppress(RuleId::D1, "x.rs", 11));
+        let unused = set.unused(|_, _| String::new());
         assert_eq!(unused.len(), 1);
         assert_eq!(unused[0].rule, RuleId::S1);
     }

@@ -1,0 +1,223 @@
+//! Cross-file behavior of the two-pass analyzer: the symbol model spans
+//! files, rules see it whole, and suppressions stay keyed to the file
+//! that declares them. Plus the snapshot-ABI lock lifecycle end to end
+//! against a real (temporary) workspace tree.
+
+// Tests assert on exact expected values.
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use powadapt_lint::{abi, analyze_files, compute_abi_lock, AnalysisMode};
+
+fn files(list: &[(&str, &str)]) -> Vec<(String, String)> {
+    list.iter()
+        .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+        .collect()
+}
+
+#[test]
+fn d9_propagates_one_level_across_files() {
+    let analysis = analyze_files(
+        &files(&[
+            (
+                "crates/sim/src/queue.rs",
+                "impl Queue {\n\
+                 // powadapt-lint: hot\n\
+                 fn pop(&mut self) { Arena::refill(); }\n\
+                 }\n",
+            ),
+            (
+                "crates/sim/src/slab.rs",
+                "impl Arena {\n    fn refill() { let v = Vec::new(); }\n}\n",
+            ),
+        ]),
+        AnalysisMode::Scoped,
+    );
+    let d9: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.as_str() == "D9")
+        .collect();
+    assert_eq!(d9.len(), 1, "{:?}", analysis.diagnostics);
+    // The finding sits at the call site in queue.rs but names the
+    // allocating callee's own file.
+    assert_eq!(d9[0].path, "crates/sim/src/queue.rs");
+    assert!(d9[0].message.contains("crates/sim/src/slab.rs"));
+    assert!(d9[0].message.contains("`refill`"));
+}
+
+#[test]
+fn d6_unions_snapshot_bodies_across_files_of_one_crate() {
+    // Struct in one file, write_state in another, read_state in a third:
+    // a field mentioned in ANY of them counts, so only `lost` fires.
+    let analysis = analyze_files(
+        &files(&[
+            (
+                "crates/sim/src/state.rs",
+                "struct Kernel { kept_a: u64, kept_b: u64, lost: u64 }\n",
+            ),
+            (
+                "crates/sim/src/save.rs",
+                "impl Snapshot for Kernel {\n\
+                 fn write_state(&self, w: &mut W) { w.u64(self.kept_a); }\n\
+                 }\n",
+            ),
+            (
+                "crates/sim/src/load.rs",
+                "impl Restore for Kernel {\n\
+                 fn read_state(&mut self, r: &mut R) { self.kept_b = r.u64(); }\n\
+                 }\n",
+            ),
+        ]),
+        AnalysisMode::Scoped,
+    );
+    let d6: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.as_str() == "D6")
+        .collect();
+    assert_eq!(d6.len(), 1, "{:?}", analysis.diagnostics);
+    assert!(d6[0].message.contains("field `lost`"));
+    assert_eq!(d6[0].path, "crates/sim/src/state.rs");
+}
+
+#[test]
+fn d6_same_name_structs_in_different_crates_stay_separate() {
+    // sim's Counter is snapshot-active and incomplete; io's Counter has
+    // the same shape but no impl — it must not inherit sim's finding,
+    // nor trigger one of its own.
+    let analysis = analyze_files(
+        &files(&[
+            (
+                "crates/sim/src/counter.rs",
+                "struct Counter { n: u64, dropped: u64 }\n\
+                 impl Snapshot for Counter { fn write_state(&self, w: &mut W) { w.u64(self.n); } }\n",
+            ),
+            (
+                "crates/io/src/counter.rs",
+                "struct Counter { n: u64, dropped: u64 }\n",
+            ),
+        ]),
+        AnalysisMode::Scoped,
+    );
+    let d6: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.as_str() == "D6")
+        .collect();
+    assert_eq!(d6.len(), 1, "{:?}", analysis.diagnostics);
+    assert_eq!(d6[0].path, "crates/sim/src/counter.rs");
+}
+
+#[test]
+fn suppressions_are_keyed_per_file() {
+    // Identical D2 violations in two files of one crate; only the file
+    // that carries the allow is excused, and an allow that matches
+    // nothing in ITS file is S1 even though the same rule fired (and was
+    // suppressed) elsewhere in the workspace.
+    let analysis = analyze_files(
+        &files(&[
+            (
+                "crates/sim/src/a.rs",
+                "// powadapt-lint: allow(D2, reason = \"membership probe only\")\n\
+                 use std::collections::HashSet;\n",
+            ),
+            ("crates/sim/src/b.rs", "use std::collections::HashSet;\n"),
+            (
+                "crates/sim/src/c.rs",
+                "// powadapt-lint: allow(D2, reason = \"nothing here matches\")\n\
+                 fn quiet() {}\n",
+            ),
+        ]),
+        AnalysisMode::Scoped,
+    );
+    let rules_by_path: Vec<(&str, &str)> = analysis
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.as_str(), d.rule.as_str()))
+        .collect();
+    assert_eq!(
+        rules_by_path,
+        [("crates/sim/src/b.rs", "D2"), ("crates/sim/src/c.rs", "S1"),],
+        "{:?}",
+        analysis.diagnostics
+    );
+    assert_eq!(analysis.suppressions_used.len(), 1);
+    assert_eq!(analysis.suppressions_used[0].path, "crates/sim/src/a.rs");
+}
+
+/// Builds a throwaway workspace on disk for the ABI-lock lifecycle.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(name: &str, snap_lib: &str) -> Self {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/snap/src")).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(root.join("crates/snap/src/lib.rs"), snap_lib).unwrap();
+        TempWs { root }
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const SNAP_V2: &str = "pub const FORMAT_VERSION: u32 = 2;\n\
+    pub struct SimRng { s0: u64, s1: u64 }\n\
+    impl Snapshot for SimRng {\n\
+    fn write_state(&self, w: &mut W) { w.u64(self.s0); w.u64(self.s1); }\n\
+    fn read_state(&mut self, r: &mut R) { self.s0 = r.u64(); self.s1 = r.u64(); }\n\
+    }\n";
+
+#[test]
+fn abi_lock_lifecycle_catches_unbumped_field_changes() {
+    let ws = TempWs::new("abi_ws", SNAP_V2);
+
+    // Fresh workspace: no lock yet.
+    let current = compute_abi_lock(&ws.root).unwrap();
+    assert!(current.contains("format_version = 2"));
+    assert!(current.contains("snap/SimRng: s0, s1"));
+    assert_eq!(abi::check(&current, None), abi::AbiStatus::Missing);
+
+    // `--abi-update` writes the lock; the very next check is clean.
+    let lock_path = ws.root.join(abi::LOCK_PATH);
+    std::fs::create_dir_all(lock_path.parent().unwrap()).unwrap();
+    std::fs::write(&lock_path, &current).unwrap();
+    let on_disk = std::fs::read_to_string(&lock_path).unwrap();
+    assert_eq!(
+        abi::check(&compute_abi_lock(&ws.root).unwrap(), Some(&on_disk)),
+        abi::AbiStatus::Clean
+    );
+
+    // Grow the struct without touching FORMAT_VERSION: hard failure.
+    std::fs::write(
+        ws.root.join("crates/snap/src/lib.rs"),
+        SNAP_V2.replace("s1: u64 }", "s1: u64, s2: u64 }"),
+    )
+    .unwrap();
+    assert_eq!(
+        abi::check(&compute_abi_lock(&ws.root).unwrap(), Some(&on_disk)),
+        abi::AbiStatus::ChangedWithoutBump
+    );
+
+    // Same change WITH a version bump: stale, i.e. "regenerate", not a
+    // layout bug.
+    std::fs::write(
+        ws.root.join("crates/snap/src/lib.rs"),
+        SNAP_V2
+            .replace("s1: u64 }", "s1: u64, s2: u64 }")
+            .replace("FORMAT_VERSION: u32 = 2", "FORMAT_VERSION: u32 = 3"),
+    )
+    .unwrap();
+    assert_eq!(
+        abi::check(&compute_abi_lock(&ws.root).unwrap(), Some(&on_disk)),
+        abi::AbiStatus::Stale
+    );
+}

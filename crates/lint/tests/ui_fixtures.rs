@@ -222,7 +222,7 @@ fn suppression_fixture_messages_name_the_defect() {
         .find(|d| d.rule.as_str() == "S0")
         .expect("S0 present");
     assert!(
-        s0.message.contains("unknown rule `D9`"),
+        s0.message.contains("unknown rule `D42`"),
         "got: {}",
         s0.message
     );

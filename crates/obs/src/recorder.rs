@@ -114,6 +114,7 @@ struct LogInner {
 /// recorded, including dropped ones — counting never saturates.
 pub struct EventLog {
     inner: Mutex<LogInner>,
+    // powadapt-lint: allow(d6, reason = "configured ring capacity; restore keeps the attached log's configuration")
     capacity: usize,
 }
 

@@ -123,11 +123,13 @@ pub struct EventQueue<E> {
     /// Exclusive upper bound (nanoseconds) of the swept window; always a
     /// multiple of `BUCKET_W` except in the saturated far-future corner
     /// where it is `u64::MAX`.
+    // powadapt-lint: allow(d6, reason = "sweep cursor; read_state rebuilds the window from the live entries")
     active_end: u64,
     /// Entries with `at >= active_end + SPAN`, keyed `(at, seq)` so
     /// iteration order is exactly fire order.
     overflow: BTreeMap<(SimTime, u64), E>,
     /// Physical entries in `active` + `buckets` (live or tombstoned).
+    // powadapt-lint: allow(d6, reason = "occupancy counter; recomputed as read_state re-inserts entries")
     near_phys: usize,
     /// Live (scheduled, not fired, not cancelled) entries.
     live_len: usize,
@@ -137,6 +139,7 @@ pub struct EventQueue<E> {
     /// outstanding seq resolves, and spilled into `old_live` when a
     /// long-lived entry would let the deque outgrow the spill threshold
     /// (see [`FLAG_SPILL_MIN`]).
+    // powadapt-lint: allow(d6, reason = "dense liveness window; read_state restores liveness sparsely via old_live")
     flags: VecDeque<u8>,
     flag_base: u64,
     /// Sparse tier: seqs below `flag_base` that are still live — spilled
@@ -165,9 +168,11 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` to fire at `at`. Returns an id usable with
     /// [`EventQueue::cancel`].
+    // powadapt-lint: hot
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        // powadapt-lint: allow(d9, reason = "amortized: the flag window is recycled and spilled once it outgrows the live set")
         self.flags.push_back(LIVE);
         if self.flags.len() > FLAG_SPILL_MIN.max(self.live_len * 8) {
             self.spill_flags();
@@ -178,6 +183,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Routes a physical entry to the tier its timestamp belongs to.
+    // powadapt-lint: hot
     fn place(&mut self, e: Entry<E>) {
         let t = e.at.as_nanos();
         if t < self.active_end {
@@ -186,13 +192,16 @@ impl<E> EventQueue<E> {
             // timestamps sort by seq, preserving insertion-order ties.
             let key = (e.at, e.seq);
             let idx = self.active.partition_point(|x| (x.at, x.seq) > key);
+            // powadapt-lint: allow(d9, reason = "late schedules into the swept window are rare; the insert is bounded by the active window")
             self.active.insert(idx, e);
             self.near_phys += 1;
         } else if t < self.active_end.saturating_add(SPAN) {
             let idx = ((t >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1);
+            // powadapt-lint: allow(d9, reason = "amortized: bucket storage is recycled across ring revolutions")
             self.buckets[idx].push(e);
             self.near_phys += 1;
         } else {
+            // powadapt-lint: allow(d9, reason = "far-future timers take the overflow tree, off the per-event fast path")
             self.overflow.insert((e.at, e.seq), e.payload);
         }
     }
@@ -243,6 +252,7 @@ impl<E> EventQueue<E> {
     /// until the deque is back under it. Each spilled seq is handled
     /// once, so schedule stays amortized O(1); the `BTreeSet` only ever
     /// holds the (rare) long-lived stragglers.
+    // powadapt-lint: hot
     fn spill_flags(&mut self) {
         let target = FLAG_SPILL_MIN.max(self.live_len * 8);
         while self.flags.len() > target {
@@ -250,6 +260,7 @@ impl<E> EventQueue<E> {
                 return;
             };
             if f == LIVE {
+                // powadapt-lint: allow(d9, reason = "spill cost is amortized over the events that grew the flag window")
                 self.old_live.insert(self.flag_base);
             }
             self.flag_base += 1;
@@ -261,6 +272,7 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event had not yet fired (or been cancelled).
     /// Cancellation is O(1) and lazy: the entry is only marked dead here
     /// and is physically discarded when the sweep reaches it.
+    // powadapt-lint: hot
     pub fn cancel(&mut self, id: EventId) -> bool {
         let seq = id.0;
         if seq >= self.next_seq || self.flag(seq) != LIVE {
@@ -279,6 +291,7 @@ impl<E> EventQueue<E> {
     /// Equivalent to calling [`EventQueue::cancel`] per id; each
     /// cancellation is O(1), so cancel-heavy paths (retry timers, idle
     /// timers) pay no per-event ordering cost.
+    // powadapt-lint: hot
     pub fn cancel_many<I>(&mut self, ids: I) -> usize
     where
         I: IntoIterator<Item = EventId>,
@@ -296,6 +309,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the next live event as `(time, payload)`.
+    // powadapt-lint: hot
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if !self.ensure_front() {
             return None;
@@ -309,6 +323,7 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the next live event only if it fires at or before
     /// `t`.
+    // powadapt-lint: hot
     pub fn pop_at_or_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
         match self.next_time() {
             Some(at) if at <= t => self.pop(),
@@ -343,6 +358,7 @@ impl<E> EventQueue<E> {
 
     /// Makes the next live event (if any) the back element of `active`.
     /// Returns `false` iff no live events remain.
+    // powadapt-lint: hot
     fn ensure_front(&mut self) -> bool {
         if self.live_len == 0 {
             return false;
@@ -378,6 +394,7 @@ impl<E> EventQueue<E> {
     /// bucket. The drain must happen *before* the migration — migrated
     /// entries belong to the freed bucket's next revolution, a full SPAN
     /// later, and must not ride along into `active` now.
+    // powadapt-lint: hot
     fn activate_next_bucket(&mut self) {
         let idx = ((self.active_end >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1);
         {
@@ -417,6 +434,7 @@ impl<E> EventQueue<E> {
 
     /// Moves overflow entries with `at < limit` (nanoseconds) into their
     /// ring buckets.
+    // powadapt-lint: hot
     fn migrate_overflow_below(&mut self, limit: u64) {
         let first_in = self
             .overflow
@@ -429,6 +447,7 @@ impl<E> EventQueue<E> {
         let movable = std::mem::replace(&mut self.overflow, rest);
         for ((at, seq), payload) in movable {
             let idx = ((at.as_nanos() >> BUCKET_BITS) as usize) & (BUCKET_COUNT - 1);
+            // powadapt-lint: allow(d9, reason = "overflow migration recycles bucket storage; amortized over a full SPAN")
             self.buckets[idx].push(Entry { at, seq, payload });
             self.near_phys += 1;
         }
@@ -436,6 +455,7 @@ impl<E> EventQueue<E> {
 
     /// The near tier is physically empty: jump the window forward to the
     /// first overflow entry instead of sweeping empty buckets.
+    // powadapt-lint: hot
     fn refill_from_overflow(&mut self) {
         let Some((&(at, _), _)) = self.overflow.first_key_value() else {
             return;
@@ -450,6 +470,7 @@ impl<E> EventQueue<E> {
             self.active_end = u64::MAX;
             let movable = std::mem::take(&mut self.overflow);
             for ((at, seq), payload) in movable {
+                // powadapt-lint: allow(d9, reason = "far-future corner: remaining entries are served once from the sorted overflow")
                 self.active.push(Entry { at, seq, payload });
                 self.near_phys += 1;
             }

@@ -29,6 +29,7 @@ use crate::time::{SimDuration, SimTime};
 /// ```
 #[derive(Debug, Clone)]
 pub struct RollingMean {
+    // powadapt-lint: allow(d6, reason = "window length is configuration; rebuilt from the spec on restore")
     window: SimDuration,
     /// Completed segments `(start, end, value)` inside the window, oldest first.
     segments: VecDeque<(SimTime, SimTime, f64)>,
