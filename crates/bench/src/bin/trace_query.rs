@@ -1,0 +1,230 @@
+//! Query tool for the `.events.jsonl` sidecar a Perfetto trace session
+//! writes: filter, summarize, and diff recorded event streams without
+//! loading them into a trace viewer.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_query summarize FILE [--kind K] [--track T] [--from NS] [--to NS] [--top N]
+//! trace_query diff FILE_A FILE_B
+//! ```
+//!
+//! `summarize` prints the filtered stream's total, sim-time span,
+//! per-kind counts, and the top-N busiest tracks. `diff` compares two
+//! streams by per-kind and per-track counts and exits 1 when they
+//! differ — `trace_query diff file file` is the cheap self-test that the
+//! artifact parses and the tool is sound. Exit codes: 0 ok / identical,
+//! 1 streams differ, 2 usage or I/O error.
+//!
+//! Lines are the deterministic single-object-per-line JSON of
+//! `powadapt_obs::events_jsonl`; parsing is by field extraction, so the
+//! tool has no serialization dependencies and tolerates extra payload
+//! keys.
+
+use std::collections::BTreeMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_query: {msg}");
+    eprintln!(
+        "usage: trace_query summarize FILE [--kind K] [--track T] [--from NS] [--to NS] [--top N]"
+    );
+    eprintln!("       trace_query diff FILE_A FILE_B");
+    std::process::exit(2);
+}
+
+/// One parsed line: the envelope fields every event carries.
+struct Line {
+    at_ns: u64,
+    track: String,
+    kind: String,
+}
+
+/// Extracts `"key": "<string>"` from a one-line JSON object.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    // Values produced by events_jsonl escape `"` as `\"`.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": <unsigned integer>` from a one-line JSON object.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_lines(path: &str) -> Vec<Line> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (Some(at_ns), Some(track), Some(kind)) = (
+            json_u64(line, "at"),
+            json_str(line, "track"),
+            json_str(line, "kind"),
+        ) else {
+            fail(&format!("{path}:{}: not an event line", i + 1));
+        };
+        out.push(Line { at_ns, track, kind });
+    }
+    out
+}
+
+struct Filter {
+    kind: Option<String>,
+    track: Option<String>,
+    from_ns: Option<u64>,
+    to_ns: Option<u64>,
+}
+
+impl Filter {
+    fn matches(&self, l: &Line) -> bool {
+        self.kind.as_ref().is_none_or(|k| *k == l.kind)
+            && self.track.as_ref().is_none_or(|t| *t == l.track)
+            && self.from_ns.is_none_or(|f| l.at_ns >= f)
+            && self.to_ns.is_none_or(|t| l.at_ns < t)
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_ns(args: &[String], name: &str) -> Option<u64> {
+    flag(args, name).map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => fail(&format!(
+            "{name} wants an integer nanosecond value, got {v}"
+        )),
+    })
+}
+
+fn summarize(args: &[String]) {
+    let Some(path) = args.first() else {
+        fail("summarize wants a FILE");
+    };
+    let filter = Filter {
+        kind: flag(args, "--kind"),
+        track: flag(args, "--track"),
+        from_ns: parse_ns(args, "--from"),
+        to_ns: parse_ns(args, "--to"),
+    };
+    let top: usize = flag(args, "--top").map_or(5, |v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => fail(&format!("--top wants an integer, got {v}")),
+    });
+
+    let lines = parse_lines(path);
+    let total = lines.len();
+    let mut kept = 0usize;
+    let mut span: Option<(u64, u64)> = None;
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_track: BTreeMap<String, u64> = BTreeMap::new();
+    for l in lines.iter().filter(|l| filter.matches(l)) {
+        kept += 1;
+        span = Some(span.map_or((l.at_ns, l.at_ns), |(lo, hi)| {
+            (lo.min(l.at_ns), hi.max(l.at_ns))
+        }));
+        *by_kind.entry(l.kind.clone()).or_insert(0) += 1;
+        *by_track.entry(l.track.clone()).or_insert(0) += 1;
+    }
+
+    println!("{path}: {kept} of {total} events match");
+    if let Some((lo, hi)) = span {
+        println!("  span: {lo} ns .. {hi} ns ({} ns)", hi - lo);
+    }
+    println!("  kinds:");
+    for (kind, n) in &by_kind {
+        println!("    {kind:28} {n}");
+    }
+    // Top-N busiest tracks: count descending, name ascending for ties.
+    let mut tracks: Vec<(&String, &u64)> = by_track.iter().collect();
+    tracks.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("  top {} tracks:", top.min(tracks.len()));
+    for (track, n) in tracks.into_iter().take(top) {
+        println!("    {track:28} {n}");
+    }
+}
+
+/// Per-kind and per-track count maps of one stream.
+fn counts(path: &str) -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
+    let mut by_kind = BTreeMap::new();
+    let mut by_track = BTreeMap::new();
+    for l in parse_lines(path) {
+        *by_kind.entry(l.kind).or_insert(0) += 1;
+        *by_track.entry(l.track).or_insert(0) += 1;
+    }
+    (by_kind, by_track)
+}
+
+/// Prints every key whose count differs between the two maps; returns
+/// how many differed.
+fn diff_maps(label: &str, a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>) -> usize {
+    let mut keys: Vec<&String> = a.keys().chain(b.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let mut differing = 0;
+    for key in keys {
+        let na = a.get(key).copied().unwrap_or(0);
+        let nb = b.get(key).copied().unwrap_or(0);
+        if na != nb {
+            println!("  {label} {key:28} {na} != {nb}");
+            differing += 1;
+        }
+    }
+    differing
+}
+
+fn diff(args: &[String]) {
+    let (Some(path_a), Some(path_b)) = (args.first(), args.get(1)) else {
+        fail("diff wants FILE_A FILE_B");
+    };
+    let (kinds_a, tracks_a) = counts(path_a);
+    let (kinds_b, tracks_b) = counts(path_b);
+    let total_a: u64 = kinds_a.values().sum();
+    let total_b: u64 = kinds_b.values().sum();
+
+    let mut differing = diff_maps("kind", &kinds_a, &kinds_b);
+    differing += diff_maps("track", &tracks_a, &tracks_b);
+    if total_a != total_b {
+        println!("  total {total_a} != {total_b}");
+        differing += 1;
+    }
+    if differing > 0 {
+        println!("{path_a} and {path_b} differ in {differing} counts");
+        std::process::exit(1);
+    }
+    println!("{path_a} and {path_b} are count-identical ({total_a} events)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") => summarize(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some(other) => fail(&format!("unknown command {other}")),
+        None => fail("missing command"),
+    }
+}

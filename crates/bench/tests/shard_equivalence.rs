@@ -1,0 +1,92 @@
+//! Sharded-recorder equivalence on the real workload: the four golden
+//! cluster cells recorded under a [`ShardedRecorder`] at 1, 2, and 8
+//! shards must merge to **byte-identical** per-kind accounting and
+//! metrics snapshots — and match an unsharded [`TraceRecorder`] exactly.
+//!
+//! This is the acceptance check behind the sharding design: routing by
+//! track hash and merging on `(sim_time, shard_id, seq)` is invisible to
+//! every consumer, at any shard count. One test function owns the whole
+//! sequence because each run installs the process-global recorder slot.
+
+use std::sync::Arc;
+
+use powadapt_bench::golden::GOLDEN_SEED;
+use powadapt_cluster::{oversubscribed_cluster, run_cluster, SelectionPolicy};
+use powadapt_obs::{ShardedRecorder, TraceRecorder};
+
+/// Per-shard ring capacity: large enough that the golden cells never
+/// drop an event, so per-shard ring eviction (which differs from a
+/// single global ring's) cannot perturb the comparison.
+const CAPACITY: usize = 1 << 18;
+
+/// The four golden cluster cells, sequentially (the traced-artifact
+/// configuration). Returns summed served IOs as a workload fingerprint.
+fn run_cells() -> u64 {
+    let mut served = 0u64;
+    for seed in [GOLDEN_SEED, GOLDEN_SEED + 1] {
+        for policy in [SelectionPolicy::ModelDriven, SelectionPolicy::UniformStatic] {
+            let report = run_cluster(oversubscribed_cluster(policy, seed))
+                .expect("golden cluster cell runs");
+            served += report.served_ios;
+        }
+    }
+    served
+}
+
+fn with_recorder<R: powadapt_obs::Recorder + 'static>(rec: Arc<R>) -> (u64, Arc<R>) {
+    let prev = powadapt_obs::install(rec.clone());
+    let served = run_cells();
+    match prev {
+        Some(p) => {
+            powadapt_obs::install(p);
+        }
+        None => {
+            powadapt_obs::uninstall();
+        }
+    }
+    (served, rec)
+}
+
+#[test]
+fn merged_snapshots_are_byte_identical_at_1_2_and_8_shards() {
+    // Unsharded reference.
+    let (served0, unsharded) = with_recorder(Arc::new(TraceRecorder::new(CAPACITY)));
+    let reference_counts = powadapt_obs::event_counts_json(&unsharded);
+    let reference_metrics = {
+        // The unsharded recorder derives `events.*` lazily at read time;
+        // snapshot after the counts read so both views are published.
+        unsharded.metrics().snapshot().to_json()
+    };
+
+    for shards in [1usize, 2, 8] {
+        let (served, rec) = with_recorder(Arc::new(ShardedRecorder::new(shards, CAPACITY)));
+        assert_eq!(
+            served, served0,
+            "{shards}-shard run changed simulation results"
+        );
+        let merged = rec.merged();
+        assert_eq!(
+            merged.dropped, 0,
+            "{shards}-shard run dropped events; the comparison needs lossless rings"
+        );
+        assert_eq!(
+            merged.counts_json(),
+            reference_counts,
+            "{shards}-shard merged counts diverged from the unsharded recorder"
+        );
+        assert_eq!(
+            merged.metrics_snapshot().to_json(),
+            reference_metrics,
+            "{shards}-shard merged metrics diverged from the unsharded recorder"
+        );
+        // The merge order is total: (sim_time, shard_id, seq) never ties.
+        let events = &merged.events;
+        for w in events.windows(2) {
+            assert!(
+                w[0].at <= w[1].at,
+                "merged events out of sim-time order at {shards} shards"
+            );
+        }
+        assert_eq!(merged.markers.len(), shards, "one merge marker per shard");
+    }
+}

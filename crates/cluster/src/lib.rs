@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+pub mod ledger;
 pub mod longhaul;
 pub mod scenario;
 pub mod selector;
@@ -40,6 +41,7 @@ pub mod tenant;
 pub mod tree;
 pub mod treefault;
 
+pub use ledger::{EnergyLedger, TenantUsage, BURN_ALERT_THRESHOLD};
 pub use scenario::{fig10_model, oversubscribed_cluster};
 pub use selector::{fleet_floor_w, fleet_max_w, uniform_choices, SelectionPolicy};
 pub use sim::{

@@ -28,6 +28,7 @@ use powadapt_sim::units::Micros;
 use powadapt_sim::{SimDuration, SimTime};
 use powadapt_snap::{SnapError, SnapReader, SnapWriter};
 
+use crate::ledger::{EnergyLedger, TenantUsage};
 use crate::selector::{fleet_floor_w, fleet_max_w, uniform_choices, SelectionPolicy};
 use crate::tenant::{TenantSpec, TenantStream};
 use crate::tree::{Demand, NodeId, NodeKind, PowerTree, TreeError};
@@ -333,6 +334,13 @@ fn read_f64s_into(r: &mut SnapReader<'_>, dst: &mut [f64], what: &str) -> Result
     Ok(())
 }
 
+/// Interns every tree node's path once, indexed by `NodeId`.
+fn tree_node_tracks(tree: &PowerTree) -> Vec<&'static str> {
+    tree.node_ids()
+        .map(|id| powadapt_obs::intern(&tree.path(id)))
+        .collect()
+}
+
 /// The cluster simulation as a steppable object.
 ///
 /// [`run_cluster`] drives a `ClusterSim` from construction straight to its
@@ -353,6 +361,10 @@ pub struct ClusterSim {
     tree: PowerTree,
     // powadapt-lint: allow(d6, reason = "derived from the tree; rebuilt on resume")
     leaves: Vec<NodeId>,
+    /// Interned tree-path track names, indexed like the tree's nodes, so
+    /// the per-sample `PowerSample` emit is a pointer copy.
+    // powadapt-lint: allow(d6, reason = "derived from the tree; rebuilt on resume")
+    node_tracks: Vec<&'static str>,
     tenants: Vec<TenantSpec>,
     // powadapt-lint: allow(d6, reason = "spec configuration; rebuilt on resume")
     policy: SelectionPolicy,
@@ -392,6 +404,8 @@ pub struct ClusterSim {
     next_control: SimTime,
     next_sample: SimTime,
     faults: TreeFaultSchedule,
+    /// Integer-femtojoule energy accounts, audited every control round.
+    ledger: EnergyLedger,
     /// Last processed event time.
     now: SimTime,
     /// Reused completion buffer for the per-step device drain; transient,
@@ -551,7 +565,7 @@ impl ClusterSim {
             enc_names.push(enc.name);
             let mut ctl = AdaptiveController::new(enc.devices, enc.models)?;
             for d in 0..ctl.devices().len() {
-                let track = format!("{}.dev{d}", enc_names[e]);
+                let track = powadapt_obs::intern(&format!("{}.dev{d}", enc_names[e]));
                 ctl.device_mut(d).set_recorder(rec.clone(), track);
             }
             controllers.push(ctl);
@@ -589,6 +603,8 @@ impl ClusterSim {
         let pending: Vec<Option<Arrival>> = streams.iter_mut().map(Iterator::next).collect();
 
         let n_nodes = tree.len();
+        let ledger = EnergyLedger::new(leaves.len(), tenants.len(), start);
+        let node_tracks = tree_node_tracks(&tree);
         Ok(ClusterSim {
             tree,
             leaves,
@@ -607,6 +623,7 @@ impl ClusterSim {
             pending,
             accounts,
             routable: vec![false; n_devices],
+            node_tracks,
             node_max: vec![0.0; n_nodes],
             node_sum: vec![0.0; n_nodes],
             node_samples: 0,
@@ -620,6 +637,7 @@ impl ClusterSim {
             next_control: start + control_interval,
             next_sample: start,
             faults,
+            ledger,
             now: start,
             drain_scratch: Vec::new(),
         })
@@ -717,10 +735,12 @@ impl ClusterSim {
     pub fn finish(mut self) -> Result<ClusterReport, ClusterError> {
         self.run_to(self.t_end)?;
 
-        // Close the run at exactly t_end: drain-by-advance, final sample.
+        // Close the run at exactly t_end: drain-by-advance, final
+        // sample, and the closing ledger audit.
         self.drain_completions(self.t_end);
         self.sample_nodes(self.t_end);
         self.node_samples += 1;
+        self.audit_ledger(self.t_end);
 
         let nodes: Vec<NodeReport> = self
             .tree
@@ -783,6 +803,10 @@ impl ClusterSim {
                 self.control_round(t)?;
                 self.rebalance_rounds += 1;
             }
+            // The ledger audits on the control cadence under both
+            // policies: attribution and conservation are properties of
+            // the cluster, not of the model-driven controller.
+            self.audit_ledger(t);
             self.next_control = t + self.control_interval;
         }
 
@@ -1026,12 +1050,12 @@ impl ClusterSim {
                 rec,
                 now,
                 "tree",
-                EventKind::RebalanceDecision {
+                EventKind::RebalanceDecision(Box::new(powadapt_obs::RebalanceDecision {
                     node: self.tree.path(id),
                     cap_w: g.cap_w,
                     granted_w: g.granted_w,
                     demand_w: g.demand_w,
-                }
+                }))
             );
         }
 
@@ -1069,17 +1093,23 @@ impl ClusterSim {
     }
 
     /// Samples every node's subtree power and records max/mean, emitting
-    /// Perfetto counter tracks for rack-level nodes.
+    /// Perfetto counter tracks for rack-level nodes. The energy ledger
+    /// accrues over the closing interval with the powers it was holding,
+    /// then takes over the fresh measurements.
     fn sample_nodes(&mut self, now: SimTime) {
         let rec = powadapt_obs::current();
+        self.ledger.accrue(now);
         let mut power = vec![0.0f64; self.tree.len()];
+        let mut leaf_watts = Vec::with_capacity(self.leaves.len());
         for (leaf, ctl) in self.leaves.iter().zip(&self.controllers) {
             let p = ctl.measured_power_w();
+            leaf_watts.push(p);
             power[leaf.0] += p;
             for anc in self.tree.ancestors(*leaf) {
                 power[anc.0] += p;
             }
         }
+        self.ledger.set_powers(&leaf_watts);
         for id in self.tree.node_ids() {
             let p = power[id.0];
             self.node_max[id.0] = self.node_max[id.0].max(p);
@@ -1088,11 +1118,43 @@ impl ClusterSim {
                 emit!(
                     rec,
                     now,
-                    self.tree.path(id),
+                    self.node_tracks[id.0],
                     EventKind::PowerSample { watts: p }
                 );
             }
         }
+    }
+
+    /// One ledger audit round: attribute the interval's energy to the
+    /// tenants by bytes moved and verify conservation against the tree.
+    fn audit_ledger(&mut self, now: SimTime) {
+        let usage: Vec<TenantUsage<'_>> = self
+            .tenants
+            .iter()
+            .zip(&self.accounts)
+            .map(|(t, a)| TenantUsage {
+                name: &t.name,
+                bytes: a.window.bytes(),
+                p99_latency_us: a.window.p99_latency().map(Micros::get),
+                slo_p99_us: a.slo.max_p99_latency(),
+            })
+            .collect();
+        // Grant enforcement only applies to grants the tree actually
+        // made: the static baseline's shares ignore the tree by design.
+        let enforce = self.policy == SelectionPolicy::ModelDriven;
+        self.ledger.audit(
+            now,
+            &self.tree,
+            &self.leaves,
+            &self.last_grants,
+            enforce,
+            &usage,
+        );
+    }
+
+    /// The energy-attribution ledger's current accounts.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
     }
 }
 
@@ -1155,7 +1217,8 @@ impl powadapt_snap::Snapshot for ClusterSim {
         for ctl in &self.controllers {
             ctl.write_state(w)?;
         }
-        powadapt_snap::Snapshot::write_state(&self.faults, w)
+        powadapt_snap::Snapshot::write_state(&self.faults, w)?;
+        powadapt_snap::Snapshot::write_state(&self.ledger, w)
     }
 }
 
@@ -1273,7 +1336,8 @@ impl powadapt_snap::Restore for ClusterSim {
         for ctl in &mut self.controllers {
             ctl.read_state(r)?;
         }
-        powadapt_snap::Restore::read_state(&mut self.faults, r)
+        powadapt_snap::Restore::read_state(&mut self.faults, r)?;
+        powadapt_snap::Restore::read_state(&mut self.ledger, r)
     }
 }
 

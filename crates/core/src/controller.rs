@@ -471,14 +471,14 @@ impl AdaptiveController {
                         self.rec,
                         self.devices[0].now(),
                         "controller",
-                        EventKind::ControllerDecision {
+                        EventKind::ControllerDecision(Box::new(powadapt_obs::ControllerDecision {
                             budget_w,
                             measured_w: self.measured_power_w(),
                             expected_power_w,
                             expected_throughput_bps,
                             quarantined: quarantined.clone(),
                             degraded: degraded.iter().map(|d| d.device.clone()).collect(),
-                        }
+                        }))
                     );
                     return Ok(AppliedPlan {
                         actions,

@@ -163,7 +163,7 @@ pub trait StorageDevice: fmt::Debug {
     /// override the sink or to assign fleet-positional track names
     /// (`device0`, `device1`, ...). The default implementation is a no-op
     /// so uninstrumented device types remain valid.
-    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+    fn set_recorder(&mut self, rec: RecorderHandle, track: &'static str) {
         let _ = (rec, track);
     }
 

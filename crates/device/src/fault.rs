@@ -228,7 +228,7 @@ pub struct FaultInjector {
     // powadapt-lint: allow(d6, reason = "telemetry sink; re-captured from the global slot at construction")
     rec: RecorderHandle,
     // powadapt-lint: allow(d6, reason = "telemetry label; re-derived at construction")
-    track: String,
+    track: &'static str,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -246,7 +246,7 @@ impl FaultInjector {
     /// Wraps `inner`, injecting faults per `plan`, drawing probabilistic
     /// faults from `rng`.
     pub fn new(inner: Box<dyn StorageDevice>, plan: FaultPlan, rng: SimRng) -> Self {
-        let track = inner.spec().label().to_string();
+        let track = powadapt_obs::intern(inner.spec().label());
         FaultInjector {
             inner,
             plan,
@@ -262,7 +262,7 @@ impl FaultInjector {
         emit!(
             self.rec,
             self.inner.now(),
-            self.track.as_str(),
+            self.track,
             EventKind::FaultInjected {
                 fault: fault.to_string(),
             }
@@ -400,7 +400,7 @@ impl StorageDevice for FaultInjector {
                 emit!(
                     self.rec,
                     c.completed,
-                    self.track.as_str(),
+                    self.track,
                     EventKind::FaultInjected {
                         fault: "latency_spike".to_string(),
                     }
@@ -466,9 +466,9 @@ impl StorageDevice for FaultInjector {
         self.inner.inflight() + self.held.len()
     }
 
-    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+    fn set_recorder(&mut self, rec: RecorderHandle, track: &'static str) {
         self.rec = rec.clone();
-        self.track = track.clone();
+        self.track = track;
         self.inner.set_recorder(rec, track);
     }
 

@@ -112,7 +112,13 @@ pub struct Hdd {
     // powadapt-lint: allow(d6, reason = "telemetry sink; re-captured from the global slot at construction")
     rec: RecorderHandle,
     // powadapt-lint: allow(d6, reason = "telemetry label; re-derived at construction")
-    track: String,
+    track: &'static str,
+    // Prebuilt media span labels: span emission clones a refcount
+    // instead of converting a string per event.
+    // powadapt-lint: allow(d6, reason = "telemetry labels; constant")
+    lbl_seek: &'static str,
+    // powadapt-lint: allow(d6, reason = "telemetry labels; constant")
+    lbl_xfer: &'static str,
 }
 
 impl Hdd {
@@ -137,7 +143,7 @@ impl Hdd {
             return Err(DeviceError::InvalidConfig(e));
         }
         let idle = cfg.idle_w();
-        let track = spec.label().to_string();
+        let track = powadapt_obs::intern(spec.label());
         Ok(Hdd {
             spec,
             cfg,
@@ -160,6 +166,8 @@ impl Hdd {
             done: Vec::new(),
             rec: powadapt_obs::current(),
             track,
+            lbl_seek: "media.seek",
+            lbl_xfer: "media.xfer",
         })
     }
 
@@ -214,7 +222,7 @@ impl Hdd {
         emit!(
             self.rec,
             self.now,
-            self.track.as_str(),
+            self.track,
             EventKind::IoComplete {
                 id: p.id.0,
                 dir: p.kind.obs_dir(),
@@ -296,13 +304,7 @@ impl Hdd {
             self.begin_transfer(op);
         } else {
             self.media_phase = MediaPhase::Positioning;
-            span!(
-                self.rec,
-                self.now,
-                self.track.as_str(),
-                "media.seek",
-                position
-            );
+            span!(self.rec, self.now, self.track, self.lbl_seek, position);
             self.events
                 .schedule(self.now + position, Ev::MediaPositioned(op));
         }
@@ -312,7 +314,7 @@ impl Hdd {
         self.media_phase = MediaPhase::Transferring;
         let bw = self.cfg.media_bw_at(op.offset, self.spec.capacity());
         let dur = SimDuration::from_secs_f64(op.len as f64 / bw).max(SimDuration::from_nanos(1));
-        span!(self.rec, self.now, self.track.as_str(), "media.xfer", dur);
+        span!(self.rec, self.now, self.track, self.lbl_xfer, dur);
         self.events.schedule(self.now + dur, Ev::MediaDone(op));
     }
 
@@ -328,7 +330,7 @@ impl Hdd {
     fn begin_spin_down(&mut self) {
         let until = self.now + self.cfg.spin_down;
         self.phase = StandbyPhase::Entering { until };
-        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinDown);
+        emit!(self.rec, self.now, self.track, EventKind::SpinDown);
         self.events.schedule(until, Ev::SpinDone);
     }
 
@@ -336,7 +338,7 @@ impl Hdd {
         let until = self.now + self.cfg.spin_up;
         self.phase = StandbyPhase::Exiting { until };
         self.standby_requested = false;
-        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinUp);
+        emit!(self.rec, self.now, self.track, EventKind::SpinUp);
         self.events.schedule(until, Ev::SpinDone);
     }
 
@@ -498,7 +500,7 @@ impl StorageDevice for Hdd {
         emit!(
             self.rec,
             self.now,
-            self.track.as_str(),
+            self.track,
             EventKind::IoSubmit {
                 id: req.id.0,
                 dir: req.kind.obs_dir(),
@@ -599,7 +601,7 @@ impl StorageDevice for Hdd {
         self.inflight_ids.len()
     }
 
-    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+    fn set_recorder(&mut self, rec: RecorderHandle, track: &'static str) {
         self.rec = rec;
         self.track = track;
     }

@@ -198,7 +198,27 @@ pub struct Ssd {
     // powadapt-lint: allow(d6, reason = "telemetry sink; re-captured from the global slot at construction")
     rec: RecorderHandle,
     // powadapt-lint: allow(d6, reason = "telemetry label; re-derived at construction")
-    track: String,
+    track: &'static str,
+    // Precomputed per-die span labels ("die{i}.program" / "die{i}.read"):
+    // span emission clones a refcount instead of formatting per event.
+    // powadapt-lint: allow(d6, reason = "telemetry labels; re-derived from the die count at construction")
+    die_labels: Vec<DieLabels>,
+}
+
+/// Prebuilt span labels for one die.
+#[derive(Debug, Clone)]
+struct DieLabels {
+    program: &'static str,
+    read: &'static str,
+}
+
+fn die_labels(dies: usize) -> Vec<DieLabels> {
+    (0..dies)
+        .map(|d| DieLabels {
+            program: powadapt_obs::intern(&format!("die{d}.program")),
+            read: powadapt_obs::intern(&format!("die{d}.read")),
+        })
+        .collect()
 }
 
 impl Ssd {
@@ -226,7 +246,8 @@ impl Ssd {
         let window = cfg.cap_window;
         let dies = cfg.dies;
         let cache = PageCache::new(cfg.read_cache_pages);
-        let track = spec.label().to_string();
+        let track = powadapt_obs::intern(spec.label());
+        let die_labels = die_labels(dies);
         Ok(Ssd {
             spec,
             cfg,
@@ -262,6 +283,7 @@ impl Ssd {
             idle_flush_pending: false,
             rec: powadapt_obs::current(),
             track,
+            die_labels,
         })
     }
 
@@ -290,7 +312,7 @@ impl Ssd {
             emit!(
                 self.rec,
                 self.now,
-                self.track.as_str(),
+                self.track,
                 EventKind::CapApplied {
                     cap_w: self.cap_w(),
                     power_w: self.power_now,
@@ -425,7 +447,7 @@ impl Ssd {
         let enter = self.standby_cfg().expect("standby config").enter;
         let until = self.now + enter;
         self.phase = StandbyPhase::Entering { until };
-        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinDown);
+        emit!(self.rec, self.now, self.track, EventKind::SpinDown);
         self.events.schedule(until, Ev::StandbyDone);
     }
 
@@ -435,7 +457,7 @@ impl Ssd {
         let until = self.now + exit;
         self.phase = StandbyPhase::Exiting { until };
         self.standby_requested = false;
-        emit!(self.rec, self.now, self.track.as_str(), EventKind::SpinUp);
+        emit!(self.rec, self.now, self.track, EventKind::SpinUp);
         self.events.schedule(until, Ev::StandbyDone);
     }
 
@@ -481,8 +503,8 @@ impl Ssd {
         span!(
             self.rec,
             self.now,
-            self.track.as_str(),
-            format!("die{die}.program"),
+            self.track,
+            self.die_labels[die].program,
             dur
         );
         self.events.schedule(
@@ -538,7 +560,7 @@ impl Ssd {
         emit!(
             self.rec,
             self.now,
-            self.track.as_str(),
+            self.track,
             EventKind::IoComplete {
                 id: p.id.0,
                 dir: p.kind.obs_dir(),
@@ -611,8 +633,8 @@ impl Ssd {
                 span!(
                     self.rec,
                     self.now,
-                    self.track.as_str(),
-                    format!("die{die}.read"),
+                    self.track,
+                    self.die_labels[die].read,
                     self.cfg.read_op
                 );
                 self.events.schedule(
@@ -828,7 +850,7 @@ impl StorageDevice for Ssd {
         emit!(
             self.rec,
             self.now,
-            self.track.as_str(),
+            self.track,
             EventKind::IoSubmit {
                 id: req.id.0,
                 dir: req.kind.obs_dir(),
@@ -886,7 +908,7 @@ impl StorageDevice for Ssd {
                     emit!(
                         self.rec,
                         self.now,
-                        self.track.as_str(),
+                        self.track,
                         EventKind::PowerStateTransition {
                             from: self.ps_index as u8,
                             to: i as u8,
@@ -967,7 +989,7 @@ impl StorageDevice for Ssd {
         self.inflight_ids.len()
     }
 
-    fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+    fn set_recorder(&mut self, rec: RecorderHandle, track: &'static str) {
         self.rec = rec;
         self.track = track;
     }

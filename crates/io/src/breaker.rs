@@ -166,7 +166,7 @@ impl<R> CircuitBreakerRouter<R> {
         emit!(
             self.rec,
             at,
-            format!("device{device}"),
+            powadapt_obs::intern(&format!("device{device}")),
             match entered {
                 BreakerState::Closed => EventKind::BreakerClose,
                 BreakerState::Open => EventKind::BreakerOpen,

@@ -369,9 +369,9 @@ where
     // (e.g. three SSD3s), track indices never do.
     let rec = powadapt_obs::current();
     for (i, d) in devices.iter_mut().enumerate() {
-        d.set_recorder(rec.clone(), format!("device{i}"));
+        d.set_recorder(rec.clone(), powadapt_obs::intern(&format!("device{i}")));
     }
-    rig.set_recorder(rec.clone(), "fleet".to_string());
+    rig.set_recorder(rec.clone(), "fleet");
 
     let start = devices[0].now();
     for d in devices.iter() {
@@ -439,7 +439,7 @@ where
                                 emit!(
                                     rec,
                                     t,
-                                    format!("device{target}"),
+                                    powadapt_obs::intern(&format!("device{target}")),
                                     EventKind::IoError {
                                         id: next_id,
                                         error: e.to_string(),

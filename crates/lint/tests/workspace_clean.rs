@@ -46,3 +46,64 @@ fn workspace_has_zero_diagnostics() {
     assert!(json.contains("\"files_scanned\""));
     assert!(json.contains("\"suppressions_used\""));
 }
+
+/// The telemetry layer added with the observability overhaul — the
+/// quantile sketch, the sharded recorder, the energy ledger, and the
+/// overhead bench — is scanned like any other source, and each file is
+/// individually clean. Guards against these modules silently dropping
+/// out of the walk (a path typo in an allowlist would do it) and against
+/// new diagnostics hiding behind the workspace-level aggregate.
+#[test]
+fn telemetry_modules_are_scanned_and_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    for rel in [
+        "crates/obs/src/sketch.rs",
+        "crates/obs/src/shard.rs",
+        "crates/obs/src/intern.rs",
+        "crates/cluster/src/ledger.rs",
+        "crates/bench/src/bin/obs_bench.rs",
+        "crates/bench/src/bin/trace_query.rs",
+    ] {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("telemetry module {rel} missing: {e}"));
+        let analysis =
+            powadapt_lint::analyze_source(rel, &src, powadapt_lint::AnalysisMode::Scoped);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{rel} is not lint-clean:\n{}",
+            analysis
+                .diagnostics
+                .iter()
+                .map(powadapt_lint::Diagnostic::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// The D1 (wall-clock) allowlist entry for the overhead bench is scoped
+/// to exactly that file: obs_bench may read `Instant` (host time is its
+/// measurand), every other telemetry file may not.
+#[test]
+fn obs_bench_wall_clock_allowlist_is_file_scoped() {
+    use powadapt_lint::diag::RuleId;
+    use powadapt_lint::scope::rule_applies;
+
+    assert!(!rule_applies(
+        RuleId::D1,
+        "crates/bench/src/bin/obs_bench.rs"
+    ));
+    // The exemption must not leak to neighbors in the same directory,
+    // nor to the modules whose overhead the bench measures.
+    for rel in [
+        "crates/bench/src/bin/trace_query.rs",
+        "crates/obs/src/sketch.rs",
+        "crates/obs/src/shard.rs",
+        "crates/obs/src/intern.rs",
+        "crates/cluster/src/ledger.rs",
+    ] {
+        assert!(rule_applies(RuleId::D1, rel), "D1 must apply to {rel}");
+    }
+}

@@ -35,7 +35,7 @@ pub struct PowerRig {
     next_at: SimTime,
     trace: PowerTrace,
     rec: RecorderHandle,
-    track: String,
+    track: &'static str,
 }
 
 impl PowerRig {
@@ -53,14 +53,14 @@ impl PowerRig {
             next_at: SimTime::ZERO,
             trace: PowerTrace::new(SimTime::ZERO, period),
             rec: powadapt_obs::current(),
-            track: "meter".to_string(),
+            track: "meter",
         }
     }
 
     /// Attaches a telemetry recorder and names the rig's counter track.
     /// Each measured sample is emitted as [`EventKind::PowerSample`] —
     /// recording is write-only and does not affect the trace.
-    pub fn set_recorder(&mut self, rec: RecorderHandle, track: String) {
+    pub fn set_recorder(&mut self, rec: RecorderHandle, track: &'static str) {
         self.rec = rec;
         self.track = track;
     }
@@ -88,7 +88,7 @@ impl PowerRig {
         emit!(
             self.rec,
             t,
-            self.track.as_str(),
+            self.track,
             EventKind::PowerSample { watts: measured }
         );
         self.trace.push(measured);

@@ -42,14 +42,79 @@ pub struct Event {
     /// span's *start*; the duration lives in the payload.
     pub at: SimTime,
     /// Emitting component (`device3`, `controller`, `meter`, ...).
-    pub track: String,
+    ///
+    /// Interned (`&'static str`, see [`crate::intern`]): emit sites copy
+    /// a pointer, so recording an event carries no allocation and no
+    /// refcount traffic. Literals are already `'static`; dynamic names
+    /// are interned once at component construction.
+    pub track: &'static str,
     /// Typed payload.
     pub kind: EventKind,
+}
+
+/// Payload of [`EventKind::ControllerDecision`]: the adaptive controller
+/// applied a budget and produced a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerDecision {
+    /// The budget being applied, in watts.
+    pub budget_w: f64,
+    /// Measured fleet power *before* the plan, in watts.
+    pub measured_w: f64,
+    /// Expected fleet power after the plan, in watts.
+    pub expected_power_w: f64,
+    /// Expected fleet throughput after the plan, in bytes/second.
+    pub expected_throughput_bps: f64,
+    /// Labels of devices out of service after this round.
+    pub quarantined: Vec<String>,
+    /// Labels of devices that refused their action this round.
+    pub degraded: Vec<String>,
+}
+
+/// Payload of [`EventKind::RebalanceDecision`]: the power tree granted a
+/// node a revised budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceDecision {
+    /// Path of the tree node (`cluster/row0/rack1/enc0`).
+    pub node: String,
+    /// The node's physical cap in watts.
+    pub cap_w: f64,
+    /// Budget granted to the node this round, in watts.
+    pub granted_w: f64,
+    /// Aggregate demand the node reported, in watts.
+    pub demand_w: f64,
+}
+
+/// Payload of [`EventKind::EnergyAttributed`]: the energy ledger
+/// attributed cumulative joules to a power-tree node at an audit round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyAttributed {
+    /// Path of the tree node (`cluster/row0/rack1`).
+    pub node: String,
+    /// Cumulative energy attributed to the node, in joules.
+    pub joules: f64,
+    /// Headroom between the node's last grant and its measured draw, in
+    /// watts (never negative).
+    pub stranded_w: f64,
+}
+
+/// Payload of [`EventKind::ConservationViolation`]: the energy ledger's
+/// conservation audit failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservationViolation {
+    /// Path of the violating tree node.
+    pub node: String,
+    /// Human-readable description of the broken invariant.
+    pub detail: String,
 }
 
 /// The event schema. Variants mirror the observable edges of the
 /// simulation: IO lifecycle, power-state machinery, fault plumbing, and
 /// control decisions.
+///
+/// Rare, payload-heavy kinds (controller/rebalance decisions, ledger
+/// audit results) box their payloads so `EventKind` stays small: every
+/// recorded event is moved into a ring by value, so the enum's footprint
+/// is hot-path memory traffic even when the fat variants never fire.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum EventKind {
@@ -115,20 +180,7 @@ pub enum EventKind {
     /// A circuit breaker closed (device back in service).
     BreakerClose,
     /// The adaptive controller applied a budget and produced a plan.
-    ControllerDecision {
-        /// The budget being applied, in watts.
-        budget_w: f64,
-        /// Measured fleet power *before* the plan, in watts.
-        measured_w: f64,
-        /// Expected fleet power after the plan, in watts.
-        expected_power_w: f64,
-        /// Expected fleet throughput after the plan, in bytes/second.
-        expected_throughput_bps: f64,
-        /// Labels of devices out of service after this round.
-        quarantined: Vec<String>,
-        /// Labels of devices that refused their action this round.
-        degraded: Vec<String>,
-    },
+    ControllerDecision(Box<ControllerDecision>),
     /// A power-tree node's breaker tripped: the whole subtree lost its
     /// feed (regional failure, rack breaker, row maintenance).
     BreakerTrip {
@@ -141,16 +193,7 @@ pub enum EventKind {
         node: String,
     },
     /// The power tree granted a node a revised budget (cluster layer).
-    RebalanceDecision {
-        /// Path of the tree node (`cluster/row0/rack1/enc0`).
-        node: String,
-        /// The node's physical cap in watts.
-        cap_w: f64,
-        /// Budget granted to the node this round, in watts.
-        granted_w: f64,
-        /// Aggregate demand the node reported, in watts.
-        demand_w: f64,
-    },
+    RebalanceDecision(Box<RebalanceDecision>),
     /// One reading of the power rig (becomes a counter track in Perfetto).
     PowerSample {
         /// The sampled (quantized, noisy) power in watts.
@@ -160,9 +203,35 @@ pub enum EventKind {
     /// start.
     Span {
         /// Hierarchy-free label (`die0.program`, `media.xfer`, ...).
-        label: String,
+        /// Interned for the same reason as [`Event::track`]: spans
+        /// dominate a trace, and a label copy must be free.
+        label: &'static str,
         /// Sim-time duration of the span.
         dur: SimDuration,
+    },
+    /// The energy ledger attributed cumulative joules to a power-tree
+    /// node at an audit round (cluster layer).
+    EnergyAttributed(Box<EnergyAttributed>),
+    /// The energy ledger's conservation audit failed — children's
+    /// attributed joules no longer sum to the parent's metered joules, or
+    /// a grant exceeded a cap. Should never fire on a healthy run.
+    ConservationViolation(Box<ConservationViolation>),
+    /// A tenant's SLO error budget is burning: its windowed p99 latency
+    /// is at or near the SLO target while the cluster runs close to its
+    /// breaker limits.
+    SloBurnAlert {
+        /// Tenant name.
+        tenant: String,
+        /// Windowed p99 latency divided by the SLO target (1.0 = at the
+        /// limit).
+        burn_rate: f64,
+    },
+    /// A sharded recorder folded one shard into a merged view.
+    ShardMerged {
+        /// Shard index.
+        shard: u64,
+        /// Events the shard had recorded at merge time.
+        events: u64,
     },
 }
 
@@ -190,7 +259,15 @@ impl EventKind {
         "rebalance_decision",
         "power_sample",
         "span",
+        "energy_attributed",
+        "conservation_violation",
+        "slo_burn_alert",
+        "shard_merged",
     ];
+
+    /// Number of schema kinds — the length of [`Self::NAMES`] and the
+    /// size of any dense per-kind table ([`index`](Self::index)).
+    pub const COUNT: usize = Self::NAMES.len();
 
     /// Resolves a schema name to its interned `&'static str`, or `None`
     /// for a name no [`EventKind`] variant produces.
@@ -198,28 +275,46 @@ impl EventKind {
         Self::NAMES.iter().copied().find(|&n| n == name)
     }
 
-    /// Stable schema name, used for event counting and metric keys.
-    pub fn name(&self) -> &'static str {
+    /// Resolves a schema name to its dense index in [`Self::NAMES`].
+    pub fn name_index(name: &str) -> Option<usize> {
+        Self::NAMES.iter().position(|&n| n == name)
+    }
+
+    /// Dense per-kind index into [`Self::NAMES`] — what lets the event
+    /// log keep its per-kind counters in a fixed array instead of a map,
+    /// so the record hot path does one add instead of a keyed lookup.
+    pub fn index(&self) -> usize {
         match self {
-            EventKind::IoSubmit { .. } => "io_submit",
-            EventKind::IoComplete { .. } => "io_complete",
-            EventKind::IoError { .. } => "io_error",
-            EventKind::ArrivalDropped { .. } => "arrival_dropped",
-            EventKind::PowerStateTransition { .. } => "power_state_transition",
-            EventKind::CapApplied { .. } => "cap_applied",
-            EventKind::SpinUp => "spin_up",
-            EventKind::SpinDown => "spin_down",
-            EventKind::FaultInjected { .. } => "fault_injected",
-            EventKind::BreakerOpen => "breaker_open",
-            EventKind::BreakerHalfOpen => "breaker_half_open",
-            EventKind::BreakerClose => "breaker_close",
-            EventKind::ControllerDecision { .. } => "controller_decision",
-            EventKind::BreakerTrip { .. } => "breaker_trip",
-            EventKind::BreakerRestore { .. } => "breaker_restore",
-            EventKind::RebalanceDecision { .. } => "rebalance_decision",
-            EventKind::PowerSample { .. } => "power_sample",
-            EventKind::Span { .. } => "span",
+            EventKind::IoSubmit { .. } => 0,
+            EventKind::IoComplete { .. } => 1,
+            EventKind::IoError { .. } => 2,
+            EventKind::ArrivalDropped { .. } => 3,
+            EventKind::PowerStateTransition { .. } => 4,
+            EventKind::CapApplied { .. } => 5,
+            EventKind::SpinUp => 6,
+            EventKind::SpinDown => 7,
+            EventKind::FaultInjected { .. } => 8,
+            EventKind::BreakerOpen => 9,
+            EventKind::BreakerHalfOpen => 10,
+            EventKind::BreakerClose => 11,
+            EventKind::ControllerDecision(_) => 12,
+            EventKind::BreakerTrip { .. } => 13,
+            EventKind::BreakerRestore { .. } => 14,
+            EventKind::RebalanceDecision(_) => 15,
+            EventKind::PowerSample { .. } => 16,
+            EventKind::Span { .. } => 17,
+            EventKind::EnergyAttributed(_) => 18,
+            EventKind::ConservationViolation(_) => 19,
+            EventKind::SloBurnAlert { .. } => 20,
+            EventKind::ShardMerged { .. } => 21,
         }
+    }
+
+    /// Stable schema name, used for event counting and metric keys.
+    /// Defined as the [`index`](Self::index) entry of [`Self::NAMES`], so
+    /// name and index can never disagree.
+    pub fn name(&self) -> &'static str {
+        Self::NAMES[self.index()]
     }
 }
 
@@ -241,7 +336,7 @@ mod tests {
         assert_eq!(EventKind::SpinUp.name(), "spin_up");
         assert_eq!(
             EventKind::Span {
-                label: "x".into(),
+                label: "x",
                 dur: SimDuration::ZERO
             }
             .name(),
@@ -253,6 +348,32 @@ mod tests {
     fn dir_strings() {
         assert_eq!(IoDir::Read.as_str(), "read");
         assert_eq!(IoDir::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn index_table_is_a_bijection() {
+        // NAMES has no duplicates and every entry round-trips through
+        // name_index; COUNT is the table length by definition.
+        assert_eq!(EventKind::NAMES.len(), EventKind::COUNT);
+        for (i, &n) in EventKind::NAMES.iter().enumerate() {
+            assert_eq!(EventKind::name_index(n), Some(i));
+        }
+        assert_eq!(EventKind::name_index("nope"), None);
+        // Spot-check that index() agrees with the table for a payload
+        // kind, a unit kind, and the last entry.
+        assert_eq!(
+            EventKind::NAMES[EventKind::PowerSample { watts: 1.0 }.index()],
+            "power_sample"
+        );
+        assert_eq!(EventKind::NAMES[EventKind::SpinUp.index()], "spin_up");
+        assert_eq!(
+            EventKind::NAMES[EventKind::ShardMerged {
+                shard: 0,
+                events: 0
+            }
+            .index()],
+            "shard_merged"
+        );
     }
 
     #[test]
@@ -274,6 +395,23 @@ mod tests {
             }
             .name(),
             "breaker_restore"
+        );
+        assert_eq!(
+            EventKind::EnergyAttributed(Box::new(EnergyAttributed {
+                node: "cluster/row0".into(),
+                joules: 1.5,
+                stranded_w: 0.25,
+            }))
+            .name(),
+            "energy_attributed"
+        );
+        assert_eq!(
+            EventKind::ShardMerged {
+                shard: 2,
+                events: 9
+            }
+            .name(),
+            "shard_merged"
         );
     }
 }

@@ -68,7 +68,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
     let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
     for e in events {
         let next = tids.len();
-        tids.entry(e.track.as_str()).or_insert(next);
+        tids.entry(e.track).or_insert(next);
     }
     let mut tracks: Vec<&str> = tids.keys().copied().collect();
     tracks.sort_unstable();
@@ -97,7 +97,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
     }
 
     for e in events {
-        let tid = tids[e.track.as_str()];
+        let tid = tids[e.track];
         let ns = e.at.as_nanos();
         let mut line = String::new();
         match &e.kind {
@@ -154,39 +154,79 @@ fn instant_args(kind: &EventKind) -> Vec<(&'static str, String)> {
             ("power_w", format!("{power_w:?}")),
         ],
         EventKind::FaultInjected { fault } => vec![("fault", jstr(fault))],
-        EventKind::ControllerDecision {
-            budget_w,
-            measured_w,
-            expected_power_w,
-            expected_throughput_bps,
-            quarantined,
-            degraded,
-        } => vec![
-            ("budget_w", format!("{budget_w:?}")),
-            ("measured_w", format!("{measured_w:?}")),
-            ("expected_power_w", format!("{expected_power_w:?}")),
+        EventKind::ControllerDecision(d) => vec![
+            ("budget_w", format!("{:?}", d.budget_w)),
+            ("measured_w", format!("{:?}", d.measured_w)),
+            ("expected_power_w", format!("{:?}", d.expected_power_w)),
             (
                 "expected_throughput_bps",
-                format!("{expected_throughput_bps:?}"),
+                format!("{:?}", d.expected_throughput_bps),
             ),
-            ("quarantined", jstr_list(quarantined)),
-            ("degraded", jstr_list(degraded)),
+            ("quarantined", jstr_list(&d.quarantined)),
+            ("degraded", jstr_list(&d.degraded)),
         ],
         EventKind::BreakerTrip { node } | EventKind::BreakerRestore { node } => {
             vec![("node", jstr(node))]
         }
-        EventKind::RebalanceDecision {
-            node,
-            cap_w,
-            granted_w,
-            demand_w,
-        } => vec![
-            ("node", jstr(node)),
-            ("cap_w", format!("{cap_w:?}")),
-            ("granted_w", format!("{granted_w:?}")),
-            ("demand_w", format!("{demand_w:?}")),
+        EventKind::RebalanceDecision(d) => vec![
+            ("node", jstr(&d.node)),
+            ("cap_w", format!("{:?}", d.cap_w)),
+            ("granted_w", format!("{:?}", d.granted_w)),
+            ("demand_w", format!("{:?}", d.demand_w)),
         ],
+        EventKind::EnergyAttributed(e) => vec![
+            ("node", jstr(&e.node)),
+            ("joules", format!("{:?}", e.joules)),
+            ("stranded_w", format!("{:?}", e.stranded_w)),
+        ],
+        EventKind::ConservationViolation(v) => {
+            vec![("node", jstr(&v.node)), ("detail", jstr(&v.detail))]
+        }
+        EventKind::SloBurnAlert { tenant, burn_rate } => vec![
+            ("tenant", jstr(tenant)),
+            ("burn_rate", format!("{burn_rate:?}")),
+        ],
+        EventKind::ShardMerged { shard, events } => {
+            vec![("shard", shard.to_string()), ("events", events.to_string())]
+        }
         _ => Vec::new(),
+    }
+}
+
+/// Renders `events` as deterministic JSON-lines: one object per event,
+/// fixed key order (`at` in ns, `track`, `kind`, then the typed payload).
+/// This is the machine-diffable companion to [`chrome_trace`] — the
+/// `trace_query` CLI filters, summarizes, and diffs these files.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str("{\"at\": ");
+        out.push_str(&e.at.as_nanos().to_string());
+        out.push_str(", \"track\": ");
+        push_json_string(&mut out, e.track);
+        out.push_str(", \"kind\": ");
+        push_json_string(&mut out, e.kind.name());
+        for (k, v) in jsonl_args(&e.kind) {
+            out.push_str(", ");
+            push_json_string(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Payload args for the JSONL export: like [`instant_args`], plus the
+/// kinds the Chrome export renders specially.
+fn jsonl_args(kind: &EventKind) -> Vec<(&'static str, String)> {
+    match kind {
+        EventKind::Span { label, dur } => vec![
+            ("label", jstr(label)),
+            ("dur_ns", dur.as_nanos().to_string()),
+        ],
+        EventKind::PowerSample { watts } => vec![("watts", format!("{watts:?}"))],
+        kind => instant_args(kind),
     }
 }
 
@@ -225,20 +265,20 @@ mod tests {
         let events = vec![
             Event {
                 at: at(1_000),
-                track: "device0".into(),
+                track: "device0",
                 kind: EventKind::Span {
-                    label: "die0.program".into(),
+                    label: "die0.program",
                     dur: SimDuration::from_micros(200),
                 },
             },
             Event {
                 at: at(2_000),
-                track: "meter".into(),
+                track: "meter",
                 kind: EventKind::PowerSample { watts: 11.25 },
             },
             Event {
                 at: at(3_000),
-                track: "device0".into(),
+                track: "device0",
                 kind: EventKind::IoSubmit {
                     id: 9,
                     dir: IoDir::Write,
@@ -260,16 +300,55 @@ mod tests {
     }
 
     #[test]
+    fn events_jsonl_is_one_object_per_line() {
+        let events = vec![
+            Event {
+                at: at(1_000),
+                track: "device0",
+                kind: EventKind::IoSubmit {
+                    id: 9,
+                    dir: IoDir::Write,
+                    len: 4096,
+                },
+            },
+            Event {
+                at: at(2_000),
+                track: "meter",
+                kind: EventKind::PowerSample { watts: 11.25 },
+            },
+            Event {
+                at: at(3_000),
+                track: "device0",
+                kind: EventKind::Span {
+                    label: "die0.program",
+                    dur: SimDuration::from_micros(200),
+                },
+            },
+        ];
+        let jsonl = events_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"at\": 1000, \"track\": \"device0\", \"kind\": \"io_submit\", \
+             \"id\": 9, \"dir\": \"write\", \"len\": 4096}"
+        );
+        assert!(lines[1].contains("\"watts\": 11.25"));
+        assert!(lines[2].contains("\"dur_ns\": 200000"));
+        assert_eq!(jsonl, events_jsonl(&events));
+    }
+
+    #[test]
     fn tids_are_sorted_by_track_name() {
         let events = vec![
             Event {
                 at: at(0),
-                track: "zeta".into(),
+                track: "zeta",
                 kind: EventKind::SpinUp,
             },
             Event {
                 at: at(1),
-                track: "alpha".into(),
+                track: "alpha",
                 kind: EventKind::SpinDown,
             },
         ];

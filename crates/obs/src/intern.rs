@@ -1,0 +1,53 @@
+//! Leak-once string interning for track and span names.
+//!
+//! [`Event`](crate::Event) carries its track (and a span its label) as
+//! `&'static str`: recording an event is then pure `memcpy` — no
+//! allocation and, unlike a reference-counted string, no atomic
+//! refcount traffic on the hot path (four contended RMWs per event on
+//! some hosts). Names that are not string literals — `device{i}`,
+//! `die{d}.program`, power-tree paths — are made `'static` here, by
+//! leaking each distinct name **once** into a process-wide table.
+//!
+//! The contract that makes the leak sound: track and label names are a
+//! bounded vocabulary (device labels, span sites, tree paths), fixed by
+//! the fleet topology and interned at component *construction*, never
+//! per event. Interning an unbounded set of names would grow without
+//! limit — don't put request ids or timestamps in a track name.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static TABLE: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Interns `name`, returning a `'static` reference that compares equal
+/// (by content) to every other interning of the same name.
+///
+/// The first interning of a distinct name leaks one copy of it for the
+/// life of the process; later calls return the existing reference. Call
+/// at component construction, not on a per-event path.
+pub fn intern(name: &str) -> &'static str {
+    let mut table = match TABLE.lock() {
+        Ok(t) => t,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&existing) = table.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_by_content() {
+        let a = intern(&format!("dev{}", 7));
+        let b = intern("dev7");
+        assert_eq!(a, "dev7");
+        // Same pointer, not just same content.
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -18,9 +18,12 @@
 //!   handle *before* building the payload, so an uninstalled recorder
 //!   costs one `Option` branch.
 //! - **Metrics** ([`MetricsRegistry`]): counters, gauges, and
-//!   sim-time-windowed histograms with exact P50/P95/P99 (via
-//!   `powadapt_sim::stats::Summary`), atomically snapshotable as
-//!   hand-rolled deterministic JSON.
+//!   sim-time-windowed histograms backed by mergeable log-bucket
+//!   quantile sketches ([`Sketch`], γ = [`sketch::RELATIVE_ERROR`]),
+//!   atomically snapshotable as hand-rolled deterministic JSON.
+//! - **Sharding** ([`ShardedRecorder`]): per-track event-log + registry
+//!   shards with a deterministic `(sim_time, shard_id, seq)` merge,
+//!   byte-identical at any shard count.
 //! - **Profiling & export** ([`span_totals`], [`collapsed_stacks`],
 //!   [`chrome_trace`]): sim-time span aggregation, collapsed-stack
 //!   flamegraph text, and Chrome `trace_event` JSON loadable in Perfetto
@@ -52,30 +55,42 @@
 
 mod event;
 mod export;
+mod intern;
 mod metrics;
 mod recorder;
+mod shard;
+pub mod sketch;
 mod span;
 mod trace;
 
-pub use event::{Event, EventKind, IoDir};
-pub use export::chrome_trace;
+pub use event::{
+    ConservationViolation, ControllerDecision, EnergyAttributed, Event, EventKind, IoDir,
+    RebalanceDecision,
+};
+pub use export::{chrome_trace, events_jsonl};
+pub use intern::intern;
 pub use metrics::{metrics, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{current, install, uninstall, EventLog, Recorder, RecorderHandle};
+pub use shard::{MergedTrace, ShardedRecorder};
+pub use sketch::{Sketch, WindowedSketch};
 pub use span::{collapsed_stacks, span_totals, SpanStat};
 pub use trace::{event_counts_json, TraceConfig, TraceMode, TraceRecorder, TraceSession};
 
 /// Record an event through a [`RecorderHandle`] — free when disabled.
 ///
-/// The handle is checked before the track and payload expressions are
-/// evaluated, so `emit!(rec, now, format!("die{d}"), ...)` allocates
-/// nothing when no recorder is installed.
+/// The handle is checked before the payload expression is evaluated, so
+/// an uninstalled recorder costs one `Option` branch.
+///
+/// The track is an interned `&'static str` ([`intern`]): a literal
+/// works directly, a dynamic name (`device{i}`) is interned once at
+/// component construction — never per event.
 #[macro_export]
 macro_rules! emit {
     ($rec:expr, $at:expr, $track:expr, $kind:expr) => {
         if $rec.is_enabled() {
             $rec.record($crate::Event {
                 at: $at,
-                track: ::std::string::String::from($track),
+                track: $track,
                 kind: $kind,
             });
         }
@@ -83,16 +98,18 @@ macro_rules! emit {
 }
 
 /// Record a profiling span (start + known sim-time duration) — free when
-/// disabled. Sugar for [`emit!`] with [`EventKind::Span`].
+/// disabled. Sugar for [`emit!`] with [`EventKind::Span`]. Track and
+/// label are interned `&'static str`s, same contract as [`emit!`]:
+/// literals work directly, dynamic names are interned at construction.
 #[macro_export]
 macro_rules! span {
     ($rec:expr, $start:expr, $track:expr, $label:expr, $dur:expr) => {
         if $rec.is_enabled() {
             $rec.record($crate::Event {
                 at: $start,
-                track: ::std::string::String::from($track),
+                track: $track,
                 kind: $crate::EventKind::Span {
-                    label: ::std::string::String::from($label),
+                    label: $label,
                     dur: $dur,
                 },
             });

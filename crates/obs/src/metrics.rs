@@ -1,26 +1,43 @@
-//! The metrics registry: counters, gauges, and sim-time-windowed
-//! histograms, snapshotable as hand-rolled deterministic JSON.
+//! The metrics registry: counters, gauges, and sketch-backed histograms,
+//! snapshotable as hand-rolled deterministic JSON.
 //!
 //! Everything lives behind one mutex, which is what makes multi-counter
 //! updates ([`MetricsRegistry::inc_many`]) and [`MetricsRegistry::
 //! snapshot`] *atomic*: a reader can never observe a torn set of totals,
 //! no matter how many sweep workers are publishing. Keys are sorted
 //! (`BTreeMap`) so snapshots and their JSON rendering are byte-stable.
+//!
+//! Histograms are [`Sketch`]es (log-bucket quantile sketches, γ =
+//! [`crate::sketch::RELATIVE_ERROR`]) rather than stored-sample lists:
+//! memory is O(buckets) regardless of stream length, the observe path
+//! allocates nothing in steady state, and two registries merge
+//! deterministically ([`MetricsRegistry::merge_from`]) — the property the
+//! sharded recorder is built on.
 
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use powadapt_sim::Summary;
 use powadapt_sim::{SimDuration, SimTime};
 
 use std::collections::BTreeMap;
 
-#[derive(Debug, Default)]
-struct Histogram {
-    /// When set, samples older than `newest - window` are evicted on
-    /// observe, so the histogram summarizes a sliding sim-time window.
-    window: Option<SimDuration>,
-    samples: Vec<(SimTime, f64)>,
+use crate::sketch::{Sketch, WindowedSketch};
+
+#[derive(Debug, Clone)]
+enum Histogram {
+    /// Unwindowed: one sketch accumulating forever.
+    Plain(Sketch),
+    /// Sim-time-windowed: a slice-ring sketch that evicts in O(buckets).
+    Windowed(WindowedSketch),
+}
+
+impl Histogram {
+    fn fold(&self) -> Sketch {
+        match self {
+            Histogram::Plain(s) => s.clone(),
+            Histogram::Windowed(w) => w.fold(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -50,9 +67,18 @@ impl MetricsRegistry {
     }
 
     /// Add `by` to counter `name` (created at zero on first use).
+    ///
+    /// Steady state (the counter exists) looks the key up by `&str` and
+    /// allocates nothing; only the first increment of a name copies it.
+    // powadapt-lint: hot
     pub fn inc(&self, name: &str, by: u64) {
         let mut inner = self.lock();
-        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                inner.counters.insert(name.to_string(), by); // powadapt-lint: allow(d9, reason = "first increment of a name registers the counter; every later inc takes the alloc-free lookup above")
+            }
+        }
     }
 
     /// Apply several counter deltas under one lock acquisition, so readers
@@ -61,7 +87,27 @@ impl MetricsRegistry {
     pub fn inc_many(&self, deltas: &[(&str, u64)]) {
         let mut inner = self.lock();
         for (name, by) in deltas {
-            *inner.counters.entry((*name).to_string()).or_insert(0) += by;
+            match inner.counters.get_mut(*name) {
+                Some(c) => *c += by,
+                None => {
+                    inner.counters.insert((*name).to_string(), *by);
+                }
+            }
+        }
+    }
+
+    /// Set counter `name` to an absolute value.
+    ///
+    /// This is how lazily derived counters (the `events.<kind>` family,
+    /// which mirrors the event log's per-kind totals) are published at
+    /// read time instead of being re-counted on the record hot path.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c = value,
+            None => {
+                inner.counters.insert(name.to_string(), value);
+            }
         }
     }
 
@@ -81,21 +127,51 @@ impl MetricsRegistry {
         self.lock().gauges.get(name).copied()
     }
 
-    /// Constrain histogram `name` to a sliding sim-time window. Takes
-    /// effect for subsequent [`observe`](Self::observe) calls.
+    /// Constrain histogram `name` to a sliding sim-time window.
+    ///
+    /// (Re)creates the histogram as a windowed sketch: set the window
+    /// *before* observing — any previously recorded samples are dropped,
+    /// since a plain sketch carries no per-sample timestamps to re-window.
     pub fn set_window(&self, name: &str, window: SimDuration) {
         let mut inner = self.lock();
-        inner.histograms.entry(name.to_string()).or_default().window = Some(window);
+        inner.histograms.insert(
+            name.to_string(),
+            Histogram::Windowed(WindowedSketch::new(window)),
+        );
     }
 
     /// Record `value` at sim time `at` into histogram `name`.
+    ///
+    /// Steady state (the histogram exists) touches only fixed bucket
+    /// arrays: no allocation, O(buckets) worst case for a window slice
+    /// eviction.
+    // powadapt-lint: hot
     pub fn observe(&self, name: &str, at: SimTime, value: f64) {
         let mut inner = self.lock();
-        let hist = inner.histograms.entry(name.to_string()).or_default();
-        hist.samples.push((at, value));
-        if let Some(window) = hist.window {
-            let cutoff = SimTime::from_nanos(at.as_nanos().saturating_sub(window.as_nanos()));
-            hist.samples.retain(|&(t, _)| t >= cutoff);
+        match inner.histograms.get_mut(name) {
+            Some(Histogram::Plain(s)) => s.observe(value),
+            Some(Histogram::Windowed(w)) => w.observe(at.as_nanos(), value),
+            None => {
+                drop(inner);
+                self.observe_new(name, value); // powadapt-lint: allow(d9, reason = "first observation of a name registers the histogram; every later observe takes the alloc-free path above")
+            }
+        }
+    }
+
+    /// Cold path of [`observe`](Self::observe): registers a fresh plain
+    /// sketch under `name`. Runs once per histogram name.
+    fn observe_new(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        let hist = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::Plain(Sketch::new()));
+        match hist {
+            Histogram::Plain(s) => s.observe(value),
+            Histogram::Windowed(_) => {
+                // Lost a race with a concurrent set_window: drop this one
+                // sample rather than invent a timestamp for the window.
+            }
         }
     }
 
@@ -114,20 +190,52 @@ impl MetricsRegistry {
                 .histograms
                 .iter()
                 .filter_map(|(k, h)| {
-                    let values: Vec<f64> = h.samples.iter().map(|&(_, v)| v).collect();
-                    let summary = Summary::from_samples(&values)?;
+                    let s = h.fold();
+                    if s.is_empty() {
+                        return None;
+                    }
                     Some(HistogramSnapshot {
                         name: k.clone(),
-                        count: summary.len() as u64,
-                        min: summary.min(),
-                        max: summary.max(),
-                        mean: summary.mean(),
-                        p50: summary.percentile(50.0),
-                        p95: summary.percentile(95.0),
-                        p99: summary.percentile(99.0),
+                        count: s.count(),
+                        min: s.min()?,
+                        max: s.max()?,
+                        mean: s.mean()?,
+                        p50: s.percentile(50.0)?,
+                        p95: s.percentile(95.0)?,
+                        p99: s.percentile(99.0)?,
                     })
                 })
                 .collect(),
+        }
+    }
+
+    /// Folds another registry into this one — the shard-merge primitive.
+    ///
+    /// Counters add exactly; histograms merge by sketch bucket addition
+    /// (associative, commutative, byte-stable). Same-name histograms with
+    /// incompatible window configurations keep this registry's — a config
+    /// mismatch is a caller bug, and keeping the receiver is the
+    /// deterministic resolution. Gauges are **not** merged here: a gauge
+    /// is last-writer-wins and only a caller that knows the event order
+    /// (the sharded recorder) can pick the winner; see
+    /// `ShardedRecorder::merged`.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        let theirs = other.lock();
+        let mut mine = self.lock();
+        for (k, &v) in &theirs.counters {
+            *mine.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &theirs.histograms {
+            match (mine.histograms.get_mut(k), h) {
+                (Some(Histogram::Plain(s)), Histogram::Plain(o)) => s.merge_from(o),
+                (Some(Histogram::Windowed(w)), Histogram::Windowed(o)) => {
+                    let _ = w.merge_from(o);
+                }
+                (Some(_), _) => {} // kind mismatch: keep the receiver's
+                (None, _) => {
+                    mine.histograms.insert(k.clone(), h.clone());
+                }
+            }
         }
     }
 
@@ -149,9 +257,9 @@ impl MetricsRegistry {
 
 impl powadapt_snap::Snapshot for MetricsRegistry {
     /// Serializes the registry raw: counters, gauges, and each
-    /// histogram's window and full `(time, value)` sample list —
-    /// not percentile summaries — so a restored registry's windows keep
-    /// evicting correctly and its snapshots stay byte-identical.
+    /// histogram's full sketch state (not percentile summaries), so a
+    /// restored registry's windows keep evicting correctly and its
+    /// snapshots stay byte-identical.
     fn write_state(
         &self,
         w: &mut powadapt_snap::SnapWriter,
@@ -170,17 +278,15 @@ impl powadapt_snap::Snapshot for MetricsRegistry {
         w.seq_len(inner.histograms.len());
         for (k, h) in &inner.histograms {
             w.str(k);
-            match h.window {
-                Some(d) => {
-                    w.bool(true);
-                    powadapt_sim::snapshot::write_duration(w, d);
+            match h {
+                Histogram::Plain(s) => {
+                    w.u8(0);
+                    s.write_state(w)?;
                 }
-                None => w.bool(false),
-            }
-            w.seq_len(h.samples.len());
-            for &(t, v) in &h.samples {
-                powadapt_sim::snapshot::write_time(w, t);
-                w.f64(v);
+                Histogram::Windowed(ws) => {
+                    w.u8(1);
+                    ws.write_state(w)?;
+                }
             }
         }
         Ok(())
@@ -218,22 +324,24 @@ impl powadapt_snap::Restore for MetricsRegistry {
         let n = r.seq_len()?;
         for _ in 0..n {
             let k = r.str()?;
-            let window = if r.bool()? {
-                Some(powadapt_sim::snapshot::read_duration(r)?)
-            } else {
-                None
+            let hist = match r.u8()? {
+                0 => {
+                    let mut s = Sketch::new();
+                    s.read_state(r)?;
+                    Histogram::Plain(s)
+                }
+                1 => {
+                    let mut ws = WindowedSketch::new(SimDuration::ZERO);
+                    ws.read_state(r)?;
+                    Histogram::Windowed(ws)
+                }
+                tag => {
+                    return Err(powadapt_snap::SnapError::InvalidValue(format!(
+                        "unknown histogram tag {tag}"
+                    )))
+                }
             };
-            let m = r.seq_len()?;
-            let mut samples = Vec::with_capacity(m);
-            for _ in 0..m {
-                let t = powadapt_sim::snapshot::read_time(r)?;
-                samples.push((t, r.f64()?));
-            }
-            if fresh
-                .histograms
-                .insert(k.clone(), Histogram { window, samples })
-                .is_some()
-            {
+            if fresh.histograms.insert(k.clone(), hist).is_some() {
                 return Err(powadapt_snap::SnapError::InvalidValue(format!(
                     "duplicate histogram {k:?}"
                 )));
@@ -253,24 +361,28 @@ pub fn metrics() -> &'static MetricsRegistry {
     REGISTRY.get_or_init(MetricsRegistry::new)
 }
 
-/// Exact percentile summary of one histogram.
+/// Percentile summary of one histogram, derived from its sketch.
+///
+/// `min`/`max` are exact; `mean` and the percentiles are within the
+/// sketch's relative-error bound ([`crate::sketch::RELATIVE_ERROR`]) of
+/// the exact sample statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Histogram name.
     pub name: String,
     /// Samples summarized (post-windowing).
     pub count: u64,
-    /// Smallest sample.
+    /// Smallest sample (exact).
     pub min: f64,
-    /// Largest sample.
+    /// Largest sample (exact).
     pub max: f64,
-    /// Arithmetic mean.
+    /// Sketch-derived arithmetic mean.
     pub mean: f64,
-    /// Exact 50th percentile (linear interpolation between ranks).
+    /// Sketch-estimated 50th percentile (interpolated ranks).
     pub p50: f64,
-    /// Exact 95th percentile.
+    /// Sketch-estimated 95th percentile.
     pub p95: f64,
-    /// Exact 99th percentile.
+    /// Sketch-estimated 99th percentile.
     pub p99: f64,
 }
 
@@ -408,9 +520,30 @@ mod tests {
         m.observe("w", SimTime::from_nanos(200), 3.0);
         let snap = m.snapshot();
         let h = &snap.histograms[0];
-        assert_eq!(h.count, 2); // sample at t=0 evicted by the t=200 cutoff
+        assert_eq!(h.count, 2); // the slice holding t=0 expired by t=200
         assert_eq!(h.min, 2.0);
         assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.inc("ios", 3);
+        b.inc("ios", 4);
+        b.inc("only_b", 1);
+        for i in 0..10 {
+            a.observe("lat", SimTime::from_nanos(i), i as f64 + 1.0);
+            b.observe("lat", SimTime::from_nanos(i), i as f64 + 101.0);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.counter("ios"), 7);
+        assert_eq!(a.counter("only_b"), 1);
+        let snap = a.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 20);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 110.0);
     }
 
     #[test]
@@ -440,6 +573,7 @@ mod tests {
         for i in 0..20u64 {
             reg.observe("lat", SimTime::from_nanos(i * 1_000_000), i as f64);
         }
+        reg.observe("plain", SimTime::ZERO, 42.0);
         let mut w = SnapWriter::new();
         reg.write_state(&mut w).unwrap();
         let payload = w.into_payload();
@@ -449,6 +583,11 @@ mod tests {
         resumed.read_state(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(resumed.snapshot().to_json(), reg.snapshot().to_json());
+
+        // The serialized form itself is byte-stable across the roundtrip.
+        let mut again = SnapWriter::new();
+        resumed.write_state(&mut again).unwrap();
+        assert_eq!(again.into_payload(), payload);
 
         // The restored window keeps evicting: a far-future sample leaves
         // only itself in the 10 ms window.

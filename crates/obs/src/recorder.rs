@@ -8,11 +8,11 @@
 //! installed the whole emit path is a branch on an `Option`, so tracing
 //! support costs nothing when it is off.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use crate::event::Event;
+use crate::event::{Event, EventKind};
 
 /// A sink for telemetry events.
 ///
@@ -98,12 +98,27 @@ pub fn current() -> RecorderHandle {
     RecorderHandle(read_global())
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LogInner {
     events: VecDeque<Event>,
-    counts: BTreeMap<&'static str, u64>,
+    /// Per-kind counters, dense by [`EventKind::index`]: the record hot
+    /// path does one array add, never a keyed map lookup.
+    counts: [u64; EventKind::COUNT],
     total: u64,
     dropped: u64,
+}
+
+impl LogInner {
+    fn with_capacity(capacity: usize) -> Self {
+        LogInner {
+            // Reserved up front so a filling ring never pays reallocation
+            // copies on the record path.
+            events: VecDeque::with_capacity(capacity),
+            counts: [0; EventKind::COUNT],
+            total: 0,
+            dropped: 0,
+        }
+    }
 }
 
 /// A bounded, thread-safe event ring buffer.
@@ -136,9 +151,10 @@ impl EventLog {
 
     /// An event log retaining at most `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         EventLog {
-            inner: Mutex::new(LogInner::default()),
-            capacity: capacity.max(1),
+            inner: Mutex::new(LogInner::with_capacity(capacity)),
+            capacity,
         }
     }
 
@@ -155,13 +171,17 @@ impl EventLog {
     }
 
     /// Per-kind event counts over everything ever recorded (sorted by
-    /// kind name).
+    /// kind name; kinds never recorded are omitted).
     pub fn counts(&self) -> Vec<(String, u64)> {
-        self.lock()
-            .counts
+        let counts = self.lock().counts;
+        let mut out: Vec<(String, u64)> = EventKind::NAMES
             .iter()
-            .map(|(k, v)| ((*k).to_string(), *v))
-            .collect()
+            .zip(counts)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&k, n)| (k.to_string(), n))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Total events ever recorded (including dropped).
@@ -174,9 +194,15 @@ impl EventLog {
         self.lock().dropped
     }
 
-    /// Discard all retained events and counts.
+    /// Discard all retained events and counts, keeping the allocated
+    /// ring: a cleared log re-fills without re-faulting its pages, which
+    /// is what lets the overhead bench warm a recorder untimed.
     pub fn clear(&self) {
-        *self.lock() = LogInner::default();
+        let mut inner = self.lock();
+        inner.events.clear();
+        inner.counts = [0; EventKind::COUNT];
+        inner.total = 0;
+        inner.dropped = 0;
     }
 }
 
@@ -195,12 +221,19 @@ impl powadapt_snap::Snapshot for EventLog {
         w: &mut powadapt_snap::SnapWriter,
     ) -> Result<(), powadapt_snap::SnapError> {
         let inner = self.lock();
+        let mut counts: Vec<(&'static str, u64)> = EventKind::NAMES
+            .iter()
+            .zip(inner.counts)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&k, n)| (k, n))
+            .collect();
+        counts.sort();
         w.u64(inner.total);
         w.u64(inner.dropped);
-        w.seq_len(inner.counts.len());
-        for (&k, &v) in &inner.counts {
+        w.seq_len(counts.len());
+        for (k, v) in &counts {
             w.str(k);
-            w.u64(v);
+            w.u64(*v);
         }
         Ok(())
     }
@@ -208,9 +241,10 @@ impl powadapt_snap::Snapshot for EventLog {
 
 impl powadapt_snap::Restore for EventLog {
     /// Replaces this log's counters with the checkpointed ones, mapping
-    /// each serialized kind name back to its interned key via
-    /// [`EventKind::NAMES`](crate::EventKind::NAMES). Events recorded
-    /// after the restore accumulate on top — no double-count, no reset.
+    /// each serialized kind name back to its dense index via
+    /// [`EventKind::name_index`](crate::EventKind::name_index). Events
+    /// recorded after the restore accumulate on top — no double-count, no
+    /// reset.
     fn read_state(
         &mut self,
         r: &mut powadapt_snap::SnapReader<'_>,
@@ -218,19 +252,22 @@ impl powadapt_snap::Restore for EventLog {
         let total = r.u64()?;
         let dropped = r.u64()?;
         let n = r.seq_len()?;
-        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut counts = [0u64; EventKind::COUNT];
+        let mut seen = [false; EventKind::COUNT];
         let mut sum = 0u64;
         for _ in 0..n {
             let name = r.str()?;
-            let interned = crate::EventKind::intern_name(&name).ok_or_else(|| {
+            let idx = EventKind::name_index(&name).ok_or_else(|| {
                 powadapt_snap::SnapError::InvalidValue(format!("unknown event kind {name:?}"))
             })?;
             let v = r.u64()?;
-            if counts.insert(interned, v).is_some() {
+            if seen[idx] {
                 return Err(powadapt_snap::SnapError::InvalidValue(format!(
                     "duplicate event kind {name:?}"
                 )));
             }
+            seen[idx] = true;
+            counts[idx] = v;
             sum += v;
         }
         if sum != total {
@@ -248,8 +285,9 @@ impl powadapt_snap::Restore for EventLog {
 
 impl Recorder for EventLog {
     fn record(&self, event: Event) {
+        let kind = event.kind.index();
         let mut inner = self.lock();
-        *inner.counts.entry(event.kind.name()).or_insert(0) += 1;
+        inner.counts[kind] += 1;
         inner.total += 1;
         if inner.events.len() == self.capacity {
             inner.events.pop_front();
@@ -268,7 +306,7 @@ mod tests {
     fn ev(ns: u64) -> Event {
         Event {
             at: SimTime::from_nanos(ns),
-            track: "t".into(),
+            track: "t",
             kind: EventKind::SpinUp,
         }
     }

@@ -1,0 +1,419 @@
+//! Sharded recording: per-track event-log + registry shards with a
+//! deterministic merge.
+//!
+//! A [`ShardedRecorder`] routes every event to one of `n` shards by a
+//! stable FNV-1a hash of its track, so each rack / sweep cell lands on
+//! its own [`EventLog`] + [`MetricsRegistry`] pair and recording contends
+//! on a per-shard mutex instead of one global one. The payoff is
+//! [`ShardedRecorder::merged`]: shards fold back into a single view
+//! **deterministically** —
+//!
+//! - per-kind counts and counters merge by exact integer addition;
+//! - histograms merge by sketch bucket addition
+//!   ([`crate::sketch::Sketch`]), associative and byte-stable;
+//! - retained events are ordered by `(sim_time, shard_id, seq)`, where
+//!   `seq` is the shard-local record index — a total order;
+//! - gauges (last-writer-wins by nature) resolve to the write carried by
+//!   the event that is **latest in that same total order**, so the merged
+//!   gauge set is identical for any shard count.
+//!
+//! Because tracks hash identically at every shard count, the merged view
+//! is byte-identical at 1, 2, or 8 shards — the property the
+//! `shard_equivalence` suite proves against the unsharded goldens.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use powadapt_sim::SimTime;
+
+use crate::event::{Event, EventKind};
+use crate::metrics::{push_json_string, MetricsRegistry, MetricsSnapshot};
+use crate::recorder::{EventLog, Recorder};
+use crate::trace::{derive_event_metrics, gauge_writes};
+
+/// Stable 64-bit FNV-1a, the same construction the snapshot envelope
+/// uses: deterministic across platforms and runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shard-local gauge bookkeeping the merge needs beyond the log +
+/// registry. Only gauge-writing events (controller decisions, energy
+/// attributions — a handful per run) take this lock; the hot path for
+/// every other kind never touches it.
+#[derive(Debug, Default)]
+struct ShardMeta {
+    /// Next gauge-write sequence number: a shard-local counter that is
+    /// monotone in record order over the gauge-writing events, which is
+    /// all the `(at_ns, seq)` tie-break needs.
+    seq: u64,
+    /// Per-gauge winning writer under the `(at_ns, seq)` order within
+    /// this shard: name → `(at_ns, seq, value)`.
+    gauges: BTreeMap<String, (u64, u64, f64)>,
+}
+
+#[derive(Debug)]
+struct Shard {
+    log: EventLog,
+    metrics: MetricsRegistry,
+    meta: Mutex<ShardMeta>,
+    /// Latest event timestamp seen (ns) — a lock-free running max, read
+    /// only at merge time for the shard's marker stamp.
+    last_at_ns: AtomicU64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            log: EventLog::new(capacity),
+            metrics: MetricsRegistry::new(),
+            meta: Mutex::new(ShardMeta::default()),
+            last_at_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn meta(&self) -> MutexGuard<'_, ShardMeta> {
+        match self.meta.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Direct-mapped ways in the shard-routing memo. Tracks are a bounded
+/// vocabulary (device labels, tree paths), so a small cache covers the
+/// hot set; collisions merely re-hash.
+const ROUTE_WAYS: usize = 64;
+/// Low 56 bits of a route-cache word: the track pointer. The high 8 bits
+/// hold the shard index. Entries whose pointer or shard does not fit are
+/// simply never cached.
+const ROUTE_PTR_MASK: u64 = (1 << 56) - 1;
+
+/// A recorder that gives each track-hash class its own event log and
+/// metrics shard, mergeable deterministically at any shard count.
+#[derive(Debug)]
+pub struct ShardedRecorder {
+    shards: Vec<Shard>,
+    /// Memoized routing, keyed by track *pointer*: tracks are interned
+    /// (`crate::intern`), so a pointer identifies its content for the
+    /// life of the process and can cache that content's shard. Each way
+    /// packs `(shard << 56) | ptr` in one atomic word — a torn
+    /// `(ptr, shard)` pair cannot exist — and routing stays a pure
+    /// function of track content; the cache only skips re-hashing it.
+    route_cache: [AtomicU64; ROUTE_WAYS],
+}
+
+impl ShardedRecorder {
+    /// A recorder with `shards` shards (min 1), each retaining up to
+    /// `capacity` events.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let n = shards.max(1);
+        ShardedRecorder {
+            shards: (0..n).map(|_| Shard::new(capacity)).collect(),
+            route_cache: [const { AtomicU64::new(0) }; ROUTE_WAYS],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index a track routes to.
+    pub fn shard_of(&self, track: &str) -> usize {
+        (fnv1a(track.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// [`Self::shard_of`] with the per-pointer memo on the record hot
+    /// path: one `Relaxed` load on a hit, hash + store on a miss. A
+    /// pointer above 2^56 or a shard index above 2^8 (no practical
+    /// deployment) falls back to hashing every time.
+    fn route_shard(&self, track: &'static str) -> usize {
+        let ptr = track.as_ptr() as u64;
+        let way = ((ptr >> 3) as usize) & (ROUTE_WAYS - 1);
+        let packed = self.route_cache[way].load(Ordering::Relaxed);
+        if packed != 0 && packed & ROUTE_PTR_MASK == ptr {
+            return (packed >> 56) as usize;
+        }
+        let shard = self.shard_of(track);
+        if ptr != 0 && ptr <= ROUTE_PTR_MASK && shard < (1 << 8) {
+            self.route_cache[way].store((shard as u64) << 56 | ptr, Ordering::Relaxed);
+        }
+        shard
+    }
+
+    /// Total events recorded across all shards.
+    pub fn total(&self) -> u64 {
+        self.shards.iter().map(|s| s.log.total()).sum()
+    }
+
+    /// Discard everything recorded so far on every shard, keeping each
+    /// ring's allocation (see [`EventLog::clear`]) so a warmed recorder
+    /// resets between measurement passes without re-faulting its pages.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.log.clear();
+            shard.metrics.clear();
+            *shard.meta() = ShardMeta::default();
+            shard.last_at_ns.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds every shard into one deterministic [`MergedTrace`]. The
+    /// result is identical for any shard count over the same event
+    /// stream; one [`EventKind::ShardMerged`] marker per shard is
+    /// appended to [`MergedTrace::markers`] (not to the merged stream
+    /// itself, which must stay byte-identical to an unsharded recording).
+    pub fn merged(&self) -> MergedTrace {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        let mut dropped = 0u64;
+        let metrics = MetricsRegistry::new();
+        let mut ordered: Vec<(u64, usize, Event)> = Vec::new();
+        let mut markers = Vec::with_capacity(self.shards.len());
+        // name → ((at_ns, shard, seq), value)
+        let mut gauge_winner: BTreeMap<String, ((u64, usize, u64), f64)> = BTreeMap::new();
+
+        for (i, shard) in self.shards.iter().enumerate() {
+            total += shard.log.total();
+            dropped += shard.log.dropped();
+            for (kind, n) in shard.log.counts() {
+                *counts.entry(kind).or_insert(0) += n;
+            }
+            // Ring order within a shard is record (seq) order, so a
+            // stable sort on (at, shard) realizes (at, shard, seq).
+            for event in shard.log.snapshot() {
+                ordered.push((event.at.as_nanos(), i, event));
+            }
+            metrics.merge_from(&shard.metrics);
+            let meta = shard.meta();
+            for (name, &(at_ns, seq, value)) in &meta.gauges {
+                let key = (at_ns, i, seq);
+                match gauge_winner.get(name) {
+                    Some(&(best, _)) if best >= key => {}
+                    _ => {
+                        gauge_winner.insert(name.clone(), (key, value));
+                    }
+                }
+            }
+            markers.push(Event {
+                at: SimTime::from_nanos(shard.last_at_ns.load(Ordering::Relaxed)),
+                track: "shard",
+                kind: EventKind::ShardMerged {
+                    shard: i as u64,
+                    events: shard.log.total(),
+                },
+            });
+        }
+        ordered.sort_by_key(|&(at, shard, _)| (at, shard));
+        // The `events.<kind>` counter family mirrors the merged per-kind
+        // totals, exactly as an unsharded recorder derives it lazily from
+        // its own log.
+        for (name, n) in &counts {
+            metrics.set_counter(&format!("events.{name}"), *n);
+        }
+        for (name, (_, value)) in &gauge_winner {
+            metrics.set_gauge(name, *value);
+        }
+        MergedTrace {
+            total,
+            dropped,
+            counts: counts.into_iter().collect(),
+            events: ordered.into_iter().map(|(_, _, e)| e).collect(),
+            metrics,
+            markers,
+        }
+    }
+}
+
+impl Recorder for ShardedRecorder {
+    fn record(&self, event: Event) {
+        let shard = &self.shards[self.route_shard(event.track)];
+        let at_ns = event.at.as_nanos();
+        shard.last_at_ns.fetch_max(at_ns, Ordering::Relaxed);
+        // Only gauge-writing kinds (a handful of events per run) take the
+        // meta lock; `gauge_writes` is empty for everything else.
+        let writes = gauge_writes(&event.kind);
+        if !writes.is_empty() {
+            let mut meta = shard.meta();
+            let seq = meta.seq;
+            meta.seq += 1;
+            for (name, value) in writes {
+                match meta.gauges.get(&name) {
+                    Some(&(a, s, _)) if (a, s) > (at_ns, seq) => {}
+                    _ => {
+                        meta.gauges.insert(name, (at_ns, seq, value));
+                    }
+                }
+            }
+        }
+        derive_event_metrics(&shard.metrics, &event);
+        shard.log.record(event);
+    }
+}
+
+/// The deterministic fold of a [`ShardedRecorder`]'s shards.
+#[derive(Debug)]
+pub struct MergedTrace {
+    /// Events ever recorded, across all shards.
+    pub total: u64,
+    /// Events evicted by the per-shard ring bounds.
+    pub dropped: u64,
+    /// Per-kind counts, sorted by kind name.
+    pub counts: Vec<(String, u64)>,
+    /// Retained events in `(sim_time, shard_id, seq)` order.
+    pub events: Vec<Event>,
+    /// Merged metrics: counters and histograms by exact addition, gauges
+    /// by the total-order latest writer.
+    pub metrics: MetricsRegistry,
+    /// One [`EventKind::ShardMerged`] marker per shard, stamped with the
+    /// shard's latest event time.
+    pub markers: Vec<Event>,
+}
+
+impl MergedTrace {
+    /// Event-count summary in the same deterministic JSON shape as
+    /// [`crate::event_counts_json`], so merged and unsharded runs
+    /// byte-compare directly.
+    pub fn counts_json(&self) -> String {
+        let mut out = String::from("{\n  \"total\": ");
+        out.push_str(&self.total.to_string());
+        out.push_str(",\n  \"dropped\": ");
+        out.push_str(&self.dropped.to_string());
+        out.push_str(",\n  \"counts\": {");
+        for (i, (name, n)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(": {n}"));
+        }
+        if !self.counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// The merged metrics snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IoDir;
+    use crate::trace::{event_counts_json, TraceRecorder};
+    use powadapt_sim::SimDuration;
+
+    fn io_complete(at_us: u64, track: &str, latency_us: u64, len: u64) -> Event {
+        Event {
+            at: SimTime::from_micros(at_us),
+            track: crate::intern(track),
+            kind: EventKind::IoComplete {
+                id: at_us,
+                dir: IoDir::Read,
+                len,
+                latency: SimDuration::from_micros(latency_us),
+            },
+        }
+    }
+
+    fn decision(at_us: u64, track: &str, budget_w: f64) -> Event {
+        Event {
+            at: SimTime::from_micros(at_us),
+            track: crate::intern(track),
+            kind: EventKind::ControllerDecision(Box::new(crate::ControllerDecision {
+                budget_w,
+                measured_w: budget_w - 1.0,
+                expected_power_w: budget_w - 0.5,
+                expected_throughput_bps: 1e6,
+                quarantined: Vec::new(),
+                degraded: Vec::new(),
+            })),
+        }
+    }
+
+    fn sample_stream() -> Vec<Event> {
+        let mut events = Vec::new();
+        for i in 0..40u64 {
+            let track = format!("dev{}", i % 5);
+            events.push(io_complete(i * 10, &track, 100 + i, 4096));
+        }
+        events.push(decision(150, "controller", 30.0));
+        events.push(decision(390, "controller", 25.0));
+        events
+    }
+
+    #[test]
+    fn merged_view_matches_unsharded_at_every_shard_count() {
+        let unsharded = TraceRecorder::new(1 << 12);
+        for e in sample_stream() {
+            unsharded.record(e);
+        }
+        let reference_counts = event_counts_json(&unsharded);
+        let reference_metrics = unsharded.metrics().snapshot().to_json();
+
+        for shards in [1usize, 2, 8] {
+            let rec = ShardedRecorder::new(shards, 1 << 12);
+            for e in sample_stream() {
+                rec.record(e);
+            }
+            let merged = rec.merged();
+            assert_eq!(merged.counts_json(), reference_counts, "{shards} shards");
+            assert_eq!(
+                merged.metrics_snapshot().to_json(),
+                reference_metrics,
+                "{shards} shards"
+            );
+            assert_eq!(merged.markers.len(), shards);
+            assert_eq!(
+                merged.markers.iter().fold(0u64, |acc, m| match m.kind {
+                    EventKind::ShardMerged { events, .. } => acc + events,
+                    _ => acc,
+                }),
+                merged.total
+            );
+        }
+    }
+
+    #[test]
+    fn merged_events_are_totally_ordered() {
+        let rec = ShardedRecorder::new(4, 1 << 12);
+        for e in sample_stream() {
+            rec.record(e);
+        }
+        let merged = rec.merged();
+        assert_eq!(merged.events.len(), 42);
+        for pair in merged.events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn gauge_winner_follows_the_total_order() {
+        // Two gauge writes at the same sim time on different tracks: the
+        // winner must be decided by (at, shard, seq), not arrival order.
+        for shards in [1usize, 2, 8] {
+            let rec = ShardedRecorder::new(shards, 64);
+            // Record the later-by-total-order write first.
+            rec.record(decision(100, "controller", 42.0));
+            rec.record(decision(50, "controller", 7.0));
+            let merged = rec.merged();
+            assert_eq!(
+                merged.metrics.gauge("controller.budget_w"),
+                Some(42.0),
+                "{shards} shards"
+            );
+        }
+    }
+}

@@ -35,20 +35,20 @@ pub struct SpanStat {
 struct SpanRec {
     start: SimTime,
     end: SimTime,
-    label: String,
+    label: &'static str,
 }
 
 /// Extracts `(track, spans)` sorted by start time (stable on ties, which
 /// preserves emit order — outer spans are emitted before inner ones that
 /// start at the same instant).
-fn spans_by_track(events: &[Event]) -> BTreeMap<String, Vec<SpanRec>> {
-    let mut by_track: BTreeMap<String, Vec<SpanRec>> = BTreeMap::new();
+fn spans_by_track(events: &[Event]) -> BTreeMap<&'static str, Vec<SpanRec>> {
+    let mut by_track: BTreeMap<&'static str, Vec<SpanRec>> = BTreeMap::new();
     for e in events {
         if let EventKind::Span { label, dur } = &e.kind {
-            by_track.entry(e.track.clone()).or_default().push(SpanRec {
+            by_track.entry(e.track).or_default().push(SpanRec {
                 start: e.at,
                 end: e.at + *dur,
-                label: label.clone(),
+                label,
             });
         }
     }
@@ -61,14 +61,14 @@ fn spans_by_track(events: &[Event]) -> BTreeMap<String, Vec<SpanRec>> {
 /// Walks one track's spans with an explicit enclosure stack, invoking
 /// `visit(stack_labels, span, self_ns)` for every span once its direct
 /// children are known. `stack_labels` excludes the span itself.
-fn walk_track(spans: &[SpanRec], mut visit: impl FnMut(&[String], &SpanRec, u64)) {
+fn walk_track(spans: &[SpanRec], mut visit: impl FnMut(&[&'static str], &SpanRec, u64)) {
     // Stack entries: (span index, accumulated child nanos).
     let mut stack: Vec<(usize, u64)> = Vec::new();
-    let mut labels: Vec<String> = Vec::new();
+    let mut labels: Vec<&'static str> = Vec::new();
 
     let pop_top = |stack: &mut Vec<(usize, u64)>,
-                   labels: &mut Vec<String>,
-                   visit: &mut dyn FnMut(&[String], &SpanRec, u64)| {
+                   labels: &mut Vec<&'static str>,
+                   visit: &mut dyn FnMut(&[&'static str], &SpanRec, u64)| {
         if let Some((top, child_ns)) = stack.pop() {
             labels.pop();
             let total = spans[top].end.duration_since(spans[top].start).as_nanos();
@@ -98,7 +98,7 @@ fn walk_track(spans: &[SpanRec], mut visit: impl FnMut(&[String], &SpanRec, u64)
             pop_top(&mut stack, &mut labels, &mut visit);
         }
         stack.push((i, 0));
-        labels.push(s.label.clone());
+        labels.push(s.label);
     }
     while !stack.is_empty() {
         pop_top(&mut stack, &mut labels, &mut visit);
@@ -130,13 +130,13 @@ pub fn collapsed_stacks(events: &[Event]) -> String {
             if self_ns == 0 {
                 return;
             }
-            let mut frame = String::from(track.as_str());
+            let mut frame = String::from(track);
             for s in stack {
                 frame.push(';');
                 frame.push_str(s);
             }
             frame.push(';');
-            frame.push_str(&span.label);
+            frame.push_str(span.label);
             *weights.entry(frame).or_insert(0) += self_ns;
         });
     }
@@ -155,12 +155,12 @@ mod tests {
     use super::*;
     use powadapt_sim::SimDuration;
 
-    fn span(track: &str, label: &str, start_ns: u64, dur_ns: u64) -> Event {
+    fn span(track: &'static str, label: &'static str, start_ns: u64, dur_ns: u64) -> Event {
         Event {
             at: SimTime::from_nanos(start_ns),
-            track: track.into(),
+            track,
             kind: EventKind::Span {
-                label: label.into(),
+                label,
                 dur: SimDuration::from_nanos(dur_ns),
             },
         }

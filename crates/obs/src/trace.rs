@@ -5,8 +5,10 @@
 //! ```text
 //! POWADAPT_TRACE=events            # event-count summary on stderr
 //! POWADAPT_TRACE=metrics           # metrics snapshot JSON on stderr
-//! POWADAPT_TRACE=perfetto:out.json # Chrome trace -> out.json,
-//!                                  # + out.json.metrics.json + out.json.folded
+//! POWADAPT_TRACE=perfetto:out.json # Chrome trace -> out.json, plus
+//!                                  # out.json.metrics.json,
+//!                                  # out.json.events.jsonl (trace_query
+//!                                  # input) and out.json.folded
 //! --trace-out out.json             # CLI shorthand for perfetto:out.json
 //! ```
 
@@ -16,7 +18,7 @@ use std::io;
 use std::sync::Arc;
 
 use crate::event::{Event, EventKind};
-use crate::export::chrome_trace;
+use crate::export::{chrome_trace, events_jsonl};
 use crate::metrics::{push_json_string, MetricsRegistry};
 use crate::recorder::{EventLog, Recorder};
 use crate::span::collapsed_stacks;
@@ -45,41 +47,95 @@ impl TraceRecorder {
     }
 
     /// The derived metrics.
+    ///
+    /// The `events.<kind>` counter family is synced from the event log's
+    /// per-kind totals *here*, at read time — the record hot path never
+    /// re-counts kinds into the registry.
     pub fn metrics(&self) -> &MetricsRegistry {
+        sync_event_counters(&self.log, &self.metrics);
         &self.metrics
+    }
+
+    /// Discard everything recorded so far, keeping the ring's allocation
+    /// (see [`EventLog::clear`]) so a warmed recorder can be reset
+    /// between measurement passes without re-faulting its pages.
+    pub fn clear(&self) {
+        self.log.clear();
+        self.metrics.clear();
+    }
+}
+
+/// Publishes the log's per-kind totals as `events.<kind>` counters.
+/// Called at read time (snapshots, exports) so the record path pays for
+/// one dense array add per event instead of a keyed counter update.
+pub(crate) fn sync_event_counters(log: &EventLog, metrics: &MetricsRegistry) {
+    for (name, n) in log.counts() {
+        metrics.set_counter(&format!("events.{name}"), n);
+    }
+}
+
+/// Folds one event into a registry: the derived histograms
+/// (`io.latency_us`, `power.watts`), the IO byte counters, and the
+/// controller gauges. Shared by [`TraceRecorder`] and the sharded
+/// recorder so a merged shard view derives *exactly* what an unsharded
+/// recorder would. The `events.<kind>` counters are *not* derived here —
+/// they mirror the event log's totals and are synced lazily at read time
+/// ([`sync_event_counters`]); most kinds therefore never touch the
+/// registry on the hot path. Gauge-writing kinds must stay in sync with
+/// [`gauge_writes`].
+pub(crate) fn derive_event_metrics(metrics: &MetricsRegistry, event: &Event) {
+    match &event.kind {
+        EventKind::IoComplete {
+            dir, len, latency, ..
+        } => {
+            metrics.observe("io.latency_us", event.at, latency.as_secs_f64() * 1e6);
+            let counter = match dir {
+                crate::IoDir::Read => "io.read_bytes",
+                crate::IoDir::Write => "io.write_bytes",
+            };
+            metrics.inc(counter, *len);
+        }
+        EventKind::PowerSample { watts } => {
+            metrics.observe("power.watts", event.at, *watts);
+        }
+        EventKind::EnergyAttributed(e) => {
+            metrics.set_gauge(&format!("energy.stranded_w.{}", e.node), e.stranded_w);
+        }
+        EventKind::ControllerDecision(d) => {
+            metrics.set_gauge("controller.budget_w", d.budget_w);
+            metrics.set_gauge("controller.expected_power_w", d.expected_power_w);
+            metrics.set_gauge("controller.quarantined", d.quarantined.len() as f64);
+        }
+        _ => {}
+    }
+}
+
+/// The gauge writes the kind performs via [`derive_event_metrics`] — the
+/// sharded recorder tracks last-writer-in-total-order metadata for
+/// exactly these `(name, value)` pairs.
+pub(crate) fn gauge_writes(kind: &EventKind) -> Vec<(String, f64)> {
+    match kind {
+        EventKind::ControllerDecision(d) => vec![
+            ("controller.budget_w".to_string(), d.budget_w),
+            (
+                "controller.expected_power_w".to_string(),
+                d.expected_power_w,
+            ),
+            (
+                "controller.quarantined".to_string(),
+                d.quarantined.len() as f64,
+            ),
+        ],
+        EventKind::EnergyAttributed(e) => {
+            vec![(format!("energy.stranded_w.{}", e.node), e.stranded_w)]
+        }
+        _ => Vec::new(),
     }
 }
 
 impl Recorder for TraceRecorder {
     fn record(&self, event: Event) {
-        self.metrics
-            .inc(&format!("events.{}", event.kind.name()), 1);
-        match &event.kind {
-            EventKind::IoComplete {
-                dir, len, latency, ..
-            } => {
-                self.metrics
-                    .observe("io.latency_us", event.at, latency.as_secs_f64() * 1e6);
-                self.metrics
-                    .inc(&format!("io.{}_bytes", dir.as_str()), *len);
-            }
-            EventKind::PowerSample { watts } => {
-                self.metrics.observe("power.watts", event.at, *watts);
-            }
-            EventKind::ControllerDecision {
-                budget_w,
-                expected_power_w,
-                quarantined,
-                ..
-            } => {
-                self.metrics.set_gauge("controller.budget_w", *budget_w);
-                self.metrics
-                    .set_gauge("controller.expected_power_w", *expected_power_w);
-                self.metrics
-                    .set_gauge("controller.quarantined", quarantined.len() as f64);
-            }
-            _ => {}
-        }
+        derive_event_metrics(&self.metrics, &event);
         self.log.record(event);
     }
 }
@@ -220,13 +276,14 @@ impl TraceSession {
                     format!("{path}.metrics.json"),
                     rec.metrics().snapshot().to_json(),
                 )?;
+                fs::write(format!("{path}.events.jsonl"), events_jsonl(&events))?;
                 let folded = collapsed_stacks(&events);
                 if !folded.is_empty() {
                     fs::write(format!("{path}.folded"), folded)?;
                 }
                 eprintln!(
-                    "powadapt-obs: wrote {} events to {path} (+ .metrics.json, .folded); \
-                     open at https://ui.perfetto.dev",
+                    "powadapt-obs: wrote {} events to {path} (+ .metrics.json, \
+                     .events.jsonl, .folded); open at https://ui.perfetto.dev",
                     events.len()
                 );
                 Ok(())
@@ -309,7 +366,7 @@ mod tests {
         let rec = TraceRecorder::new(16);
         rec.record(Event {
             at: SimTime::from_micros(5),
-            track: "device0".into(),
+            track: "device0",
             kind: EventKind::IoComplete {
                 id: 1,
                 dir: IoDir::Read,
@@ -319,7 +376,7 @@ mod tests {
         });
         rec.record(Event {
             at: SimTime::from_micros(6),
-            track: "meter".into(),
+            track: "meter",
             kind: EventKind::PowerSample { watts: 9.5 },
         });
         assert_eq!(rec.metrics().counter("events.io_complete"), 1);

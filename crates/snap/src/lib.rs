@@ -41,9 +41,11 @@ pub const MAGIC: [u8; 4] = *b"PSNP";
 ///
 /// History: 1 = original checkpoint/restore layout; 2 = sim-kernel
 /// overhaul (SSD in-flight reads table moved ahead of the event queue,
-/// die queues serialize translated IO ids). v1 checkpoints are rejected
-/// with [`SnapError::UnsupportedVersion`] rather than mis-parsed.
-pub const FORMAT_VERSION: u32 = 2;
+/// die queues serialize translated IO ids); 3 = sketch-backed metrics
+/// registry and the cluster energy-attribution ledger (integer-femtojoule
+/// `u128` accounts). Older checkpoints are rejected with
+/// [`SnapError::UnsupportedVersion`] rather than mis-parsed.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Typed failures of snapshot decoding. Every malformed input maps to one
 /// of these; decoding never panics.
@@ -165,6 +167,12 @@ impl SnapWriter {
     /// Writes an `i64`, little-endian.
     pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128` as two little-endian `u64` halves, low half first.
+    pub fn u128(&mut self, v: u128) {
+        self.u64(v as u64);
+        self.u64((v >> 64) as u64);
     }
 
     /// Writes a `usize` as a `u64`.
@@ -296,6 +304,13 @@ impl<'a> SnapReader<'a> {
         let mut a = [0u8; 8];
         a.copy_from_slice(s);
         Ok(i64::from_le_bytes(a))
+    }
+
+    /// Reads a `u128` written by [`SnapWriter::u128`] (low half first).
+    pub fn u128(&mut self) -> Result<u128, SnapError> {
+        let lo = self.u64()? as u128;
+        let hi = self.u64()? as u128;
+        Ok(lo | (hi << 64))
     }
 
     /// Reads a `usize` written by [`SnapWriter::usize`].
@@ -506,6 +521,27 @@ mod tests {
         assert_eq!(r.opt_u64().unwrap(), None);
         assert_eq!(r.str().unwrap(), "hello, snapshot");
         assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn u128_round_trips_low_half_first() {
+        let big = (u64::MAX as u128) * 3 + 7;
+        let mut w = SnapWriter::new();
+        w.u128(0);
+        w.u128(big);
+        w.u128(u128::MAX);
+        let payload = w.into_payload();
+        // Layout is two u64 halves, low first — readable as plain u64s.
+        let mut halves = SnapReader::new(&payload);
+        assert_eq!(halves.u64().unwrap(), 0);
+        assert_eq!(halves.u64().unwrap(), 0);
+        assert_eq!(halves.u64().unwrap(), big as u64);
+        assert_eq!(halves.u64().unwrap(), (big >> 64) as u64);
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.u128().unwrap(), 0);
+        assert_eq!(r.u128().unwrap(), big);
+        assert_eq!(r.u128().unwrap(), u128::MAX);
         r.finish().unwrap();
     }
 

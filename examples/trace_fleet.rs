@@ -137,27 +137,19 @@ fn report(rec: &TraceRecorder) {
         "t (ms)", "budget W", "measured W", "expected W", "thr GiB/s", "quarantined"
     );
     for e in &events {
-        if let EventKind::ControllerDecision {
-            budget_w,
-            measured_w,
-            expected_power_w,
-            expected_throughput_bps,
-            quarantined,
-            degraded,
-        } = &e.kind
-        {
+        if let EventKind::ControllerDecision(d) = &e.kind {
             println!(
                 "{:>10.1}  {:>8.1}  {:>10.2}  {:>10.2}  {:>9.2}  {:>11}  {}",
                 e.at.as_secs_f64() * 1e3,
-                budget_w,
-                measured_w,
-                expected_power_w,
-                expected_throughput_bps / f64::from(1u32 << 30),
-                quarantined.len(),
-                if degraded.is_empty() {
+                d.budget_w,
+                d.measured_w,
+                d.expected_power_w,
+                d.expected_throughput_bps / f64::from(1u32 << 30),
+                d.quarantined.len(),
+                if d.degraded.is_empty() {
                     "-".to_string()
                 } else {
-                    degraded.join(",")
+                    d.degraded.join(",")
                 }
             );
         }
