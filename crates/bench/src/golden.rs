@@ -590,6 +590,168 @@ fn cluster_eval_summary_with(
     doc(CLUSTER_FIXTURE, GOLDEN_SEED, &rows)
 }
 
+/// Name of the committed placement-evaluation fixture
+/// (`crates/bench/goldens/placement_eval.json`).
+pub const PLACEMENT_FIXTURE: &str = "placement_eval";
+
+fn placement_cell(arm: powadapt_cluster::PlacementArm, seed: u64) -> ClusterReport {
+    powadapt_cluster::run_cluster(powadapt_cluster::placement_cluster(arm, seed))
+        .expect("placement cell runs")
+}
+
+/// The placement cell, interrupted at its quarter point — for the
+/// temperature-driven arm that lands *inside* the consolidation drain
+/// window, so the snapshot carries in-flight migrations, reserved
+/// destination capacity, and standby pins. Bit-equality with the straight
+/// run is the mid-migration checkpoint contract.
+fn placement_cell_checkpointed(arm: powadapt_cluster::PlacementArm, seed: u64) -> ClusterReport {
+    use powadapt_cluster::{placement_cluster, ClusterSim};
+    let mut sim = ClusterSim::new(placement_cluster(arm, seed)).expect("placement cell builds");
+    let quarter = sim.start_time()
+        + SimDuration::from_nanos(sim.end_time().duration_since(sim.start_time()).as_nanos() / 4);
+    sim.run_to(quarter).expect("first quarter runs");
+    let snap = sim.snapshot().expect("snapshot serializes");
+    drop(sim);
+    let resumed =
+        ClusterSim::resume(placement_cluster(arm, seed), &snap).expect("snapshot resumes");
+    resumed.finish().expect("rest of the run completes")
+}
+
+fn placement_report_row(arm: powadapt_cluster::PlacementArm, r: &ClusterReport) -> String {
+    format!(
+        "{{\"arm\": \"{arm:?}\", \"bytes\": {}, \"served\": {}, \"dropped\": {}, \"migrations_started\": {}, \"migrations_completed\": {}, \"migration_bytes\": {}, \"total_joules\": {}, \"system_joules\": {}, \"idle_joules\": {}, \"joules_per_byte\": {}, \"caps_respected\": {}, \"slos_met\": {}}}",
+        r.total_bytes,
+        r.served_ios,
+        r.dropped,
+        r.migrations_started,
+        r.migrations_completed,
+        r.migration_bytes,
+        jf(r.total_joules),
+        jf(r.system_joules),
+        jf(r.idle_joules),
+        jf(r.total_joules / r.total_bytes as f64),
+        r.caps_respected(),
+        r.tenants.iter().filter(|t| t.slo_ok).count()
+    )
+}
+
+/// Mean power drawn by the cold (HDD) enclosures — the stranded-watts
+/// signal consolidation exists to reclaim.
+fn cold_tier_mean_w(r: &ClusterReport) -> f64 {
+    r.nodes
+        .iter()
+        .filter(|n| n.path.contains("enc-cold"))
+        .map(|n| n.mean_power_w)
+        .sum()
+}
+
+/// Runs the placement-evaluation scenario — temperature-driven placement
+/// with HDD spin-down consolidation versus the static-spread and
+/// no-migration baselines, as a parallel cell sweep under a fresh
+/// recorder — and returns the canonical JSON summary: per-arm service,
+/// migration, and energy accounting, per-node peaks, per-tenant SLOs, the
+/// headline joules-per-byte wins, stranded cold-tier watts, migration
+/// read amplification, and the per-kind trace event counts.
+///
+/// Every value is a pure function of the cell `(arm, seed)`: the summary
+/// is byte-identical at every worker count.
+///
+/// # Panics
+///
+/// Panics if a placement run fails — the fixture pins a healthy pipeline.
+pub fn placement_eval_summary(cfg: &ParallelConfig) -> String {
+    placement_eval_summary_with(cfg, placement_cell)
+}
+
+/// [`placement_eval_summary`] with every cell checkpointed at its quarter
+/// point — mid-migration for the temperature-driven arm. Byte-equality
+/// with the *same* committed `placement_eval` fixture, at every worker
+/// count, proves a checkpoint taken between `MigrationStarted` and
+/// `MigrationCompleted` resumes bit-exact.
+///
+/// # Panics
+///
+/// Panics if a placement run, snapshot, or resume fails.
+pub fn placement_eval_summary_checkpointed(cfg: &ParallelConfig) -> String {
+    placement_eval_summary_with(cfg, placement_cell_checkpointed)
+}
+
+fn placement_eval_summary_with(
+    cfg: &ParallelConfig,
+    cell: fn(powadapt_cluster::PlacementArm, u64) -> ClusterReport,
+) -> String {
+    use powadapt_cluster::PlacementArm;
+
+    let rec = Arc::new(TraceRecorder::new(1 << 16));
+    let prev = powadapt_obs::install(rec.clone());
+    let arms = [
+        PlacementArm::TempDriven,
+        PlacementArm::StaticSpread,
+        PlacementArm::NoMigration,
+    ];
+    let cells: Vec<(PlacementArm, u64)> = arms.iter().map(|&a| (a, GOLDEN_SEED)).collect();
+    let reports = powadapt_io::run_cells(&cells, cfg, |_, &(arm, seed)| cell(arm, seed));
+    match prev {
+        Some(p) => {
+            powadapt_obs::install(p);
+        }
+        None => {
+            powadapt_obs::uninstall();
+        }
+    }
+
+    let mut rows = Vec::new();
+    for ((arm, _), report) in cells.iter().zip(&reports) {
+        rows.push(format!(
+            "{{\"report\": {}}}",
+            placement_report_row(*arm, report)
+        ));
+        for n in &report.nodes {
+            rows.push(format!(
+                "{{\"arm\": \"{arm:?}\", \"node\": \"{}\", \"cap_w\": {}, \"max_w\": {}, \"mean_w\": {}, \"granted_w\": {}}}",
+                n.path,
+                jf(n.cap_w),
+                jf(n.max_power_w),
+                jf(n.mean_power_w),
+                jf(n.granted_w)
+            ));
+        }
+        for t in &report.tenants {
+            rows.push(format!(
+                "{{\"arm\": \"{arm:?}\", \"tenant\": \"{}\", \"served\": {}, \"bytes\": {}, \"p99_us\": {}, \"slo_ok\": {}}}",
+                t.name, t.served, t.bytes, jf(t.p99_latency_us), t.slo_ok
+            ));
+        }
+        rows.push(format!(
+            "{{\"arm\": \"{arm:?}\", \"cold_tier_mean_w\": {}}}",
+            jf(cold_tier_mean_w(report))
+        ));
+    }
+    let jpb = |r: &ClusterReport| r.total_joules / r.total_bytes as f64;
+    let temp = &reports[0];
+    let spread = &reports[1];
+    let nomig = &reports[2];
+    rows.push(format!(
+        "{{\"jpb_win_vs_static\": {}, \"jpb_win_vs_nomigration\": {}, \"stranded_w_reclaimed\": {}, \"migration_read_amplification\": {}}}",
+        jf(jpb(spread) / jpb(temp)),
+        jf(jpb(nomig) / jpb(temp)),
+        jf(cold_tier_mean_w(nomig) - cold_tier_mean_w(temp)),
+        jf(temp.migration_bytes as f64 / temp.total_bytes as f64)
+    ));
+    let mut counts: Vec<String> = rec
+        .log()
+        .counts()
+        .iter()
+        .map(|(kind, n)| format!("{{\"kind\": \"{kind}\", \"count\": {n}}}"))
+        .collect();
+    counts.push(format!(
+        "{{\"kind\": \"total\", \"count\": {}}}",
+        rec.log().total()
+    ));
+    rows.extend(counts);
+    doc(PLACEMENT_FIXTURE, GOLDEN_SEED, &rows)
+}
+
 /// Produces the canonical JSON summary of one figure under the given
 /// executor configuration. The output is byte-identical for every worker
 /// count — that invariant is what the golden suite enforces.

@@ -13,11 +13,13 @@
 //!   accounts. Integer addition is associative and lossless, so
 //!   checkpoint/resume and re-runs reproduce the accounts bit for bit.
 //! - **Attribution** happens at audit time: the interval's energy is
-//!   split across tenants proportionally to the bytes they moved
-//!   (integer multiply-then-divide); the division remainder — and every
-//!   interval where no tenant moved bytes — lands in the `idle` account.
-//!   Conservation (`Σ tenant + idle = audited total`) is exact by
-//!   construction, and the audit re-verifies it anyway.
+//!   split across tenants — plus a reserved *system* account billed for
+//!   bytes the cluster moved on its own behalf (placement migrations) —
+//!   proportionally to the bytes each moved (integer
+//!   multiply-then-divide); the division remainder — and every interval
+//!   where nobody moved bytes — lands in the `idle` account.
+//!   Conservation (`Σ tenant + system + idle = audited total`) is exact
+//!   by construction, and the audit re-verifies it anyway.
 //! - **The audit** runs every control round and at the end of the run:
 //!   subtree energy computed by ancestor propagation must equal the
 //!   per-node direct leaf sum (double-entry), attributed books must
@@ -80,11 +82,17 @@ pub struct EnergyLedger {
     /// Energy attributed to no tenant: intervals with no bytes moved,
     /// plus per-interval integer-division remainders. Femtojoules.
     idle_fj: u128,
+    /// Energy attributed to the reserved *system* tenant — bytes moved
+    /// by the cluster itself (placement migrations) rather than by any
+    /// tenant's IO. Femtojoules.
+    system_fj: u128,
     /// Total leaf energy at the last audit; the next audit attributes
     /// `Σ leaf_fj - audited_fj`.
     audited_fj: u128,
     /// Cumulative tenant bytes at the last audit.
     last_bytes: Vec<u64>,
+    /// Cumulative system (migration) bytes at the last audit.
+    last_system_bytes: u64,
     /// Time accrual has integrated up to.
     last_accrue: SimTime,
     /// Audit rounds run.
@@ -102,8 +110,10 @@ impl EnergyLedger {
             leaf_uw: vec![0; n_leaves],
             tenant_fj: vec![0; n_tenants],
             idle_fj: 0,
+            system_fj: 0,
             audited_fj: 0,
             last_bytes: vec![0; n_tenants],
+            last_system_bytes: 0,
             last_accrue: start,
             audits: 0,
             violations: 0,
@@ -153,6 +163,12 @@ impl EnergyLedger {
         self.idle_fj
     }
 
+    /// Energy attributed to the reserved system tenant (migration
+    /// traffic) so far, femtojoules.
+    pub fn system_fj(&self) -> u128 {
+        self.system_fj
+    }
+
     /// Audit rounds run so far.
     pub fn audits(&self) -> u64 {
         self.audits
@@ -181,6 +197,9 @@ impl EnergyLedger {
     /// [`EventKind::EnergyAttributed`] / [`EventKind::SloBurnAlert`]
     /// telemetry. `grants` is the per-node granted watts, indexed by
     /// [`NodeId`]; `usage` is parallel to the tenant accounts.
+    /// `system_bytes` is the cumulative byte count moved by the cluster
+    /// itself (placement migrations); it joins the proportional split as
+    /// a reserved pseudo-tenant billed to the `system` account.
     ///
     /// `enforce_grants` turns on the grant-vs-capacity check. It is the
     /// caller's statement that `grants` came from the tree's rebalance
@@ -188,6 +207,7 @@ impl EnergyLedger {
     /// static baseline's bookkeeping shares deliberately ignore the tree
     /// — over-committing enclosures is the naive policy's defining flaw,
     /// not a ledger inconsistency.
+    #[allow(clippy::too_many_arguments)]
     pub fn audit(
         &mut self,
         now: SimTime,
@@ -196,6 +216,7 @@ impl EnergyLedger {
         grants: &[f64],
         enforce_grants: bool,
         usage: &[TenantUsage<'_>],
+        system_bytes: u64,
     ) {
         self.accrue(now);
         let rec = powadapt_obs::current();
@@ -208,7 +229,8 @@ impl EnergyLedger {
             .zip(&self.last_bytes)
             .map(|(u, &prev)| u.bytes.saturating_sub(prev) as u128)
             .collect();
-        let moved: u128 = deltas.iter().sum();
+        let system_delta = system_bytes.saturating_sub(self.last_system_bytes) as u128;
+        let moved: u128 = deltas.iter().sum::<u128>() + system_delta;
         // Three divisions share one zero guard: the split needs both the
         // quotient and the remainder of `interval / moved`, so a single
         // `checked_div` cannot replace the structural check.
@@ -220,8 +242,12 @@ impl EnergyLedger {
                 *fj += share;
                 attributed += share;
             }
-            // The per-tenant floors under-count by less than one fJ per
-            // tenant; the remainder is unattributable and goes idle.
+            let system_share =
+                interval / moved * system_delta + interval % moved * system_delta / moved;
+            self.system_fj += system_share;
+            attributed += system_share;
+            // The per-account floors under-count by less than one fJ per
+            // account; the remainder is unattributable and goes idle.
             self.idle_fj += interval - attributed;
         } else {
             self.idle_fj += interval;
@@ -229,12 +255,13 @@ impl EnergyLedger {
         for (prev, u) in self.last_bytes.iter_mut().zip(usage) {
             *prev = u.bytes;
         }
+        self.last_system_bytes = system_bytes;
         self.audited_fj = total;
         self.audits += 1;
 
         // Double-entry conservation: the attributed books must balance
         // the metered total exactly — integer arithmetic, no epsilon.
-        let books = self.tenant_fj.iter().sum::<u128>() + self.idle_fj;
+        let books = self.tenant_fj.iter().sum::<u128>() + self.system_fj + self.idle_fj;
         if books != self.audited_fj {
             self.violations += 1;
             emit!(
@@ -368,11 +395,13 @@ impl powadapt_snap::Snapshot for EnergyLedger {
             w.u128(fj);
         }
         w.u128(self.idle_fj);
+        w.u128(self.system_fj);
         w.u128(self.audited_fj);
         w.seq_len(self.last_bytes.len());
         for &b in &self.last_bytes {
             w.u64(b);
         }
+        w.u64(self.last_system_bytes);
         write_time(w, self.last_accrue);
         w.u64(self.audits);
         w.u64(self.violations);
@@ -413,6 +442,7 @@ impl powadapt_snap::Restore for EnergyLedger {
             *fj = r.u128()?;
         }
         self.idle_fj = r.u128()?;
+        self.system_fj = r.u128()?;
         self.audited_fj = r.u128()?;
         let n = r.seq_len()?;
         if n != self.last_bytes.len() {
@@ -424,6 +454,7 @@ impl powadapt_snap::Restore for EnergyLedger {
         for b in &mut self.last_bytes {
             *b = r.u64()?;
         }
+        self.last_system_bytes = r.u64()?;
         self.last_accrue = read_time(r)?;
         self.audits = r.u64()?;
         self.violations = r.u64()?;
@@ -437,7 +468,7 @@ impl powadapt_snap::Restore for EnergyLedger {
                 self.audited_fj
             )));
         }
-        let books = self.tenant_fj.iter().sum::<u128>() + self.idle_fj;
+        let books = self.tenant_fj.iter().sum::<u128>() + self.system_fj + self.idle_fj;
         if books != self.audited_fj {
             return Err(SnapError::InvalidValue(format!(
                 "attributed books {books} fJ != audited total {} fJ",
@@ -507,6 +538,7 @@ mod tests {
             &grants,
             true,
             &usage,
+            0,
         );
         let total = ledger.total_fj();
         assert_eq!(
@@ -525,6 +557,7 @@ mod tests {
             &grants,
             true,
             &usage,
+            0,
         );
         assert_eq!(
             ledger.tenant_fj(0) + ledger.tenant_fj(1) + ledger.idle_fj(),
@@ -541,7 +574,15 @@ mod tests {
         let mut grants = vec![0.0; tree.len()];
         grants[tree.root_id().0] = 1000.0; // root cap is 100 W
         let mut ledger = EnergyLedger::new(2, 0, SimTime::ZERO);
-        ledger.audit(SimTime::from_micros(1), &tree, &leaves, &grants, true, &[]);
+        ledger.audit(
+            SimTime::from_micros(1),
+            &tree,
+            &leaves,
+            &grants,
+            true,
+            &[],
+            0,
+        );
         assert_eq!(ledger.violations(), 1);
     }
 
@@ -586,6 +627,7 @@ mod tests {
             &vec![0.0; tree.len()],
             true,
             &usage,
+            0,
         );
 
         let mut w = SnapWriter::new();

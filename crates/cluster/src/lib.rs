@@ -20,7 +20,8 @@
 //!   inside the determinism perimeter (per-tenant/per-device `SimRng`
 //!   streams, byte-identical reports at any worker count).
 //! - [`scenario`] — the canonical two-rack oversubscribed scenario used
-//!   by `cluster_eval`, the golden fixture, and the examples.
+//!   by `cluster_eval`, the golden fixture, and the examples, plus the
+//!   placement-evaluation scenario behind `placement_eval`.
 //! - [`treefault`] — scheduled breaker trips at power-tree node scope
 //!   (rack, row, region), the fail-closed counterpart to the device-level
 //!   [`FaultInjector`](powadapt_device::FaultInjector).
@@ -42,7 +43,10 @@ pub mod tree;
 pub mod treefault;
 
 pub use ledger::{EnergyLedger, TenantUsage, BURN_ALERT_THRESHOLD};
-pub use scenario::{fig10_model, oversubscribed_cluster};
+pub use powadapt_place::{PlacementConfig, PlacementMode, PlacementTier};
+pub use scenario::{
+    exos_model, fig10_model, oversubscribed_cluster, placement_cluster, PlacementArm,
+};
 pub use selector::{fleet_floor_w, fleet_max_w, uniform_choices, SelectionPolicy};
 pub use sim::{
     run_cluster, ClusterError, ClusterReport, ClusterSim, ClusterSpec, EnclosureSpec, NodeReport,

@@ -1,6 +1,9 @@
 //! The canonical oversubscribed-cluster scenario, shared by the
 //! `cluster_eval` bench, the golden fixture, the repository example, and
-//! the behavioral tests.
+//! the behavioral tests — plus the placement-evaluation scenario
+//! ([`placement_cluster`]) that pits energy-aware placement and
+//! spin-down consolidation against the static-spread and no-migration
+//! baselines.
 //!
 //! Topology: `cluster (34 W) → row0 (34 W, 1.2× oversubscribed) →
 //! {rack0 (13 W) → enc0, rack1 (24 W) → enc1}`. The row advertises
@@ -25,9 +28,10 @@
 //! two policies is the measured value of model-driven oversubscription.
 
 use powadapt_core::Slo;
-use powadapt_device::{catalog, PowerStateId, StorageDevice, GIB, KIB};
+use powadapt_device::{catalog, PowerStateId, StorageDevice, GIB, KIB, MIB};
 use powadapt_io::Workload;
 use powadapt_model::{ConfigPoint, PowerThroughputModel};
+use powadapt_place::{PlacementConfig, PlacementMode};
 use powadapt_sim::{SimDuration, SimRng};
 
 use crate::selector::SelectionPolicy;
@@ -71,6 +75,163 @@ pub fn fig10_model(label: &str) -> PowerThroughputModel {
     match PowerThroughputModel::from_points(label, fig10_points(label)) {
         Some(m) => m,
         None => panic!("no fig10 points for {label}"), // powadapt-lint: allow(D5, reason = "scenario fixture: literal point tables for a fixed label set; a bad label is a programming error, not a runtime fault")
+    }
+}
+
+/// Measured-style configuration point for the scenario's cold tier: the
+/// Exos 7E2000 exposes a single power state, so its model is one point —
+/// planned watts at the drive's worst-case active draw, throughput at
+/// 256 KiB QD64 with the write cache absorbing bursts.
+pub fn exos_model() -> PowerThroughputModel {
+    let pt = ConfigPoint::new(
+        "HDD",
+        Workload::RandWrite,
+        PowerStateId(0),
+        256 * KIB,
+        64,
+        5.4,
+        0.16e9,
+    );
+    match PowerThroughputModel::from_points("HDD", vec![pt]) {
+        Some(m) => m,
+        None => panic!("one valid point always builds a model"), // powadapt-lint: allow(D5, reason = "scenario fixture: a literal one-point table always builds; failure is a programming error, not a runtime fault")
+    }
+}
+
+/// One arm of the placement evaluation: how the tier routes fresh
+/// extents and whether the migration engine and consolidation policy
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementArm {
+    /// Energy-aware placement with background migration and spin-down
+    /// consolidation — the full subsystem.
+    TempDriven,
+    /// Class-blind capacity spread, no migration: the static baseline
+    /// that lands half the hot traffic on the cold tier.
+    StaticSpread,
+    /// Energy-aware placement with the migration engine disabled: cold
+    /// extents stay where they landed and the HDDs never sleep.
+    NoMigration,
+}
+
+/// Builds the placement-evaluation cluster for `arm`.
+///
+/// Topology: `cluster (34 W) → row0 (34 W, 1.25× oversubscribed) →
+/// {rack-warm (20 W) → SSD1 + SSD3, rack-cold0..2 (7 W each) → one Exos
+/// each}`. The rack caps sum to 41 W against the cluster's 34 W feeder.
+/// The warm rack is the efficient tier; three single-HDD cold racks
+/// give replica anti-affinity real failure domains and consolidation a
+/// drain target outside any extent's existing racks.
+///
+/// Three tenants drive the story on a seconds-scale clock so the Exos
+/// spin transitions (1.5 s down, 6 s up) amortize over the 180 s run:
+/// `web` swings through two diurnal cycles, `analytics` offers steady
+/// Poisson load — both stay hot enough that their extents never cool
+/// through the threshold — and `archive` ingests one burst of data at
+/// the start and then falls silent for the rest of the run. Its extents
+/// cool within a couple of batch windows, drain to the HDDs, and the
+/// HDDs spend the back half of the run pinned in standby — the measured
+/// value of consolidation over the baselines, which keep all three
+/// spindles turning at 3.76 W for nothing.
+pub fn placement_cluster(arm: PlacementArm, seed: u64) -> ClusterSpec {
+    let mut tree = PowerTree::root("cluster", NodeKind::Cluster, 34.0, 1.0);
+    let row = tree.add_child(tree.root_id(), "row0", NodeKind::Row, 34.0, 1.25);
+    let warm = tree.add_child(row, "rack-warm", NodeKind::Rack, 20.0, 1.0);
+    tree.add_child(warm, "enc-warm", NodeKind::Enclosure, 20.0, 1.0);
+    for i in 0..3 {
+        let rack = tree.add_child(row, &format!("rack-cold{i}"), NodeKind::Rack, 7.0, 1.0);
+        tree.add_child(rack, &format!("enc-cold{i}"), NodeKind::Enclosure, 7.0, 1.0);
+    }
+
+    let dev_root = seed ^ 0x9ace;
+    let dev_seed = |i: u64| SimRng::stream_seed(dev_root, i);
+    let mut enclosures = vec![EnclosureSpec {
+        name: "enc-warm".into(),
+        devices: vec![
+            Box::new(catalog::ssd1_pm9a3(dev_seed(0))) as Box<dyn StorageDevice>,
+            Box::new(catalog::ssd3_d3_p4510(dev_seed(1))),
+        ],
+        models: vec![fig10_model("SSD1"), fig10_model("SSD3")],
+    }];
+    for i in 0..3u64 {
+        enclosures.push(EnclosureSpec {
+            name: format!("enc-cold{i}"),
+            devices: vec![
+                Box::new(catalog::hdd_exos_7e2000(dev_seed(2 + i))) as Box<dyn StorageDevice>
+            ],
+            models: vec![exos_model()],
+        });
+    }
+
+    let tenants = vec![
+        TenantSpec {
+            name: "web".into(),
+            arrivals: TenantArrivals::Diurnal {
+                base_rate_iops: 400.0,
+                swing: 0.85,
+                period: SimDuration::from_secs(90),
+            },
+            block_size: 256 * KIB,
+            read_fraction: 0.7,
+            region: (0, 4 * GIB),
+            slo: Slo::new().min_throughput_bps(30e6),
+        },
+        TenantSpec {
+            name: "analytics".into(),
+            arrivals: TenantArrivals::Poisson { rate_iops: 250.0 },
+            block_size: 256 * KIB,
+            read_fraction: 0.5,
+            region: (4 * GIB, 4 * GIB),
+            slo: Slo::new().min_throughput_bps(15e6),
+        },
+        // One ingest burst (the on/off stream starts on; the off draw is
+        // far beyond the horizon) and then silence: the data everyone
+        // pays to keep on spinning rust unless someone moves it.
+        TenantSpec {
+            name: "archive".into(),
+            arrivals: TenantArrivals::Bursty {
+                burst_rate_iops: 2500.0,
+                mean_on: SimDuration::from_secs(8),
+                mean_off: SimDuration::from_secs(100_000),
+            },
+            block_size: 256 * KIB,
+            read_fraction: 0.0,
+            region: (8 * GIB, 4 * GIB),
+            slo: Slo::new().min_throughput_bps(2e6),
+        },
+    ];
+
+    let (mode, migrate, consolidate) = match arm {
+        PlacementArm::TempDriven => (PlacementMode::TempDriven, true, true),
+        PlacementArm::StaticSpread => (PlacementMode::StaticSpread, false, false),
+        PlacementArm::NoMigration => (PlacementMode::TempDriven, false, false),
+    };
+    let placement = PlacementConfig {
+        extent_bytes: 64 * MIB,
+        replicas: 2,
+        temp_window: SimDuration::from_secs(3),
+        cold_threshold: 2.0,
+        batch_window: SimDuration::from_secs(20),
+        migration_rate_bps: 400_000_000,
+        migration_burst_bytes: 512 * MIB,
+        max_active_migrations: 8,
+        mode,
+        migrate,
+        consolidate,
+    };
+
+    ClusterSpec {
+        tree,
+        enclosures,
+        tenants,
+        policy: SelectionPolicy::ModelDriven,
+        control_interval: SimDuration::from_secs(1),
+        sample_interval: SimDuration::from_millis(250),
+        planning_margin: 0.875,
+        duration: SimDuration::from_secs(180),
+        seed,
+        tree_faults: Vec::new(),
+        placement: Some(placement),
     }
 }
 
@@ -156,6 +317,7 @@ pub fn oversubscribed_cluster(policy: SelectionPolicy, seed: u64) -> ClusterSpec
         duration: SimDuration::from_millis(120),
         seed,
         tree_faults: Vec::new(),
+        placement: None,
     }
 }
 

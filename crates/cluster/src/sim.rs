@@ -14,15 +14,18 @@
 //! seeds, tenant seeds derived from the cluster seed): re-running a spec
 //! reproduces the report bit for bit at any worker count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
 use powadapt_core::{AdaptiveController, ControlError, DeviceAction, Slo, SloWindow};
-use powadapt_device::{DeviceError, IoCompletion, IoId, IoKind, IoRequest, StorageDevice};
+use powadapt_device::{
+    DeviceClass, DeviceError, IoCompletion, IoId, IoKind, IoRequest, StandbyState, StorageDevice,
+};
 use powadapt_io::Arrival;
 use powadapt_model::PowerThroughputModel;
 use powadapt_obs::{emit, EventKind};
+use powadapt_place::{DeviceSlot, MigrationIo, MigrationPhase, PlacementConfig, PlacementTier};
 use powadapt_sim::snapshot::{read_time, write_time};
 use powadapt_sim::units::Micros;
 use powadapt_sim::{SimDuration, SimTime};
@@ -71,6 +74,22 @@ pub struct ClusterSpec {
     /// Scheduled power-tree outages: breaker trips at node scope. Empty
     /// for a healthy run.
     pub tree_faults: Vec<TreeFaultWindow>,
+    /// Energy-aware placement tier configuration. `None` keeps the legacy
+    /// least-loaded router; `Some` routes every arrival through the
+    /// extent catalog and runs background migration + consolidation.
+    pub placement: Option<PlacementConfig>,
+}
+
+/// Who an in-flight IO belongs to: a tenant's arrival, or one leg of a
+/// background extent migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IoOwner {
+    /// A tenant arrival (index into the tenant list).
+    Tenant(usize),
+    /// The source read of migration `id`.
+    MigrationRead(u64),
+    /// The destination write of migration `id`.
+    MigrationWrite(u64),
 }
 
 /// Errors from a cluster run.
@@ -209,6 +228,20 @@ pub struct ClusterReport {
     pub infeasible_rounds: u64,
     /// Arrivals dropped across tenants.
     pub dropped: u64,
+    /// Extent moves started by the placement tier (0 without placement).
+    pub migrations_started: u64,
+    /// Extent moves committed by the placement tier.
+    pub migrations_completed: u64,
+    /// Bytes completed by migration IOs (reads + writes; the ledger's
+    /// system-tenant usage signal).
+    pub migration_bytes: u64,
+    /// Total metered energy over the run, joules.
+    pub total_joules: f64,
+    /// Energy attributed to the reserved system (migration) account,
+    /// joules.
+    pub system_joules: f64,
+    /// Energy attributed to no account (idle + remainders), joules.
+    pub idle_joules: f64,
 }
 
 impl ClusterReport {
@@ -379,7 +412,6 @@ pub struct ClusterSim {
     // powadapt-lint: allow(d6, reason = "model tables; rebuilt from the spec on resume")
     enc_models: Vec<Vec<PowerThroughputModel>>,
     /// Global device index → (enclosure, device-in-enclosure).
-    // powadapt-lint: allow(d6, reason = "derived index map; rebuilt from the spec on resume")
     flat: Vec<(usize, usize)>,
     start: SimTime,
     t_end: SimTime,
@@ -398,20 +430,42 @@ pub struct ClusterSim {
     rebalance_rounds: u64,
     replans: u64,
     infeasible_rounds: u64,
-    /// In-flight IO ownership: global request id → tenant index.
-    owners: BTreeMap<u64, usize>,
+    /// In-flight IO ownership: global request id → tenant or migration.
+    owners: BTreeMap<u64, IoOwner>,
     next_id: u64,
     next_control: SimTime,
     next_sample: SimTime,
     faults: TreeFaultSchedule,
     /// Integer-femtojoule energy accounts, audited every control round.
     ledger: EnergyLedger,
+    /// The placement tier, when the spec configures one. Presence is part
+    /// of the spec; its dynamic state is serialized.
+    place: Option<PlacementTier>,
+    /// Migration IOs the tier has issued that no device has accepted yet
+    /// (transient refusals retry on later steps, dark feeds defer).
+    mig_backlog: VecDeque<MigrationIo>,
+    /// Cumulative bytes completed by migration IOs — the system-tenant
+    /// usage signal the ledger attributes energy against.
+    mig_bytes: u64,
     /// Last processed event time.
     now: SimTime,
     /// Reused completion buffer for the per-step device drain; transient,
     /// never serialized.
     // powadapt-lint: allow(d6, reason = "transient per-step scratch; contents never live across a snapshot")
     drain_scratch: Vec<IoCompletion>,
+    /// Fixed-capacity hand-off from the hot completion drain to the
+    /// migration dispatcher: `(move id, was the destination write)`.
+    /// Pre-sized to the engine's concurrency cap (each in-flight move has
+    /// at most one IO outstanding) and always drained within the same
+    /// step, so it never grows and never lives across a snapshot.
+    // powadapt-lint: allow(d6, reason = "transient per-step scratch; contents never live across a snapshot")
+    mig_scratch: Vec<(u64, bool)>,
+    /// Live prefix length of `mig_scratch`.
+    // powadapt-lint: allow(d6, reason = "transient per-step scratch; always zero at snapshot points")
+    mig_scratch_len: usize,
+    /// Reused holder buffer for placement-routed arrivals; transient.
+    // powadapt-lint: allow(d6, reason = "transient per-arrival scratch; contents never live across a snapshot")
+    holders_scratch: Vec<u32>,
 }
 
 impl fmt::Debug for ClusterSim {
@@ -511,6 +565,7 @@ impl ClusterSim {
             duration,
             seed,
             tree_faults,
+            placement,
         } = spec;
 
         let leaves = tree.leaves();
@@ -605,6 +660,44 @@ impl ClusterSim {
         let n_nodes = tree.len();
         let ledger = EnergyLedger::new(leaves.len(), tenants.len(), start);
         let node_tracks = tree_node_tracks(&tree);
+
+        // The placement tier sees devices as slots: rack ordinal (the
+        // anti-affinity domain), capacity, and whether the device is a
+        // cold target (HDD class — meant to absorb cold data and spin
+        // down between batch windows).
+        let racks: Vec<NodeId> = tree
+            .node_ids()
+            .filter(|&id| tree.kind(id) == NodeKind::Rack)
+            .collect();
+        let enc_rack: Vec<u32> = leaves
+            .iter()
+            .enumerate()
+            .map(|(e, &leaf)| {
+                racks
+                    .iter()
+                    .position(|&r| r == leaf || tree.ancestors(leaf).contains(&r))
+                    .map_or(e as u32, |p| p as u32)
+            })
+            .collect();
+        let mig_cap = placement.as_ref().map_or(0, |c| c.max_active_migrations);
+        let place = match placement {
+            None => None,
+            Some(cfg) => {
+                cfg.validate().map_err(ClusterError::InvalidSpec)?;
+                let slots: Vec<DeviceSlot> = flat
+                    .iter()
+                    .map(|&(e, d)| {
+                        let spec = controllers[e].devices()[d].spec();
+                        DeviceSlot {
+                            rack: enc_rack[e],
+                            capacity: spec.capacity(),
+                            cold_target: spec.class() == DeviceClass::Hdd,
+                        }
+                    })
+                    .collect();
+                Some(PlacementTier::new(cfg, slots))
+            }
+        };
         Ok(ClusterSim {
             tree,
             leaves,
@@ -638,8 +731,14 @@ impl ClusterSim {
             next_sample: start,
             faults,
             ledger,
+            place,
+            mig_backlog: VecDeque::new(),
+            mig_bytes: 0,
             now: start,
             drain_scratch: Vec::new(),
+            mig_scratch: vec![(0, false); mig_cap],
+            mig_scratch_len: 0,
+            holders_scratch: Vec::new(),
         })
     }
 
@@ -772,6 +871,10 @@ impl ClusterSim {
         let total_bytes: u64 = tenant_reports.iter().map(|t| t.bytes).sum();
         let served_ios: u64 = tenant_reports.iter().map(|t| t.served).sum();
         let dropped: u64 = tenant_reports.iter().map(|t| t.dropped).sum();
+        let (migrations_started, migrations_completed) = self
+            .place
+            .as_ref()
+            .map_or((0, 0), PlacementTier::migrations);
 
         Ok(ClusterReport {
             policy: self.policy,
@@ -784,6 +887,12 @@ impl ClusterSim {
             replans: self.replans,
             infeasible_rounds: self.infeasible_rounds,
             dropped,
+            migrations_started,
+            migrations_completed,
+            migration_bytes: self.mig_bytes,
+            total_joules: self.ledger.total_joules(),
+            system_joules: self.ledger.system_fj() as f64 * 1e-15,
+            idle_joules: self.ledger.idle_fj() as f64 * 1e-15,
         })
     }
 
@@ -792,6 +901,7 @@ impl ClusterSim {
     /// power sampling when due.
     fn step_at(&mut self, t: SimTime) -> Result<(), ClusterError> {
         self.drain_completions(t);
+        self.dispatch_migrations(t)?;
         self.admit_arrivals(t)?;
 
         // A breaker trip or restore forces an immediate control round so
@@ -799,6 +909,9 @@ impl ClusterSim {
         // waiting out the control interval.
         let forced = self.process_tree_faults(t);
         if t >= self.next_control || forced {
+            // The placement tier ticks first so this round's controller
+            // re-plans see fresh standby pins and freshly started moves.
+            self.place_round(t)?;
             if self.policy == SelectionPolicy::ModelDriven {
                 self.control_round(t)?;
                 self.rebalance_rounds += 1;
@@ -828,18 +941,171 @@ impl ClusterSim {
                 done.clear();
                 ctl.device_mut(d).advance_to_into(t, &mut done);
                 for c in &done {
-                    if let Some(tenant) = self.owners.remove(&c.id.0) {
-                        let latency_us =
-                            c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
-                        self.accounts[tenant]
-                            .window
-                            .observe(Micros::new(latency_us), c.len);
+                    match self.owners.remove(&c.id.0) {
+                        Some(IoOwner::Tenant(tenant)) => {
+                            let latency_us =
+                                c.completed.duration_since(c.submitted).as_secs_f64() * 1e6;
+                            self.accounts[tenant]
+                                .window
+                                .observe(Micros::new(latency_us), c.len);
+                        }
+                        // Migration legs are handed to the dispatcher via
+                        // the fixed-capacity scratch: the engine caps
+                        // in-flight moves at the scratch's size, so the
+                        // indexed store never overruns.
+                        Some(IoOwner::MigrationRead(m)) => {
+                            self.mig_scratch[self.mig_scratch_len] = (m, false);
+                            self.mig_scratch_len += 1;
+                            self.mig_bytes += c.len;
+                        }
+                        Some(IoOwner::MigrationWrite(m)) => {
+                            self.mig_scratch[self.mig_scratch_len] = (m, true);
+                            self.mig_scratch_len += 1;
+                            self.mig_bytes += c.len;
+                        }
+                        None => {}
                     }
                 }
             }
         }
         done.clear();
         self.drain_scratch = done;
+    }
+
+    /// Processes migration completions the drain handed over: a finished
+    /// source read yields the destination write (queued on the backlog),
+    /// a finished destination write commits the move in the catalog. Then
+    /// flushes the backlog against the devices.
+    fn dispatch_migrations(&mut self, t: SimTime) -> Result<(), ClusterError> {
+        if self.mig_scratch_len == 0 && self.mig_backlog.is_empty() {
+            return Ok(());
+        }
+        let rec = powadapt_obs::current();
+        for k in 0..self.mig_scratch_len {
+            let (mid, was_write) = self.mig_scratch[k];
+            let Some(tier) = self.place.as_mut() else {
+                break;
+            };
+            if was_write {
+                if let Some(m) = tier.migration_write_done(mid) {
+                    emit!(
+                        rec,
+                        t,
+                        "placement",
+                        EventKind::MigrationCompleted {
+                            extent: m.extent,
+                            from: m.from,
+                            to: m.to,
+                        }
+                    );
+                }
+            } else if let Some(wr) = tier.migration_read_done(mid) {
+                self.mig_backlog.push_back(wr);
+            }
+        }
+        self.mig_scratch_len = 0;
+        self.flush_migration_backlog(t)
+    }
+
+    /// Submits every backlogged migration IO its device will take right
+    /// now. Dark feeds and transient refusals re-queue the IO for a later
+    /// step; migration destinations in standby wake on submit (the
+    /// device-level auto-wake), which is the intended drain path.
+    fn flush_migration_backlog(&mut self, t: SimTime) -> Result<(), ClusterError> {
+        let mut remaining = self.mig_backlog.len();
+        while remaining > 0 {
+            remaining -= 1;
+            let Some(io) = self.mig_backlog.pop_front() else {
+                break;
+            };
+            let gi = io.dev as usize;
+            let (e, _) = self.flat[gi];
+            if self.faults.is_down(&self.tree, self.leaves[e]) {
+                self.mig_backlog.push_back(io);
+                continue;
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            let arrival = Arrival {
+                at: t,
+                kind: if io.write {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                },
+                offset: io.offset,
+                len: io.len,
+            };
+            if self.try_submit(gi, id, &arrival)? {
+                let owner = if io.write {
+                    IoOwner::MigrationWrite(io.migration)
+                } else {
+                    IoOwner::MigrationRead(io.migration)
+                };
+                self.owners.insert(id, owner);
+            } else {
+                self.mig_backlog.push_back(io);
+            }
+        }
+        Ok(())
+    }
+
+    /// One placement-tier round, run on the control cadence before the
+    /// controller re-plans: ticks the tier (consolidation planning, rate-
+    /// limited move starts, standby-pin refresh), queues the started
+    /// source reads, and syncs the pin set into the enclosure
+    /// controllers. A changed pin invalidates the enclosure's applied
+    /// budget so the next control round re-plans it even under an
+    /// unchanged grant.
+    fn place_round(&mut self, now: SimTime) -> Result<(), ClusterError> {
+        if self.place.is_none() {
+            return Ok(());
+        }
+        let rec = powadapt_obs::current();
+        // Devices whose feed is up and which are not quarantined may
+        // carry migration IO this round. Routability is deliberately not
+        // required: a consolidation destination parked in standby must
+        // still accept its drain writes (waking to do so).
+        let allowed: Vec<bool> = self
+            .flat
+            .iter()
+            .map(|&(e, d)| {
+                !self.faults.is_down(&self.tree, self.leaves[e])
+                    && !self.controllers[e].is_quarantined(d)
+            })
+            .collect();
+        let starts = {
+            let Some(tier) = self.place.as_mut() else {
+                return Ok(());
+            };
+            tier.tick(now, &allowed)
+        };
+        if let Some(tier) = self.place.as_ref() {
+            for io in &starts {
+                if let Some(m) = tier.migration(io.migration) {
+                    emit!(
+                        rec,
+                        now,
+                        "placement",
+                        EventKind::MigrationStarted {
+                            extent: m.extent,
+                            from: m.from,
+                            to: m.to,
+                        }
+                    );
+                }
+            }
+            for (gi, &p) in tier.pinned().iter().enumerate() {
+                let (e, d) = self.flat[gi];
+                let before = self.controllers[e].is_pinned_standby(d);
+                self.controllers[e].set_pinned_standby(d, p);
+                if before != self.controllers[e].is_pinned_standby(d) {
+                    self.last_applied[e] = None;
+                }
+            }
+        }
+        self.mig_backlog.extend(starts);
+        self.flush_migration_backlog(now)
     }
 
     /// Admits arrivals due at or before `t`, merged across tenants in
@@ -865,7 +1131,12 @@ impl ClusterSim {
         Ok(())
     }
 
-    /// Routes and submits one arrival to the least-loaded routable device.
+    /// Routes and submits one arrival: through the placement tier's
+    /// extent catalog when configured (writes to the extent's primary,
+    /// reads to any awake holder), otherwise to the least-loaded routable
+    /// device. Either way, spun-down and quarantined devices are routed
+    /// *around* — visibly, via [`EventKind::RoutedAround`] — instead of
+    /// paying a hidden spin-up on the request path.
     fn submit_arrival(
         &mut self,
         arrival: &Arrival,
@@ -876,6 +1147,101 @@ impl ClusterSim {
         let id = self.next_id;
         self.next_id += 1;
 
+        // Placement-aware routing: resolve the arrival to its extent's
+        // holder list. Reads of never-written extents fall through to the
+        // legacy router below.
+        let mut holders = std::mem::take(&mut self.holders_scratch);
+        holders.clear();
+        let mut placement_routed = false;
+        if let Some(tier) = self.place.as_mut() {
+            match arrival.kind {
+                IoKind::Write => {
+                    let placed = tier.route_write(tenant as u32, arrival.offset, arrival.len, now);
+                    if placed.newly_placed {
+                        emit!(
+                            rec,
+                            now,
+                            "placement",
+                            EventKind::PlacementDecision {
+                                extent: placed.extent,
+                                primary: placed.primary,
+                                replicas: placed.replicas,
+                            }
+                        );
+                    }
+                    holders.push(placed.primary);
+                    placement_routed = true;
+                }
+                IoKind::Read => {
+                    placement_routed = tier.read_holders(
+                        tenant as u32,
+                        arrival.offset,
+                        arrival.len,
+                        now,
+                        &mut holders,
+                    );
+                }
+            }
+        }
+        if placement_routed {
+            let mut skipped = 0u32;
+            let mut submitted = false;
+            // First pass: holders that are routable and fully awake, in
+            // preference order (primary first).
+            for &h in &holders {
+                let gi = h as usize;
+                let (e, d) = self.flat[gi];
+                let awake =
+                    self.controllers[e].devices()[d].standby_state() == StandbyState::Active;
+                if !self.routable[gi] || !awake || self.controllers[e].is_quarantined(d) {
+                    skipped += 1;
+                    continue;
+                }
+                if self.try_submit(gi, id, arrival)? {
+                    submitted = true;
+                    break;
+                }
+            }
+            if !submitted {
+                // Every holder is asleep, parked, or refused: the data
+                // lives nowhere else, so wake a holder (primary first) —
+                // the legitimate spin-up a cold read pays.
+                for &h in &holders {
+                    let gi = h as usize;
+                    let (e, d) = self.flat[gi];
+                    if self.faults.is_down(&self.tree, self.leaves[e])
+                        || self.controllers[e].is_quarantined(d)
+                    {
+                        continue;
+                    }
+                    if self.try_submit(gi, id, arrival)? {
+                        submitted = true;
+                        break;
+                    }
+                }
+            }
+            holders.clear();
+            self.holders_scratch = holders;
+            if skipped > 0 {
+                emit!(
+                    rec,
+                    now,
+                    "placement",
+                    EventKind::RoutedAround { id, skipped }
+                );
+            }
+            if submitted {
+                self.owners.insert(id, IoOwner::Tenant(tenant));
+                self.accounts[tenant].submitted += 1;
+            } else {
+                self.accounts[tenant].dropped += 1;
+                emit!(rec, now, "cluster", EventKind::ArrivalDropped { id });
+            }
+            return Ok(());
+        }
+        holders.clear();
+        self.holders_scratch = holders;
+
         // Least-loaded routable device; ties break to the lowest index. A
         // transient refusal moves on to the next candidate; exhausting all
         // of them drops the arrival (open loop does not retry later).
@@ -885,25 +1251,46 @@ impl ClusterSim {
             let (e, d) = self.flat[i];
             (self.controllers[e].devices()[d].inflight(), i)
         });
+        let mut skipped = 0u32;
         for &gi in &candidates {
             let (e, d) = self.flat[gi];
-            let dev = self.controllers[e].device_mut(d);
-            let cap = dev.spec().capacity();
-            let len = arrival.len.min(cap);
-            let offset = arrival.offset.min(cap - len);
-            match dev.submit(IoRequest::new(IoId(id), arrival.kind, offset, len)) {
-                Ok(()) => {
-                    self.owners.insert(id, tenant);
-                    self.accounts[tenant].submitted += 1;
-                    return Ok(());
-                }
-                Err(e) if e.is_transient() => {}
-                Err(e) => return Err(e.into()),
+            let awake = self.controllers[e].devices()[d].standby_state() == StandbyState::Active;
+            if !awake || self.controllers[e].is_quarantined(d) {
+                skipped += 1;
+                continue;
             }
+            if self.try_submit(gi, id, arrival)? {
+                if skipped > 0 {
+                    emit!(rec, now, "cluster", EventKind::RoutedAround { id, skipped });
+                }
+                self.owners.insert(id, IoOwner::Tenant(tenant));
+                self.accounts[tenant].submitted += 1;
+                return Ok(());
+            }
+        }
+        if skipped > 0 {
+            emit!(rec, now, "cluster", EventKind::RoutedAround { id, skipped });
         }
         self.accounts[tenant].dropped += 1;
         emit!(rec, now, "cluster", EventKind::ArrivalDropped { id });
         Ok(())
+    }
+
+    /// Submits `arrival` as request `id` against flat device `gi`,
+    /// clamping the transfer to the device's capacity. Returns whether
+    /// the device accepted it; transient refusals report `false`, hard
+    /// failures propagate.
+    fn try_submit(&mut self, gi: usize, id: u64, arrival: &Arrival) -> Result<bool, ClusterError> {
+        let (e, d) = self.flat[gi];
+        let dev = self.controllers[e].device_mut(d);
+        let cap = dev.spec().capacity();
+        let len = arrival.len.min(cap);
+        let offset = arrival.offset.min(cap - len);
+        match dev.submit(IoRequest::new(IoId(id), arrival.kind, offset, len)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.is_transient() => Ok(false),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Fires every due tree-fault transition: a trip takes the subtree's
@@ -1149,12 +1536,18 @@ impl ClusterSim {
             &self.last_grants,
             enforce,
             &usage,
+            self.mig_bytes,
         );
     }
 
     /// The energy-attribution ledger's current accounts.
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
+    }
+
+    /// The placement tier, when the spec configured one.
+    pub fn placement(&self) -> Option<&PlacementTier> {
+        self.place.as_ref()
     }
 }
 
@@ -1187,9 +1580,22 @@ impl powadapt_snap::Snapshot for ClusterSim {
         }
 
         w.seq_len(self.owners.len());
-        for (&id, &tenant) in &self.owners {
+        for (&id, &owner) in &self.owners {
             w.u64(id);
-            w.usize(tenant);
+            match owner {
+                IoOwner::Tenant(tenant) => {
+                    w.u8(0);
+                    w.usize(tenant);
+                }
+                IoOwner::MigrationRead(m) => {
+                    w.u8(1);
+                    w.u64(m);
+                }
+                IoOwner::MigrationWrite(m) => {
+                    w.u8(2);
+                    w.u64(m);
+                }
+            }
         }
 
         w.seq_len(self.streams.len());
@@ -1218,7 +1624,29 @@ impl powadapt_snap::Snapshot for ClusterSim {
             ctl.write_state(w)?;
         }
         powadapt_snap::Snapshot::write_state(&self.faults, w)?;
-        powadapt_snap::Snapshot::write_state(&self.ledger, w)
+        powadapt_snap::Snapshot::write_state(&self.ledger, w)?;
+
+        // Placement tier: presence must match the spec on restore; the
+        // backlog and system byte count ride alongside.
+        w.u64(self.mig_bytes);
+        w.seq_len(self.mig_backlog.len());
+        for io in &self.mig_backlog {
+            w.u64(io.migration);
+            w.u32(io.dev);
+            w.bool(io.write);
+            w.u64(io.offset);
+            w.u64(io.len);
+        }
+        match &self.place {
+            Some(tier) => {
+                w.bool(true);
+                powadapt_snap::Snapshot::write_state(tier, w)
+            }
+            None => {
+                w.bool(false);
+                Ok(())
+            }
+        }
     }
 }
 
@@ -1268,20 +1696,32 @@ impl powadapt_snap::Restore for ClusterSim {
         let mut owners = BTreeMap::new();
         for _ in 0..n {
             let id = r.u64()?;
-            let tenant = r.usize()?;
-            if tenant >= self.tenants.len() {
-                return Err(SnapError::InvalidValue(format!(
-                    "in-flight IO {id} owned by tenant {tenant}, cluster has {}",
-                    self.tenants.len()
-                )));
-            }
+            let owner = match r.u8()? {
+                0 => {
+                    let tenant = r.usize()?;
+                    if tenant >= self.tenants.len() {
+                        return Err(SnapError::InvalidValue(format!(
+                            "in-flight IO {id} owned by tenant {tenant}, cluster has {}",
+                            self.tenants.len()
+                        )));
+                    }
+                    IoOwner::Tenant(tenant)
+                }
+                1 => IoOwner::MigrationRead(r.u64()?),
+                2 => IoOwner::MigrationWrite(r.u64()?),
+                other => {
+                    return Err(SnapError::InvalidValue(format!(
+                        "in-flight IO {id} owner discriminant {other} out of range"
+                    )))
+                }
+            };
             if id >= self.next_id {
                 return Err(SnapError::InvalidValue(format!(
                     "in-flight IO {id} at or past the next request id {}",
                     self.next_id
                 )));
             }
-            if owners.insert(id, tenant).is_some() {
+            if owners.insert(id, owner).is_some() {
                 return Err(SnapError::InvalidValue(format!(
                     "duplicate in-flight IO id {id}"
                 )));
@@ -1337,7 +1777,90 @@ impl powadapt_snap::Restore for ClusterSim {
             ctl.read_state(r)?;
         }
         powadapt_snap::Restore::read_state(&mut self.faults, r)?;
-        powadapt_snap::Restore::read_state(&mut self.ledger, r)
+        powadapt_snap::Restore::read_state(&mut self.ledger, r)?;
+
+        self.mig_bytes = r.u64()?;
+        let n = r.seq_len()?;
+        self.mig_backlog.clear();
+        for _ in 0..n {
+            let migration = r.u64()?;
+            let dev = r.u32()?;
+            if dev as usize >= self.flat.len() {
+                return Err(SnapError::InvalidValue(format!(
+                    "backlogged migration IO targets device {dev}, cluster has {}",
+                    self.flat.len()
+                )));
+            }
+            let write = r.bool()?;
+            let offset = r.u64()?;
+            let len = r.u64()?;
+            self.mig_backlog.push_back(MigrationIo {
+                migration,
+                dev,
+                write,
+                offset,
+                len,
+            });
+        }
+        let has_tier = r.bool()?;
+        if has_tier != self.place.is_some() {
+            return Err(SnapError::InvalidValue(format!(
+                "snapshot {} a placement tier, the spec {}",
+                if has_tier { "carries" } else { "lacks" },
+                if self.place.is_some() {
+                    "configures one"
+                } else {
+                    "does not"
+                }
+            )));
+        }
+        if let Some(tier) = self.place.as_mut() {
+            powadapt_snap::Restore::read_state(tier, r)?;
+        }
+
+        // In-flight migration owners must map to unfinished moves in the
+        // matching phase; the backlog must not double-issue a leg that is
+        // already in flight.
+        for (&id, &owner) in &self.owners {
+            let mid = match owner {
+                IoOwner::Tenant(_) => continue,
+                IoOwner::MigrationRead(m) | IoOwner::MigrationWrite(m) => m,
+            };
+            let want = if matches!(owner, IoOwner::MigrationRead(_)) {
+                MigrationPhase::Reading
+            } else {
+                MigrationPhase::Writing
+            };
+            let ok = self
+                .place
+                .as_ref()
+                .and_then(|tier| tier.migration(mid))
+                .is_some_and(|m| m.phase == want);
+            if !ok {
+                return Err(SnapError::InvalidValue(format!(
+                    "in-flight IO {id} belongs to migration {mid}, which is missing or out of phase"
+                )));
+            }
+        }
+        for io in &self.mig_backlog {
+            let want = if io.write {
+                MigrationPhase::Writing
+            } else {
+                MigrationPhase::Reading
+            };
+            let ok = self
+                .place
+                .as_ref()
+                .and_then(|tier| tier.migration(io.migration))
+                .is_some_and(|m| m.phase == want);
+            if !ok {
+                return Err(SnapError::InvalidValue(format!(
+                    "backlogged migration IO for move {}, which is missing or out of phase",
+                    io.migration
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -221,6 +221,10 @@ pub struct AdaptiveController {
     health: Vec<DeviceHealth>,
     /// Remaining cooldown rounds per device; non-zero = quarantined.
     quarantine: Vec<u32>,
+    /// Devices pinned into standby by an external policy (the placement
+    /// tier's spin-down consolidation): excluded from planning, always
+    /// given a standby action, never woken by a budget.
+    pinned: Vec<bool>,
     // powadapt-lint: allow(d6, reason = "telemetry sink; re-captured from the global slot at construction")
     rec: RecorderHandle,
 }
@@ -252,6 +256,7 @@ impl AdaptiveController {
             retry: RetryPolicy::default(),
             health: vec![DeviceHealth::default(); n],
             quarantine: vec![0; n],
+            pinned: vec![false; n],
             rec: powadapt_obs::current(),
         })
     }
@@ -287,6 +292,28 @@ impl AdaptiveController {
     /// Panics if `i` is out of range.
     pub fn is_quarantined(&self, i: usize) -> bool {
         self.quarantine[i] > 0
+    }
+
+    /// Pins device `i` into standby (or releases the pin). Pinned devices
+    /// sit out budget planning: every round plans them as standby at
+    /// their advertised standby draw, and no budget — however generous —
+    /// wakes them. Pinning a device that cannot sleep
+    /// ([`StorageDevice::standby_power_w`] is `None`) is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_pinned_standby(&mut self, i: usize, pinned: bool) {
+        self.pinned[i] = pinned && self.devices[i].standby_power_w().is_some();
+    }
+
+    /// True while device `i` is pinned into standby.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_pinned_standby(&self, i: usize) -> bool {
+        self.pinned[i]
     }
 
     /// The managed devices.
@@ -393,13 +420,37 @@ impl AdaptiveController {
         for q in &mut self.quarantine {
             *q = q.saturating_sub(1);
         }
-        let mut excluded: Vec<bool> = self.quarantine.iter().map(|&q| q > 0).collect();
+        let mut excluded: Vec<bool> = (0..self.devices.len())
+            .map(|i| self.quarantine[i] > 0 || self.pinned[i])
+            .collect();
         let mut degraded: Vec<Degradation> = Vec::new();
         let mut last_err: Option<DeviceError> = None;
 
+        // Pinned devices are planned unconditionally: standby at their
+        // advertised draw, outside the knapsack, regardless of budget.
+        let mut pinned_actions: Vec<(usize, DeviceAction)> = Vec::new();
+        for i in 0..self.devices.len() {
+            if !self.pinned[i] {
+                continue;
+            }
+            let power_w = self.devices[i]
+                .standby_power_w()
+                .unwrap_or_else(|| self.devices[i].power_w());
+            let action = DeviceAction::Standby { power_w };
+            if let Err((e, attempts)) = self.apply_action(i, &action) {
+                degraded.push(Degradation {
+                    device: self.devices[i].spec().label().to_string(),
+                    planned: action.clone(),
+                    error: e,
+                    attempts,
+                });
+            }
+            pinned_actions.push((i, action));
+        }
+
         loop {
             let included: Vec<usize> = (0..self.devices.len()).filter(|&i| !excluded[i]).collect();
-            if included.is_empty() {
+            if included.is_empty() && pinned_actions.is_empty() {
                 return Err(match last_err {
                     Some(e) => ControlError::Device(e),
                     None => ControlError::Infeasible {
@@ -409,24 +460,37 @@ impl AdaptiveController {
                 });
             }
 
-            // Quarantined devices still draw their measured power; reserve
-            // it so the compliant remainder plans inside what is left.
+            // Quarantined devices still draw their measured power and
+            // pinned devices their standby draw; reserve both so the
+            // compliant remainder plans inside what is left.
             let reserved_w: f64 = (0..self.devices.len())
                 .filter(|&i| excluded[i])
-                .map(|i| self.devices[i].power_w())
+                .map(|i| {
+                    if self.pinned[i] {
+                        self.devices[i]
+                            .standby_power_w()
+                            .unwrap_or_else(|| self.devices[i].power_w())
+                    } else {
+                        self.devices[i].power_w()
+                    }
+                })
                 .sum();
-            let models: Vec<PowerThroughputModel> =
-                included.iter().map(|&i| self.models[i].clone()).collect();
-            let standby_w: Vec<Option<f64>> = included
-                .iter()
-                .map(|&i| self.devices[i].standby_power_w())
-                .collect();
-            let planned = plan_budget(&models, &standby_w, budget_w - reserved_w).ok_or(
-                ControlError::Infeasible {
-                    budget_w,
-                    floor_w: self.floor_w(),
-                },
-            )?;
+            let planned = if included.is_empty() {
+                Vec::new()
+            } else {
+                let models: Vec<PowerThroughputModel> =
+                    included.iter().map(|&i| self.models[i].clone()).collect();
+                let standby_w: Vec<Option<f64>> = included
+                    .iter()
+                    .map(|&i| self.devices[i].standby_power_w())
+                    .collect();
+                plan_budget(&models, &standby_w, budget_w - reserved_w).ok_or(
+                    ControlError::Infeasible {
+                        budget_w,
+                        floor_w: self.floor_w(),
+                    },
+                )?
+            };
 
             let mut refused: Option<(usize, DeviceError, u32, DeviceAction)> = None;
             for (&i, action) in included.iter().zip(&planned) {
@@ -450,7 +514,10 @@ impl AdaptiveController {
                     // Re-plan the remaining budget across compliant devices.
                 }
                 None => {
-                    let mut actions = Vec::with_capacity(included.len());
+                    // The pinned standby draw is already inside reserved_w;
+                    // their actions join the plan without re-counting it.
+                    let mut indexed: Vec<(usize, DeviceAction)> =
+                        Vec::with_capacity(included.len() + pinned_actions.len());
                     let mut expected_power_w = reserved_w;
                     let mut expected_throughput_bps = 0.0;
                     for (&i, action) in included.iter().zip(&planned) {
@@ -461,10 +528,16 @@ impl AdaptiveController {
                                 expected_throughput_bps += point.throughput_bps();
                             }
                         }
-                        actions.push((self.devices[i].spec().label().to_string(), action.clone()));
+                        indexed.push((i, action.clone()));
                     }
+                    indexed.extend(pinned_actions.iter().cloned());
+                    indexed.sort_by_key(|&(i, _)| i);
+                    let actions: Vec<(String, DeviceAction)> = indexed
+                        .into_iter()
+                        .map(|(i, a)| (self.devices[i].spec().label().to_string(), a))
+                        .collect();
                     let quarantined: Vec<String> = (0..self.devices.len())
-                        .filter(|&i| excluded[i])
+                        .filter(|&i| excluded[i] && !self.pinned[i])
                         .map(|i| self.devices[i].spec().label().to_string())
                         .collect();
                     emit!(
@@ -493,8 +566,9 @@ impl AdaptiveController {
     }
 
     /// Serializes the controller's dynamic state: every device's state
-    /// (via [`StorageDevice::write_state`]), health EWMAs, and quarantine
-    /// cooldowns. Models and retry policy are configuration.
+    /// (via [`StorageDevice::write_state`]), health EWMAs, quarantine
+    /// cooldowns, and standby pins. Models and retry policy are
+    /// configuration.
     ///
     /// # Errors
     ///
@@ -513,6 +587,9 @@ impl AdaptiveController {
         }
         for &q in &self.quarantine {
             w.u32(q);
+        }
+        for &p in &self.pinned {
+            w.bool(p);
         }
         Ok(())
     }
@@ -545,6 +622,9 @@ impl AdaptiveController {
         }
         for q in &mut self.quarantine {
             *q = r.u32()?;
+        }
+        for p in &mut self.pinned {
+            *p = r.bool()?;
         }
         Ok(())
     }
@@ -669,6 +749,70 @@ mod tests {
             hdd.advance_to(t);
         }
         assert_eq!(ctl.devices()[1].standby_state(), StandbyState::Active);
+    }
+
+    #[test]
+    fn pinned_device_stays_in_standby_under_generous_budget() {
+        let mut ctl = controller();
+        ctl.set_pinned_standby(1, true);
+        assert!(ctl.is_pinned_standby(1));
+        let plan = ctl.apply_budget(30.0).unwrap();
+        assert_eq!(plan.actions.len(), 2);
+        assert!(
+            matches!(plan.actions[1].1, DeviceAction::Standby { .. }),
+            "pinned HDD must be planned standby, got {:?}",
+            plan.actions[1].1
+        );
+        // Not quarantined: the pin is policy, not a fault.
+        assert!(plan.quarantined.is_empty());
+        assert_ne!(ctl.devices()[1].standby_state(), StandbyState::Active);
+        // Expected power counts the HDD at its standby draw.
+        assert!(
+            plan.expected_power_w <= 15.0 + 1.2,
+            "{}",
+            plan.expected_power_w
+        );
+    }
+
+    #[test]
+    fn unpinning_lets_the_budget_wake_the_device() {
+        let mut ctl = controller();
+        ctl.set_pinned_standby(1, true);
+        ctl.apply_budget(30.0).unwrap();
+        ctl.set_pinned_standby(1, false);
+        let plan = ctl.apply_budget(30.0).unwrap();
+        assert!(matches!(plan.actions[1].1, DeviceAction::Operate(_)));
+        let hdd = ctl.device_mut(1);
+        while let Some(t) = hdd.next_event() {
+            hdd.advance_to(t);
+        }
+        assert_eq!(ctl.devices()[1].standby_state(), StandbyState::Active);
+    }
+
+    #[test]
+    fn pinning_a_sleepless_device_is_ignored() {
+        let mut ctl = controller();
+        // SSD2 advertises no standby support.
+        ctl.set_pinned_standby(0, true);
+        assert!(!ctl.is_pinned_standby(0));
+        let plan = ctl.apply_budget(30.0).unwrap();
+        assert!(matches!(plan.actions[0].1, DeviceAction::Operate(_)));
+    }
+
+    #[test]
+    fn pins_survive_a_snapshot_roundtrip() {
+        let mut ctl = controller();
+        ctl.set_pinned_standby(1, true);
+        ctl.apply_budget(30.0).unwrap();
+        let mut w = powadapt_snap::SnapWriter::new();
+        ctl.write_state(&mut w).unwrap();
+        let payload = w.into_payload();
+        let mut fresh = controller();
+        let mut r = powadapt_snap::SnapReader::new(&payload);
+        fresh.read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(fresh.is_pinned_standby(1));
+        assert!(!fresh.is_pinned_standby(0));
     }
 
     #[test]

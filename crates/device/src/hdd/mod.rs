@@ -4,7 +4,8 @@
 //! pays a distance-dependent seek, a rotational delay (reduced when the
 //! queue is deep, modeling NCQ rotational-position ordering), and a media
 //! transfer. Writes acknowledge from a small cache that is drained with
-//! shortest-seek-first scheduling; standby flushes the cache and spins the
+//! shortest-seek-first scheduling (writes too large for the cache stream
+//! straight to media); standby flushes the cache and spins the
 //! platters down, and waking pays a multi-second spin-up — the paper's
 //! §3.2.2 trade-off.
 
@@ -41,6 +42,9 @@ enum MediaKind {
     ReadReq(Pending),
     /// Background drain of one write-cache entry.
     CacheDrain,
+    /// A write larger than the cache can ever hold, streamed straight to
+    /// media; completes to the host when the transfer finishes.
+    WriteThrough(Pending),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -395,7 +399,17 @@ impl Hdd {
                 self.ctrl_busy = false;
                 match p.kind {
                     IoKind::Write => {
-                        if self.cache_fits(p.len) {
+                        if p.len > self.cfg.write_cache_bytes {
+                            // Could never fit the cache: stream it
+                            // straight to media instead of waiting for a
+                            // drain that cannot make room.
+                            self.pending_media.push_back(MediaOp {
+                                kind: MediaKind::WriteThrough(p),
+                                offset: p.offset,
+                                len: p.len,
+                                enqueued: self.now,
+                            });
+                        } else if self.cache_fits(p.len) {
                             self.admit_write(p);
                         } else {
                             self.cache_waiters.push_back(p);
@@ -420,7 +434,7 @@ impl Hdd {
                 self.media_phase = MediaPhase::Idle;
                 self.head_pos = op.offset + op.len;
                 match op.kind {
-                    MediaKind::ReadReq(p) => self.complete(p),
+                    MediaKind::ReadReq(p) | MediaKind::WriteThrough(p) => self.complete(p),
                     MediaKind::CacheDrain => {
                         self.cache_used -= op.len;
                         while let Some(front) = self.cache_waiters.front() {
@@ -723,6 +737,10 @@ fn write_media_op(w: &mut SnapWriter, op: &MediaOp) {
             write_pending(w, p);
         }
         MediaKind::CacheDrain => w.u8(1),
+        MediaKind::WriteThrough(p) => {
+            w.u8(2);
+            write_pending(w, p);
+        }
     }
     w.u64(op.offset);
     w.u64(op.len);
@@ -733,6 +751,7 @@ fn read_media_op(r: &mut SnapReader<'_>) -> Result<MediaOp, SnapError> {
     let kind = match r.u8()? {
         0 => MediaKind::ReadReq(read_pending(r)?),
         1 => MediaKind::CacheDrain,
+        2 => MediaKind::WriteThrough(read_pending(r)?),
         b => {
             return Err(SnapError::InvalidValue(format!("media kind byte {b}")));
         }
@@ -852,6 +871,21 @@ mod tests {
         assert!(dev.cache_used() > 0);
         drain(&mut dev);
         assert_eq!(dev.cache_used(), 0);
+    }
+
+    #[test]
+    fn oversized_write_streams_through_without_deadlock() {
+        let mut dev = test_hdd();
+        // 64 MiB against a 4 MiB cache: must bypass the cache entirely
+        // and complete when the media transfer lands, not ack-from-cache.
+        submit(&mut dev, 0, IoKind::Write, 10 * GIB, 64 * MIB);
+        let done = drain(&mut dev);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].len, 64 * MIB);
+        assert_eq!(dev.cache_used(), 0);
+        // The latency covers at least the full media transfer.
+        let media = SimDuration::from_secs_f64(64.0 * MIB as f64 / dev.cfg.media_bw);
+        assert!(done[0].completed.duration_since(done[0].submitted) >= media);
     }
 
     #[test]

@@ -91,10 +91,11 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         // deterministic too, and cluster reports feed the cluster_eval
         // golden. snap serializes checkpoint state whose byte layout the
         // resume-equivalence goldens pin, so its encoding must be
-        // deterministic as well.
+        // deterministic as well. place decides routing and migration
+        // plans that feed the placement_eval golden.
         RuleId::D2 => {
             in_crates(&[
-                "sim", "device", "core", "model", "bench", "obs", "cluster", "snap",
+                "sim", "device", "core", "model", "bench", "obs", "cluster", "snap", "place",
             ]) || path == "crates/io/src/stats.rs"
         }
         // Figure/statistics code: everything that orders, ranks, or
@@ -115,17 +116,23 @@ pub fn rule_applies(rule: RuleId, path: &str) -> bool {
         // propagation (the cluster layer propagates it through
         // ClusterError). snap is fail-closed by contract: corrupt
         // checkpoints must surface as typed SnapErrors, never panics.
-        RuleId::D5 => in_crates(&["device", "io", "core", "cluster", "snap"]),
+        // place's capacity accounting fails closed the same way.
+        RuleId::D5 => in_crates(&["device", "io", "core", "cluster", "snap", "place"]),
         // Snapshot completeness covers every crate whose state rides in a
         // checkpoint: the sim kernel, devices, controllers, workloads,
-        // obs, the cluster layer, and snap's own codec machinery.
-        RuleId::D6 => in_crates(&["sim", "device", "core", "io", "obs", "cluster", "snap"]),
+        // obs, the cluster layer, the placement tier, and snap's own
+        // codec machinery.
+        RuleId::D6 => in_crates(&[
+            "sim", "device", "core", "io", "obs", "cluster", "snap", "place",
+        ]),
         // Unit-dimension flow: every crate that does arithmetic on the
         // Watts/Joules/Millis/Micros newtypes.
-        RuleId::D7 => in_crates(&["sim", "device", "io", "meter", "model", "core", "cluster"]),
+        RuleId::D7 => in_crates(&[
+            "sim", "device", "io", "meter", "model", "core", "cluster", "place",
+        ]),
         // Obs discipline: the registry lives in obs; emit!/span! call
         // sites live in every crate that records events.
-        RuleId::D8 => in_crates(&["obs", "device", "io", "core", "cluster", "sim"]),
+        RuleId::D8 => in_crates(&["obs", "device", "io", "core", "cluster", "sim", "place"]),
         // Hot-path allocation is opt-in via the `hot` directive, so the
         // path scope is the whole workspace — the annotation itself is
         // the perimeter.
@@ -316,6 +323,16 @@ mod tests {
             RuleId::D1,
             "crates/bench/src/bin/kernel_bench.rs"
         ));
+        // The placement tier's routing and migration plans feed the
+        // placement_eval golden, so it sits inside the perimeter.
+        assert!(rule_applies(RuleId::D1, "crates/place/src/tier.rs"));
+        assert!(rule_applies(RuleId::D2, "crates/place/src/tier.rs"));
+        assert!(rule_applies(RuleId::D5, "crates/place/src/tier.rs"));
+        assert!(!rule_applies(RuleId::D4, "crates/place/src/tier.rs"));
+        assert!(!rule_applies(
+            RuleId::D2,
+            "crates/place/tests/properties.rs"
+        ));
         // The differential harness is a test target, outside the perimeter.
         assert!(!rule_applies(RuleId::D2, "tests/queue_equivalence.rs"));
         assert!(!rule_applies(RuleId::D5, "tests/queue_equivalence.rs"));
@@ -332,6 +349,7 @@ mod tests {
             "crates/io/src/openloop.rs",
             "crates/obs/src/recorder.rs",
             "crates/cluster/src/sim.rs",
+            "crates/place/src/tier.rs",
             "crates/snap/src/lib.rs",
         ] {
             assert!(rule_applies(RuleId::D6, p), "D6 must cover {p}");
@@ -351,6 +369,7 @@ mod tests {
             "crates/model/src/lib.rs",
             "crates/core/src/controller.rs",
             "crates/cluster/src/tenant.rs",
+            "crates/place/src/tier.rs",
         ] {
             assert!(rule_applies(RuleId::D7, p), "D7 must cover {p}");
         }
@@ -364,6 +383,7 @@ mod tests {
             "crates/core/src/controller.rs",
             "crates/cluster/src/sim.rs",
             "crates/sim/src/queue.rs",
+            "crates/place/src/tier.rs",
         ] {
             assert!(rule_applies(RuleId::D8, p), "D8 must cover {p}");
         }

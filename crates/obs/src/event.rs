@@ -233,6 +233,41 @@ pub enum EventKind {
         /// Events the shard had recorded at merge time.
         events: u64,
     },
+    /// The placement tier bound an extent to a replica set (place layer).
+    PlacementDecision {
+        /// Extent id, unique within the catalog.
+        extent: u64,
+        /// Flat device index of the primary replica.
+        primary: u32,
+        /// Total replicas placed (primary included).
+        replicas: u8,
+    },
+    /// The migration engine began moving an extent between devices.
+    MigrationStarted {
+        /// Extent id being moved.
+        extent: u64,
+        /// Flat device index of the source replica.
+        from: u32,
+        /// Flat device index of the destination replica.
+        to: u32,
+    },
+    /// A previously started extent migration committed on the destination.
+    MigrationCompleted {
+        /// Extent id that finished moving.
+        extent: u64,
+        /// Flat device index of the source replica.
+        from: u32,
+        /// Flat device index of the destination replica.
+        to: u32,
+    },
+    /// The router skipped standby or quarantined devices for an arrival
+    /// rather than paying a hidden spin-up on the request path.
+    RoutedAround {
+        /// Request id of the arrival that was re-routed.
+        id: u64,
+        /// Number of unavailable devices skipped before placing the IO.
+        skipped: u32,
+    },
 }
 
 impl EventKind {
@@ -263,6 +298,10 @@ impl EventKind {
         "conservation_violation",
         "slo_burn_alert",
         "shard_merged",
+        "placement_decision",
+        "migration_started",
+        "migration_completed",
+        "routed_around",
     ];
 
     /// Number of schema kinds — the length of [`Self::NAMES`] and the
@@ -307,6 +346,10 @@ impl EventKind {
             EventKind::ConservationViolation(_) => 19,
             EventKind::SloBurnAlert { .. } => 20,
             EventKind::ShardMerged { .. } => 21,
+            EventKind::PlacementDecision { .. } => 22,
+            EventKind::MigrationStarted { .. } => 23,
+            EventKind::MigrationCompleted { .. } => 24,
+            EventKind::RoutedAround { .. } => 25,
         }
     }
 
@@ -373,6 +416,37 @@ mod tests {
             }
             .index()],
             "shard_merged"
+        );
+        assert_eq!(
+            EventKind::NAMES[EventKind::PlacementDecision {
+                extent: 0,
+                primary: 0,
+                replicas: 1
+            }
+            .index()],
+            "placement_decision"
+        );
+        assert_eq!(
+            EventKind::NAMES[EventKind::MigrationStarted {
+                extent: 0,
+                from: 0,
+                to: 1
+            }
+            .index()],
+            "migration_started"
+        );
+        assert_eq!(
+            EventKind::NAMES[EventKind::MigrationCompleted {
+                extent: 0,
+                from: 0,
+                to: 1
+            }
+            .index()],
+            "migration_completed"
+        );
+        assert_eq!(
+            EventKind::NAMES[EventKind::RoutedAround { id: 0, skipped: 1 }.index()],
+            "routed_around"
         );
     }
 

@@ -189,6 +189,24 @@ fn instant_args(kind: &EventKind) -> Vec<(&'static str, String)> {
         EventKind::ShardMerged { shard, events } => {
             vec![("shard", shard.to_string()), ("events", events.to_string())]
         }
+        EventKind::PlacementDecision {
+            extent,
+            primary,
+            replicas,
+        } => vec![
+            ("extent", extent.to_string()),
+            ("primary", primary.to_string()),
+            ("replicas", replicas.to_string()),
+        ],
+        EventKind::MigrationStarted { extent, from, to }
+        | EventKind::MigrationCompleted { extent, from, to } => vec![
+            ("extent", extent.to_string()),
+            ("from", from.to_string()),
+            ("to", to.to_string()),
+        ],
+        EventKind::RoutedAround { id, skipped } => {
+            vec![("id", id.to_string()), ("skipped", skipped.to_string())]
+        }
         _ => Vec::new(),
     }
 }

@@ -43,9 +43,12 @@ pub const MAGIC: [u8; 4] = *b"PSNP";
 /// overhaul (SSD in-flight reads table moved ahead of the event queue,
 /// die queues serialize translated IO ids); 3 = sketch-backed metrics
 /// registry and the cluster energy-attribution ledger (integer-femtojoule
-/// `u128` accounts). Older checkpoints are rejected with
-/// [`SnapError::UnsupportedVersion`] rather than mis-parsed.
-pub const FORMAT_VERSION: u32 = 3;
+/// `u128` accounts); 4 = placement tier (extent catalog, in-flight
+/// migrations, standby pins), cluster IO-owner tagging, the ledger's
+/// reserved system account, and the HDD write-through media-op variant.
+/// Older checkpoints are rejected with [`SnapError::UnsupportedVersion`]
+/// rather than mis-parsed.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Typed failures of snapshot decoding. Every malformed input maps to one
 /// of these; decoding never panics.

@@ -24,7 +24,8 @@ use powadapt::io::ParallelConfig;
 use powadapt::obs::{self, TraceRecorder};
 use powadapt_bench::golden::{
     cluster_eval_summary, cluster_eval_summary_checkpointed, figure_summary, golden_scale,
-    goldens_dir, obs_events_summary, CLUSTER_FIXTURE, FIGURES, GOLDEN_SEED, OBS_FIXTURE,
+    goldens_dir, obs_events_summary, placement_eval_summary, placement_eval_summary_checkpointed,
+    CLUSTER_FIXTURE, FIGURES, GOLDEN_SEED, OBS_FIXTURE, PLACEMENT_FIXTURE,
 };
 
 /// The process-global recorder slot is shared across the test threads of
@@ -128,6 +129,56 @@ fn checkpointed_cluster_eval_matches_golden_at_every_worker_count() {
         assert_eq!(
             seq, par,
             "checkpointed cluster_eval summary diverged at {workers} workers"
+        );
+    }
+}
+
+/// The placement evaluation — temperature-tracked extents, capacity-aware
+/// routing, rate-limited background migration, HDD spin-down pins,
+/// system-account energy attribution — is byte-identical to its committed
+/// golden at every worker count.
+#[test]
+fn placement_eval_matches_golden_at_every_worker_count() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let seq = placement_eval_summary(&ParallelConfig::sequential());
+    assert_eq!(
+        seq,
+        committed_fixture(PLACEMENT_FIXTURE),
+        "{PLACEMENT_FIXTURE}: summary drifted from the committed fixture.\n\
+         If the change is intentional, regenerate the fixtures with\n\
+         `cargo run -p powadapt-bench --bin regen_goldens` and commit them."
+    );
+    for workers in [2usize, 8] {
+        let par = placement_eval_summary(&ParallelConfig::with_workers(workers));
+        assert_eq!(
+            seq, par,
+            "placement_eval summary diverged at {workers} workers"
+        );
+    }
+}
+
+/// Mid-migration checkpoints are invisible: every placement cell is
+/// interrupted at its quarter point — between `MigrationStarted` and
+/// `MigrationCompleted` for the temperature-driven arm, with copy IOs in
+/// flight and destination capacity reserved — snapshotted, dropped,
+/// resumed from the bytes, and finished. The summary equals the same
+/// committed `placement_eval` fixture the uninterrupted runs pin, at
+/// every worker count.
+#[test]
+fn checkpointed_placement_eval_matches_golden_at_every_worker_count() {
+    let _slot = GLOBAL_SLOT.lock().unwrap_or_else(PoisonError::into_inner);
+    let seq = placement_eval_summary_checkpointed(&ParallelConfig::sequential());
+    assert_eq!(
+        seq,
+        committed_fixture(PLACEMENT_FIXTURE),
+        "{PLACEMENT_FIXTURE}: a mid-migration checkpoint/restore changed the \
+         summary — placement state is incomplete or restore perturbed the run"
+    );
+    for workers in [2usize, 8] {
+        let par = placement_eval_summary_checkpointed(&ParallelConfig::with_workers(workers));
+        assert_eq!(
+            seq, par,
+            "checkpointed placement_eval summary diverged at {workers} workers"
         );
     }
 }
